@@ -1,0 +1,76 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation (§VI) plus the §III-B attack analysis. Each subcommand maps
+// to one experiment; see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Usage:
+//
+//	bench [-full] [table1|table2|fig5|fig7|fig8a|fig8b|fig8p|fig9a|fig9b|fig10|all]
+//
+// -full extends the size sweeps toward the paper's upper ends (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ledgerdb/internal/benchkit"
+)
+
+func main() {
+	full := flag.Bool("full", false, "extend size sweeps (slower, closer to the paper's axes)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bench [-full] [experiment]\nexperiments: table1 table2 storage fig5 fig7 fig8a fig8b fig8p fig9a fig9b fig10 all (default all)\n")
+	}
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	experiments := map[string]func() []*benchkit.Table{
+		"table1": func() []*benchkit.Table { return []*benchkit.Table{benchkit.Table1()} },
+		"table2": func() []*benchkit.Table { return []*benchkit.Table{benchkit.Table2()} },
+		"fig5":   func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig5()} },
+		"fig7":   func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig7()} },
+		"fig8a":  func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig8a(*full)} },
+		"fig8b":  func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig8b(*full)} },
+		"fig8p":  func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig8PathLens(*full)} },
+		"fig9a":  func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig9a(*full)} },
+		"fig9b":   func() []*benchkit.Table { return []*benchkit.Table{benchkit.Fig9b(*full)} },
+		"storage": func() []*benchkit.Table { return []*benchkit.Table{benchkit.StorageTable()} },
+		"fig10": func() []*benchkit.Table {
+			return []*benchkit.Table{
+				benchkit.Fig10a(*full), benchkit.Fig10b(*full),
+				benchkit.Fig10c(*full), benchkit.Fig10d(*full),
+			}
+		},
+	}
+
+	order := []string{"table1", "storage", "fig5", "fig7", "fig8a", "fig8b", "fig8p", "fig9a", "fig9b", "fig10", "table2"}
+
+	run := func(name string) {
+		gen, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, table := range gen() {
+			table.Print(os.Stdout)
+		}
+		fmt.Printf("  (%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if which == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}

@@ -1,0 +1,185 @@
+// Command ledgerdb is the CLI client for a ledgerdb-server instance.
+// Every read that matters is verified locally against the pinned LSP key
+// before anything is printed.
+//
+// Usage:
+//
+//	ledgerdb [-server http://localhost:8420] [-lsp <hex>] <command> [args]
+//
+// Commands:
+//
+//	info                         show ledger counters
+//	append <payload> [clue...]   sign and append a journal
+//	get <jsn>                    fetch a journal record
+//	payload <jsn>                fetch (and digest-check) a raw payload
+//	verify <jsn>                 client-side existence verification
+//	verify-anchored <jsn>        fam-aoa verification under the live anchor
+//	verify-state <key>           verifiable world-state read
+//	verify-clue <clue>           client-side lineage verification
+//	anchor-time                  run one time-notary round
+//	state                        fetch and verify the signed state
+//
+// Without -lsp the key is discovered from the server (trust on first
+// use) and printed so it can be pinned for later invocations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/sig"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8420", "ledgerdb-server base URL")
+	lspHex := flag.String("lsp", "", "pinned LSP public key (hex); empty = trust on first use")
+	keySeed := flag.String("key-seed", "", "deterministic client key seed (testing); empty = fresh key")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-anchored|verify-state|verify-clue|anchor-time|state> [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var key *sig.KeyPair
+	var err error
+	if *keySeed != "" {
+		key = sig.GenerateDeterministic(*keySeed)
+	} else if key, err = sig.Generate(); err != nil {
+		fail("generate key: %v", err)
+	}
+	cli := &client.Client{BaseURL: *serverURL, Key: key}
+
+	uri, _, _, _, err := cli.Info()
+	if err != nil {
+		fail("reach server: %v", err)
+	}
+	cli.URI = uri
+	if *lspHex != "" {
+		pk, err := sig.ParsePublicKey(*lspHex)
+		if err != nil {
+			fail("parse -lsp: %v", err)
+		}
+		cli.LSP = pk
+	} else {
+		pk, err := cli.DiscoverLSP()
+		if err != nil {
+			fail("discover LSP key: %v", err)
+		}
+		cli.LSP = pk
+		fmt.Fprintf(os.Stderr, "note: trusting discovered LSP key %s — pin with -lsp %s\n", pk, pk.Hex())
+	}
+
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "info":
+		uri, size, base, height, err := cli.Info()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("ledger:   %s\njournals: %d (first live: %d)\nblocks:   %d\n", uri, size, base, height)
+	case "append":
+		if len(args) < 1 {
+			fail("append needs a payload")
+		}
+		r, err := cli.Append([]byte(args[0]), args[1:]...)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("committed jsn %d\n  request-hash %s\n  tx-hash      %s\n  receipt verified against LSP %s\n",
+			r.JSN, r.RequestHash.Short(), r.TxHash.Short(), cli.LSP)
+	case "get":
+		rec, err := cli.GetJournal(argJSN(args))
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("jsn %d  type %s  ts %d  clues %v  occulted %v\n  payload digest %s (%dB)\n",
+			rec.JSN, rec.Type, rec.Timestamp, rec.Clues, rec.Occulted, rec.PayloadDigest.Short(), rec.PayloadSize)
+	case "payload":
+		p, err := cli.GetPayload(argJSN(args))
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(p)
+		fmt.Println()
+	case "verify":
+		rec, payload, err := cli.VerifyExistence(argJSN(args), true)
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("VERIFIED jsn %d (what+who)\n  tx-hash %s\n  signer  %s\n  payload %dB present=%v\n",
+			rec.JSN, rec.TxHash().Short(), rec.ClientPK, rec.PayloadSize, payload != nil)
+	case "verify-anchored":
+		// The fam-aoa regime: fetch the service's current anchor, then
+		// verify with the near-constant-size anchored proof. A real
+		// deployment audits before adopting the anchor and persists it.
+		anchor, err := cli.FetchAnchor()
+		if err != nil {
+			fail("%v", err)
+		}
+		rec, _, err := cli.VerifyExistenceAnchored(argJSN(args), anchor, true)
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("VERIFIED jsn %d under anchor covering %d journals (%d sealed epochs)\n",
+			rec.JSN, anchor.Size, anchor.Epochs)
+	case "verify-state":
+		if len(args) != 1 {
+			fail("verify-state needs a key")
+		}
+		jsn, digest, err := cli.VerifyState([]byte(args[0]))
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("VERIFIED state %q -> set by jsn %d, payload digest %s\n", args[0], jsn, digest.Short())
+	case "verify-clue":
+		if len(args) != 1 {
+			fail("verify-clue needs a clue name")
+		}
+		recs, err := cli.VerifyClue(args[0], 0, 0)
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("VERIFIED clue %q: %d journals (N-lineage intact)\n", args[0], len(recs))
+		for _, rec := range recs {
+			fmt.Printf("  jsn %-6d ts %-12d %s\n", rec.JSN, rec.Timestamp, rec.TxHash().Short())
+		}
+	case "anchor-time":
+		r, err := cli.AnchorTime()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("time journal committed at jsn %d\n", r.JSN)
+	case "state":
+		st, err := cli.State()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("signed state (verified)\n  jsn          %d\n  journal root %s\n  clue root    %s\n  state root   %s\n",
+			st.JSN, st.JournalRoot.Short(), st.ClueRoot.Short(), st.StateRoot.Short())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func argJSN(args []string) uint64 {
+	if len(args) != 1 {
+		fail("expected exactly one jsn argument")
+	}
+	jsn, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		fail("bad jsn %q", args[0])
+	}
+	return jsn
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ledgerdb: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Regulated ledger: the verifiable mutations of §III-A. A journal with
+// regulation-violating content is occulted (hidden, digest retained)
+// under DBA + regulator multi-signatures; obsolete history is purged
+// behind a pseudo genesis with survivor journals preserved; and the
+// ledger still passes a full Dasein-complete audit afterwards.
+//
+//	go run ./examples/regulated-ledger
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ledgerdb/ledgerdb"
+)
+
+func main() {
+	stack, err := ledgerdb.NewStack(ledgerdb.StackOptions{URI: "ledger://regulated", BlockSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	regulator := stack.NewRegulator("privacy-watchdog")
+
+	// Business as usual: ten journals, one of which (jsn 4) leaks
+	// personal data.
+	var leaked, milestone uint64
+	for i := 0; i < 10; i++ {
+		doc := fmt.Sprintf("statement %d", i)
+		if i == 3 {
+			doc = "CUSTOMER PII: passport K1234567, acct 555-01" // illegal upload
+		}
+		r, err := alice.Append([]byte(doc), "acct-555")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 3 {
+			leaked = r.JSN
+		}
+		if i == 4 {
+			milestone = r.JSN // a block trade we must keep forever (jsn 5, inside the purge range)
+		}
+	}
+
+	// --- Occult: hide the leaked payload, keep the digest (Protocol 2).
+	if _, err := stack.Occult(&ledgerdb.OccultDescriptor{URI: stack.URI(), JSN: leaked}, regulator); err != nil {
+		log.Fatalf("occult: %v", err)
+	}
+	if _, err := stack.Ledger.GetPayload(leaked); err != nil {
+		fmt.Printf("occulted jsn %d: payload retrieval now fails (%v)\n", leaked, errors.Unwrap(err))
+	}
+	// The occulted journal STILL verifies — the retained hash stands in.
+	p, err := stack.Ledger.ProveExistence(leaked, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ledgerdb.VerifyExistence(p, stack.LSP.Public()); err != nil {
+		log.Fatalf("occulted journal no longer verifiable: %v", err)
+	}
+	fmt.Printf("occulted jsn %d still verifies through its retained digest\n", leaked)
+
+	// Lineage across the occulted entry also still verifies.
+	if _, err := alice.VerifyClue("acct-555"); err != nil {
+		log.Fatalf("lineage broken by occult: %v", err)
+	}
+	fmt.Println("clue acct-555 lineage still verifies across the occulted entry")
+
+	// --- Purge: erase obsolete journals [0, 6) behind a pseudo genesis,
+	// preserving the milestone trade in the survival stream
+	// (Prerequisite 1: DBA + every member owning pre-purge journals).
+	desc := &ledgerdb.PurgeDescriptor{
+		URI: stack.URI(), Point: 6,
+		Survivors:     []uint64{milestone},
+		ErasePayloads: true,
+	}
+	if _, err := stack.Purge(desc, alice); err != nil {
+		log.Fatalf("purge: %v", err)
+	}
+	fmt.Printf("purged journals below %d; base is now %d\n", desc.Point, stack.Ledger.Base())
+
+	// Purged journals are gone; survivors remain readable and bound to
+	// the retained digest stream.
+	if _, err := stack.Ledger.GetJournal(2); err != nil {
+		fmt.Printf("purged jsn 2 correctly unavailable (%T)\n", err)
+	}
+	survivors, err := stack.Ledger.Survivors()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range survivors {
+		want, err := stack.Ledger.TxHash(s.JSN)
+		if err != nil || s.TxHash() != want {
+			log.Fatal("survivor integrity broken")
+		}
+		fmt.Printf("survivor jsn %d preserved and digest-verified\n", s.JSN)
+	}
+
+	// Journals after the purge point still verify against the live root.
+	p2, err := stack.Ledger.ProveExistence(8, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ledgerdb.VerifyExistence(p2, stack.LSP.Public()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-purge journals verify against the live accumulator")
+
+	// --- The mutated ledger still passes the full audit (Protocols 1+2).
+	report, err := stack.Audit()
+	if err != nil {
+		log.Fatalf("AUDIT FAILED: %v", err)
+	}
+	fmt.Printf("Dasein-complete audit PASSED with %d purge and %d occult journals\n",
+		report.Purges, report.Occults)
+}

@@ -1,0 +1,48 @@
+// Time notary: the §III-B attack analysis, live. An adversary who holds
+// (and can rewrite) a journal before anchoring gets an unbounded
+// backdating window under one-way pegging, but at most 2·Δτ under the
+// T-Ledger's two-way pegging — the difference between Figure 5(a) and
+// 5(b).
+//
+//	go run ./examples/time-notary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ledgerdb/internal/timepeg"
+)
+
+func main() {
+	fmt.Println("adversary: create a journal, tamper freely while holding it, anchor late")
+	fmt.Println()
+	fmt.Println("one-way pegging (ProvenDB-style, Figure 5a):")
+	for _, hold := range []int64{10, 1_000, 100_000} {
+		out := timepeg.RunOneWayAttack(hold)
+		fmt.Printf("  hold %-7d -> tamper window %-7d (no lower bound: can claim ANY past time)\n",
+			hold, out.TamperWindow)
+	}
+
+	const deltaTau, tolerance = 10, 10
+	fmt.Println()
+	fmt.Printf("two-way pegging via T-Ledger (Δτ=%d, τ_Δ=%d, Figure 5b):\n", deltaTau, tolerance)
+	for _, hold := range []int64{10, 1_000, 100_000} {
+		out, err := timepeg.RunTwoWayAttack(hold, deltaTau, tolerance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !out.Accepted {
+			fmt.Printf("  hold %-7d -> submission REJECTED by Protocol 4\n", hold)
+			continue
+		}
+		fmt.Printf("  hold %-7d -> credible claim window (%d, %d] = %d  (bound 2Δτ = %d)\n",
+			hold, out.NotBefore, out.NotAfter, out.ClaimWindow, 2*deltaTau)
+		if out.ClaimWindow > 2*deltaTau {
+			log.Fatal("bound violated — this must never happen")
+		}
+	}
+	fmt.Println()
+	fmt.Println("conclusion: the TSA-finalized lower bound advances with time, so holding")
+	fmt.Println("a journal longer only pushes its provable window FORWARD — backdating is dead.")
+}

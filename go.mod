@@ -1,0 +1,3 @@
+module ledgerdb
+
+go 1.24

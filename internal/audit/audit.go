@@ -1,0 +1,323 @@
+// Package audit implements the Dasein-complete audit of §V: the
+// external-auditor procedure that verifies all three Dasein factors —
+// what (every journal digest folds into every block commitment), when
+// (TSA-endorsed time journals partition the ledger into bounded temporal
+// ranges), and who (every signature from clients, LSP, TSA, and mutation
+// signers re-verifies) — over the entire ledger, in one sequential replay.
+//
+// The procedure follows the paper's six steps: (1) prove all purge and
+// occult journals' multi-signature prerequisites, (2) locate and verify
+// the time journals and partition blocks into ranges, (3) replay each
+// range verifying journal integrity and signatures, (4) verify digest
+// consistency across adjacent block boundaries, (5) verify the LSP's
+// latest receipt, and (6) conjoin: any sub-proof failure terminates the
+// audit with a failed status.
+package audit
+
+import (
+	"errors"
+	"fmt"
+
+	"ledgerdb/internal/ca"
+	"ledgerdb/internal/cmtree"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/merkle/fam"
+	"ledgerdb/internal/sig"
+)
+
+// ErrAuditFailed wraps every audit failure.
+var ErrAuditFailed = errors.New("audit: failed")
+
+// Config identifies the trusted parties for an audit.
+type Config struct {
+	// LSP is the ledger service provider's key (receipts, states).
+	LSP sig.PublicKey
+	// DBA must co-sign every mutation (Prerequisites 1 and 2).
+	DBA sig.PublicKey
+	// TrustedTSA lists the time authorities accepted for when proofs
+	// (Prerequisite 3); a T-Ledger notary key belongs here too.
+	TrustedTSA []sig.PublicKey
+	// Registry, when set, enforces role checks (regulator for occults).
+	Registry *ca.Registry
+	// Before, when nonzero, restricts the audit to journals committed at
+	// or before this timestamp (the temporal predicate of §V).
+	Before int64
+	// CheckPayloads additionally fetches every non-occulted payload and
+	// matches it against the recorded digest. Slower; off by default.
+	CheckPayloads bool
+	// CheckClueRoots additionally rebuilds a shadow CM-Tree during the
+	// replay and compares its root against every block header's
+	// ClueRoot. Only possible on unpurged ledgers (purged clue entries
+	// cannot be re-derived from records); ignored when a purge is
+	// present.
+	CheckClueRoots bool
+}
+
+// Report summarizes a successful audit.
+type Report struct {
+	JournalsReplayed  uint64
+	BlocksVerified    uint64
+	TimeJournals      int
+	TimeRanges        int
+	Purges            int
+	Occults           int
+	SignaturesChecked int
+	// TimeBounds maps each time journal's jsn to its TSA timestamp; the
+	// ranges between them carry the judicial when evidence.
+	TimeBounds map[uint64]int64
+}
+
+// Audit runs the full Dasein-complete procedure. latest is the LSP's most
+// recent receipt held by the auditor (step 5); it may be nil when the
+// auditor trusts the live signed state instead.
+func Audit(l *ledger.Ledger, latest *journal.Receipt, cfg Config) (*Report, error) {
+	if cfg.LSP.IsZero() {
+		return nil, fmt.Errorf("%w: no LSP key configured", ErrAuditFailed)
+	}
+	rep := &Report{TimeBounds: make(map[uint64]int64)}
+	size := l.Size()
+	base := l.Base()
+
+	// Rebuild the fam accumulator over the full digest stream; purged
+	// prefixes are covered by Protocol 1 (the digests survive purges and
+	// the pseudo genesis vouches for them).
+	shadow := fam.MustNew(l.FractalHeight())
+	var shadowClues *cmtree.Tree
+	if cfg.CheckClueRoots && base == 0 {
+		shadowClues = cmtree.New()
+	}
+	for jsn := uint64(0); jsn < base; jsn++ {
+		d, err := l.TxHash(jsn)
+		if err != nil {
+			return nil, fmt.Errorf("%w: digest stream jsn %d: %v", ErrAuditFailed, jsn, err)
+		}
+		shadow.Append(d)
+	}
+
+	// Walk the block index once; headers before the live range still
+	// verify chain linkage by hash.
+	headers := make([]*ledger.BlockHeader, 0, l.Height())
+	for h := uint64(0); h < l.Height(); h++ {
+		hdr, err := l.Header(h)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrAuditFailed, err)
+		}
+		headers = append(headers, hdr)
+	}
+	// Step 4 (boundary verification π′): adjacent headers must chain.
+	for i := 1; i < len(headers); i++ {
+		if headers[i].Prev != headers[i-1].Hash() {
+			return nil, fmt.Errorf("%w: block %d prev-hash mismatch (boundary π′)", ErrAuditFailed, headers[i].Height)
+		}
+		if headers[i].FirstJSN != headers[i-1].FirstJSN+headers[i-1].Count {
+			return nil, fmt.Errorf("%w: block %d jsn range not contiguous", ErrAuditFailed, headers[i].Height)
+		}
+	}
+
+	nextHeader := 0
+	// Skip headers fully covered by the purged prefix; their journal
+	// roots are re-derivable from the retained digest stream.
+	var lastTimeJSN uint64
+
+	for jsn := uint64(0); jsn < size; jsn++ {
+		var tx hashutil.Digest
+		if jsn < base {
+			// Already appended to shadow above.
+			tx, _ = l.TxHash(jsn)
+		} else {
+			rec, err := l.GetJournal(jsn)
+			if err != nil {
+				return nil, fmt.Errorf("%w: journal %d: %v", ErrAuditFailed, jsn, err)
+			}
+			if cfg.Before != 0 && rec.Timestamp > cfg.Before {
+				// Temporal predicate: stop replaying past the bound.
+				size = jsn
+				break
+			}
+			tx = rec.TxHash()
+			want, err := l.TxHash(jsn)
+			if err != nil {
+				return nil, fmt.Errorf("%w: digest stream jsn %d: %v", ErrAuditFailed, jsn, err)
+			}
+			if tx != want {
+				return nil, fmt.Errorf("%w: journal %d content does not match accumulated digest (what)", ErrAuditFailed, jsn)
+			}
+			// Who: re-verify π_c and co-signatures.
+			if err := journal.VerifyRecordSigs(rec); err != nil {
+				return nil, fmt.Errorf("%w: journal %d: %v (who)", ErrAuditFailed, jsn, err)
+			}
+			rep.SignaturesChecked++
+			// The when check binds each time journal's attestation to the
+			// fam root over exactly the journals that precede it.
+			var prefixRoot hashutil.Digest
+			if rec.Type == journal.TypeTime {
+				prefixRoot, err = shadow.Root()
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrAuditFailed, err)
+				}
+			}
+			shadow.Append(tx)
+			if shadowClues != nil {
+				for _, clue := range rec.Clues {
+					shadowClues.Insert(clue, rec.JSN, tx)
+				}
+			}
+			rep.JournalsReplayed++
+
+			if err := auditRecord(l, rec, prefixRoot, cfg, rep, &lastTimeJSN); err != nil {
+				return nil, err
+			}
+			if cfg.CheckPayloads && rec.Type == journal.TypeNormal && !rec.Occulted {
+				payload, err := l.GetPayload(jsn)
+				if err != nil {
+					return nil, fmt.Errorf("%w: journal %d payload: %v", ErrAuditFailed, jsn, err)
+				}
+				if hashutil.Sum(payload) != rec.PayloadDigest {
+					return nil, fmt.Errorf("%w: journal %d payload digest mismatch", ErrAuditFailed, jsn)
+				}
+			}
+		}
+		if jsn < base {
+			continue
+		}
+		// Block boundary: when the shadow accumulator crosses a header's
+		// last journal, the header's journal root must match (step 3's
+		// per-range replay conclusion).
+		for nextHeader < len(headers) && headers[nextHeader].FirstJSN+headers[nextHeader].Count == jsn+1 {
+			hdr := headers[nextHeader]
+			root, err := shadow.Root()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrAuditFailed, err)
+			}
+			if hdr.FirstJSN+hdr.Count > base && root != hdr.JournalRoot {
+				return nil, fmt.Errorf("%w: block %d journal root mismatch (what)", ErrAuditFailed, hdr.Height)
+			}
+			if shadowClues != nil && shadowClues.RootHash() != hdr.ClueRoot {
+				return nil, fmt.Errorf("%w: block %d clue root mismatch (lineage)", ErrAuditFailed, hdr.Height)
+			}
+			rep.BlocksVerified++
+			nextHeader++
+		}
+	}
+
+	// Step 5: the latest receipt from the LSP.
+	if latest != nil {
+		if err := latest.Verify(cfg.LSP); err != nil {
+			return nil, fmt.Errorf("%w: latest receipt: %v", ErrAuditFailed, err)
+		}
+		want, err := l.TxHash(latest.JSN)
+		if err != nil {
+			return nil, fmt.Errorf("%w: latest receipt jsn %d: %v", ErrAuditFailed, latest.JSN, err)
+		}
+		if latest.TxHash != want {
+			return nil, fmt.Errorf("%w: LSP receipt acknowledges a different journal than the ledger holds (LSP repudiation)", ErrAuditFailed)
+		}
+		rep.SignaturesChecked++
+	}
+	rep.TimeRanges = rep.TimeJournals
+	return rep, nil
+}
+
+// auditRecord dispatches type-specific checks for one replayed journal.
+// prefixRoot is the rebuilt fam root over journals [0, rec.JSN), set only
+// for time journals.
+func auditRecord(l *ledger.Ledger, rec *journal.Record, prefixRoot hashutil.Digest, cfg Config, rep *Report, lastTimeJSN *uint64) error {
+	switch rec.Type {
+	case journal.TypePurge:
+		extra, err := ledger.DecodePurgeExtra(rec.Extra)
+		if err != nil {
+			return fmt.Errorf("%w: purge journal %d: %v", ErrAuditFailed, rec.JSN, err)
+		}
+		// Step 1 (Π₁): DBA plus every pre-purge member must have signed.
+		required := []sig.PublicKey{cfg.DBA}
+		if info, err := pseudoGenesisFor(l, rec.JSN); err == nil {
+			for pk, first := range info.Members {
+				if first < extra.Desc.Point && pk != cfg.DBA && pk != cfg.LSP {
+					required = append(required, pk)
+				}
+			}
+		}
+		if err := extra.Sigs.VerifyAll(extra.Desc.Digest(), required); err != nil {
+			return fmt.Errorf("%w: purge journal %d prerequisite 1: %v", ErrAuditFailed, rec.JSN, err)
+		}
+		rep.Purges++
+		rep.SignaturesChecked += extra.Sigs.Len()
+	case journal.TypeOccult:
+		// Step 1 (Π₂): DBA plus a regulator-role holder, for both the
+		// single-journal and the clue-level occult variants.
+		var sigs *sig.MultiSig
+		var digest hashutil.Digest
+		if extra, err := ledger.DecodeOccultExtra(rec.Extra); err == nil {
+			sigs, digest = extra.Sigs, extra.Desc.Digest()
+		} else if extra, err := ledger.DecodeOccultClueExtra(rec.Extra); err == nil {
+			sigs, digest = extra.Sigs, extra.Desc.Digest()
+		} else {
+			return fmt.Errorf("%w: occult journal %d: undecodable extra", ErrAuditFailed, rec.JSN)
+		}
+		if err := sigs.VerifyAll(digest, []sig.PublicKey{cfg.DBA}); err != nil {
+			return fmt.Errorf("%w: occult journal %d prerequisite 2: %v", ErrAuditFailed, rec.JSN, err)
+		}
+		if cfg.Registry != nil {
+			ok := false
+			for _, pk := range sigs.Signers() {
+				if cfg.Registry.Check(pk, ca.RoleRegulator) == nil {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("%w: occult journal %d lacks a regulator signature", ErrAuditFailed, rec.JSN)
+			}
+		}
+		rep.Occults++
+		rep.SignaturesChecked += sigs.Len()
+	case journal.TypeTime:
+		// Step 2: verify π_t and bind the attestation to the exact
+		// ledger prefix preceding the time journal.
+		ta, err := journal.DecodeTimeAttestation(rec.Extra)
+		if err != nil {
+			return fmt.Errorf("%w: time journal %d: %v", ErrAuditFailed, rec.JSN, err)
+		}
+		if err := ta.Verify(); err != nil {
+			return fmt.Errorf("%w: time journal %d: %v", ErrAuditFailed, rec.JSN, err)
+		}
+		if !keyIn(ta.TSAPK, cfg.TrustedTSA) {
+			return fmt.Errorf("%w: time journal %d from untrusted TSA %s", ErrAuditFailed, rec.JSN, ta.TSAPK)
+		}
+		if ta.Digest != prefixRoot {
+			return fmt.Errorf("%w: time journal %d attestation does not cover the preceding ledger prefix (when)", ErrAuditFailed, rec.JSN)
+		}
+		if rec.JSN <= *lastTimeJSN && *lastTimeJSN != 0 {
+			return fmt.Errorf("%w: time journals out of order", ErrAuditFailed)
+		}
+		*lastTimeJSN = rec.JSN
+		rep.TimeJournals++
+		rep.SignaturesChecked++
+		rep.TimeBounds[rec.JSN] = ta.Timestamp
+	}
+	return nil
+}
+
+// pseudoGenesisFor finds the pseudo genesis paired with a purge journal
+// (it is appended immediately after).
+func pseudoGenesisFor(l *ledger.Ledger, purgeJSN uint64) (*ledger.PseudoGenesisInfo, error) {
+	rec, err := l.GetJournal(purgeJSN + 1)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Type != journal.TypePseudoGenesis {
+		return nil, fmt.Errorf("audit: journal %d is %s, want pseudo genesis", purgeJSN+1, rec.Type)
+	}
+	return ledger.DecodePseudoGenesis(rec.Extra)
+}
+
+func keyIn(pk sig.PublicKey, set []sig.PublicKey) bool {
+	for _, k := range set {
+		if k == pk {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package fabricsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndGetState(t *testing.T) {
+	n := New(Config{})
+	if len(n.EndorserKeys()) != 5 {
+		t.Fatalf("endorsers = %d", len(n.EndorserKeys()))
+	}
+	v, err := n.Submit("asset-1", []byte("state-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Endorsements) != 5 {
+		t.Fatalf("endorsements = %d", len(v.Endorsements))
+	}
+	got, err := n.GetState("asset-1")
+	if err != nil {
+		t.Fatalf("GetState: %v", err)
+	}
+	if string(got.Value) != "state-0" {
+		t.Fatalf("value = %q", got.Value)
+	}
+	if n.TxCount() != 1 || n.Height() == 0 {
+		t.Fatalf("txs=%d height=%d", n.TxCount(), n.Height())
+	}
+}
+
+func TestGetStateReturnsLatest(t *testing.T) {
+	n := New(Config{})
+	for i := 0; i < 5; i++ {
+		n.Submit("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	v, err := n.GetState("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq != 4 || string(v.Value) != "v4" {
+		t.Fatalf("latest = %d %q", v.Seq, v.Value)
+	}
+}
+
+func TestVerifyHistory(t *testing.T) {
+	n := New(Config{})
+	for i := 0; i < 20; i++ {
+		n.Submit("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	hist, err := n.VerifyHistory("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 20 {
+		t.Fatalf("history = %d", len(hist))
+	}
+}
+
+func TestEndorsementTamperDetected(t *testing.T) {
+	n := New(Config{})
+	v, _ := n.Submit("k", []byte("honest"))
+	// A peer (or the orderer) mutates the committed value: all
+	// endorsement signatures break.
+	v.Value = []byte("evil")
+	if _, err := n.GetState("k"); !errors.Is(err, ErrEndorsement) {
+		t.Fatalf("err = %v, want ErrEndorsement", err)
+	}
+	if _, err := n.VerifyHistory("k"); !errors.Is(err, ErrEndorsement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPolicyThreshold(t *testing.T) {
+	n := New(Config{Endorsers: 5, Policy: 3})
+	v, _ := n.Submit("k", []byte("x"))
+	// Corrupt two endorsements: still satisfies 3-of-5.
+	v.Endorsements[0].Sig[0] ^= 1
+	v.Endorsements[1].Sig[0] ^= 1
+	if _, err := n.GetState("k"); err != nil {
+		t.Fatalf("3-of-5 rejected: %v", err)
+	}
+	// Corrupt a third: policy violated.
+	v.Endorsements[2].Sig[0] ^= 1
+	if _, err := n.GetState("k"); !errors.Is(err, ErrEndorsement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.GetState("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := n.VerifyHistory("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOrderingDelayApplied(t *testing.T) {
+	n := New(Config{OrderingDelay: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := n.Submit("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("commit returned in %v, before the ordering delay", elapsed)
+	}
+}
+
+func TestHistoryIsolatedPerKey(t *testing.T) {
+	n := New(Config{})
+	n.Submit("a", []byte("x"))
+	n.Submit("b", []byte("y"))
+	n.Submit("a", []byte("z"))
+	ha, _ := n.VerifyHistory("a")
+	hb, _ := n.VerifyHistory("b")
+	if len(ha) != 2 || len(hb) != 1 {
+		t.Fatalf("histories: a=%d b=%d", len(ha), len(hb))
+	}
+}

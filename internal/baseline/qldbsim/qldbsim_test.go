@@ -1,0 +1,132 @@
+package qldbsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func TestInsertReadVerify(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Insert(fmt.Sprintf("doc-%d", i), []byte(fmt.Sprintf("data-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rev, err := l.Read("doc-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rev.Data) != "data-7" {
+		t.Fatalf("data = %q", rev.Data)
+	}
+	got, err := l.VerifyDocument("doc-7")
+	if err != nil {
+		t.Fatalf("VerifyDocument: %v", err)
+	}
+	if got.Sequence != rev.Sequence {
+		t.Fatal("verified a different revision")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	l := New(0)
+	l.Insert("k", []byte("v0"))
+	l.Insert("k", []byte("v1"))
+	root, size, _ := l.Digest()
+	rp, err := l.GetRevision("k", 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the returned data.
+	bad := &RevisionProof{Revision: &Revision{ID: "k", Version: 1, Data: []byte("forged"), Sequence: rp.Revision.Sequence}, Path: rp.Path}
+	if err := VerifyRevision(root, bad); !errors.Is(err, ErrVerify) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong root.
+	if err := VerifyRevision(hashutil.Leaf([]byte("evil")), rp); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestVersionsAndLineage(t *testing.T) {
+	l := New(0)
+	for v := 0; v < 10; v++ {
+		l.Insert("key", []byte(fmt.Sprintf("v%d", v)))
+	}
+	l.Insert("other", []byte("noise"))
+	revs, err := l.VerifyLineage("key")
+	if err != nil {
+		t.Fatalf("VerifyLineage: %v", err)
+	}
+	if len(revs) != 10 {
+		t.Fatalf("lineage = %d", len(revs))
+	}
+	for i, r := range revs {
+		if r.Version != uint64(i) {
+			t.Fatalf("version order broken at %d", i)
+		}
+	}
+}
+
+func TestMissingDocument(t *testing.T) {
+	l := New(0)
+	l.Insert("exists", []byte("x"))
+	if _, err := l.Read("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.VerifyDocument("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.GetRevision("ghost", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLineageCostScalesWithVersions(t *testing.T) {
+	// The structural Table II effect: each extra version adds a full
+	// GetRevision round trip. With a measurable RTT the latency is
+	// linear in version count.
+	mk := func(versions int) time.Duration {
+		l := New(200 * time.Microsecond)
+		for v := 0; v < versions; v++ {
+			l.RTT = 0 // free inserts
+			l.Insert("k", []byte("v"))
+		}
+		l.RTT = 200 * time.Microsecond
+		start := time.Now()
+		if _, err := l.VerifyLineage("k"); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	small := mk(5)
+	large := mk(50)
+	if large < 5*small {
+		t.Fatalf("lineage verify did not scale with versions: %v vs %v", small, large)
+	}
+}
+
+func TestVerifyCostGrowsWithLedgerSize(t *testing.T) {
+	// tim pathology: the same document's proof grows as unrelated data
+	// accumulates.
+	pathLen := func(noise int) int {
+		l := New(0)
+		l.Insert("k", []byte("v"))
+		for i := 0; i < noise; i++ {
+			l.Insert(fmt.Sprintf("n-%d", i), []byte("x"))
+		}
+		_, size, _ := l.Digest()
+		rp, err := l.GetRevision("k", 0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rp.Path.Siblings)
+	}
+	if a, b := pathLen(10), pathLen(10_000); b <= a {
+		t.Fatalf("proof path did not grow with ledger size: %d vs %d", a, b)
+	}
+}

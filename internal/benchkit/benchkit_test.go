@@ -1,0 +1,266 @@
+package benchkit
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These are correctness smoke tests for the experiment harness: every
+// generator must produce a well-formed table whose rows carry the
+// expected systems and, where cheap to check, the paper's qualitative
+// shape. The heavy sweeps run in quick mode.
+
+func checkTable(t *testing.T, tb *Table, wantRows int) {
+	t.Helper()
+	if tb.Title == "" || len(tb.Header) == 0 {
+		t.Fatal("table missing title or header")
+	}
+	if len(tb.Rows) < wantRows {
+		t.Fatalf("table %q has %d rows, want >= %d", tb.Title, len(tb.Rows), wantRows)
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Fatalf("row %d has %d cols, header has %d", i, len(row), len(tb.Header))
+		}
+		for j, c := range row {
+			if c == "" {
+				t.Fatalf("row %d col %d empty", i, j)
+			}
+		}
+	}
+	var sb strings.Builder
+	tb.Print(&sb)
+	if !strings.Contains(sb.String(), tb.Title) {
+		t.Fatal("Print did not render the title")
+	}
+}
+
+func TestFig5Table(t *testing.T) {
+	tb := Fig5()
+	checkTable(t, tb, 5)
+	// The one-way window must grow down the rows; the two-way window
+	// must stay within the printed bound.
+	prev := int64(-1)
+	for _, row := range tb.Rows {
+		oneWay, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("one-way cell %q", row[1])
+		}
+		if oneWay <= prev {
+			t.Fatalf("one-way window did not grow: %d after %d", oneWay, prev)
+		}
+		prev = oneWay
+		if row[3] == "yes" {
+			claim, err := strconv.ParseInt(row[4], 10, 64)
+			if err != nil {
+				t.Fatalf("claim cell %q", row[4])
+			}
+			bound, _ := strconv.ParseInt(row[5], 10, 64)
+			if claim > bound {
+				t.Fatalf("two-way claim %d exceeds bound %d", claim, bound)
+			}
+		}
+	}
+}
+
+func TestStorageTableShape(t *testing.T) {
+	tb := StorageTable()
+	checkTable(t, tb, 4)
+	bytesOf := func(rowName string) int64 {
+		for _, row := range tb.Rows {
+			if strings.HasPrefix(row[0], rowName) {
+				v, err := strconv.ParseInt(row[1], 10, 64)
+				if err != nil {
+					t.Fatalf("bad bytes cell %q", row[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", rowName)
+		return 0
+	}
+	if pruned, unpruned := bytesOf("fam-10 (pruned"), bytesOf("fam-10 (unpruned"); pruned*10 > unpruned {
+		t.Fatalf("pruned fam (%d) not dramatically smaller than unpruned (%d)", pruned, unpruned)
+	}
+}
+
+func TestFig8TablesQuickMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	a := Fig8a(false)
+	checkTable(t, a, 6) // tim + 5 fam heights
+	bTab := Fig8b(false)
+	checkTable(t, bTab, 6)
+	p := Fig8PathLens(false)
+	checkTable(t, p, 6)
+	// Path-length shape: tim's last column must exceed fam-5's (the
+	// anchored bound), and tim must grow across the sweep.
+	var timRow, fam5Row []string
+	for _, row := range p.Rows {
+		switch {
+		case row[0] == "tim":
+			timRow = row
+		case strings.HasPrefix(row[0], "fam-5"):
+			fam5Row = row
+		}
+	}
+	timLast, _ := strconv.ParseFloat(timRow[len(timRow)-1], 64)
+	timFirst, _ := strconv.ParseFloat(timRow[1], 64)
+	fam5Last, _ := strconv.ParseFloat(fam5Row[len(fam5Row)-1], 64)
+	if timLast <= timFirst {
+		t.Fatalf("tim path length did not grow: %v -> %v", timFirst, timLast)
+	}
+	if fam5Last >= timLast {
+		t.Fatalf("fam-5 anchored path (%v) not shorter than tim (%v) at scale", fam5Last, timLast)
+	}
+}
+
+func TestFig9TablesQuickMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	a := Fig9a(false)
+	checkTable(t, a, 2)
+	bTab := Fig9b(false)
+	checkTable(t, bTab, 3)
+	// 9(b) speedup column must favor CM-Tree where the asymptotics bite
+	// (m >= 100); at m=10 both are microseconds and scheduler noise —
+	// especially under -race — can flip the tiny gap.
+	for _, row := range bTab.Rows {
+		m, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatalf("entries cell %q", row[0])
+		}
+		sp := strings.TrimSuffix(row[3], "x")
+		v, err := strconv.ParseFloat(sp, 64)
+		if err != nil {
+			t.Fatalf("speedup cell %q", row[3])
+		}
+		if m >= 100 && v < 1 {
+			t.Fatalf("ccMPT faster than CM-Tree at %d entries (%vx)", m, v)
+		}
+	}
+}
+
+func TestTable1Probes(t *testing.T) {
+	tb := Table1()
+	checkTable(t, tb, 6)
+	// LedgerDB's probed row must report full Dasein support and both
+	// mutation and lineage capabilities.
+	row := tb.Rows[0]
+	if row[2] != "what-when-who" || row[5] != "Y" || row[6] != "Y" {
+		t.Fatalf("LedgerDB probe row: %v", row)
+	}
+	// QLDB's probed row must report neither.
+	qldb := tb.Rows[2]
+	if qldb[5] != "N" || qldb[6] != "N" {
+		t.Fatalf("QLDB probe row: %v", qldb)
+	}
+}
+
+func TestFig7TableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy harness")
+	}
+	tb := Fig7()
+	checkTable(t, tb, 11) // 3 when + 4 what + 4 who scenarios
+	// The when column must rank TSA > TL-1 > TL-10.
+	ms := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "ms"), 64)
+		if err != nil {
+			t.Fatalf("cell %q", cell)
+		}
+		return v
+	}
+	tsa := ms(tb.Rows[0][2])
+	tl1 := ms(tb.Rows[1][2])
+	tl10 := ms(tb.Rows[2][2])
+	if !(tsa > tl1 && tl1 > tl10) {
+		t.Fatalf("when ordering broken: TSA=%v TL-1=%v TL-10=%v", tsa, tl1, tl10)
+	}
+	if tsa/tl10 < 10 {
+		t.Fatalf("TSA/TL-10 ratio %v too small (paper: ~50x)", tsa/tl10)
+	}
+}
+
+func TestFig10TablesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy harness")
+	}
+	a := Fig10a(false)
+	checkTable(t, a, 2)
+	bTab := Fig10b(false)
+	checkTable(t, bTab, 2)
+	cTab := Fig10c(false)
+	checkTable(t, cTab, 2)
+	dTab := Fig10d(false)
+	checkTable(t, dTab, 2)
+	if a.Rows[0][0] != "LedgerDB" || a.Rows[1][0] != "Fabric" {
+		t.Fatalf("row order: %v", a.Rows)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy harness")
+	}
+	tb := Table2()
+	checkTable(t, tb, 5)
+	// Structural claims: QLDB verify >> QLDB retrieve, and QLDB lineage
+	// latency grows with version count.
+	find := func(workload, op string) string {
+		for _, row := range tb.Rows {
+			if row[0] == workload && row[1] == op {
+				return row[2]
+			}
+		}
+		t.Fatalf("row %s/%s missing", workload, op)
+		return ""
+	}
+	if find("Notarization", "Verify") == find("Notarization", "Retrieve") {
+		t.Fatal("QLDB verify and retrieve identical — RTT model broken")
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	if len(Payload("x", 1, 100)) != 100 {
+		t.Fatal("payload size wrong")
+	}
+	if Payload("x", 1, 64)[0] == Payload("x", 2, 64)[0] &&
+		Payload("x", 1, 64)[1] == Payload("x", 2, 64)[1] &&
+		Payload("x", 1, 64)[2] == Payload("x", 2, 64)[2] &&
+		Payload("x", 1, 64)[3] == Payload("x", 2, 64)[3] {
+		t.Fatal("payloads for distinct indexes look identical")
+	}
+	ds := Digests("t", 10)
+	if len(ds) != 10 || ds[0] == ds[1] {
+		t.Fatal("digest helper broken")
+	}
+	tl, err := NewTestLedger("ledger://helper", 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Append([]byte("x"), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if tl.L.Size() != 2 {
+		t.Fatalf("size = %d", tl.L.Size())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Throughput(1000, 0); got != "inf" {
+		t.Fatalf("Throughput zero elapsed = %q", got)
+	}
+	if got := Latency(0, 0); got != "-" {
+		t.Fatalf("Latency zero ops = %q", got)
+	}
+	if sizeLabel(1<<7) != "32K" || sizeLabel(1<<17) != "32M" {
+		t.Fatal("sizeLabel wrong")
+	}
+	if byteLabel(256) != "256B" || byteLabel(4<<10) != "4KB" {
+		t.Fatal("byteLabel wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package benchkit
+
+import (
+	"fmt"
+
+	"ledgerdb/internal/timepeg"
+)
+
+// Figure 5: timestamp attack windows. One-way pegging (ProvenDB-style)
+// admits an adversary-chosen, unbounded backdating window; two-way
+// pegging through the T-Ledger bounds the credible window to 2·Δτ.
+func Fig5() *Table {
+	const deltaTau, tolerance = 10, 10
+	t := &Table{
+		Title: "Figure 5: timestamp attack windows (logical time units, Δτ=10)",
+		Note:  "one-way: tamper window = adversary's hold time (unbounded). two-way: credible claim window ≤ 2·Δτ regardless of hold",
+		Header: []string{
+			"adversary hold", "one-way tamper window", "one-way claimable-from",
+			"two-way accepted", "two-way claim window", "bound 2Δτ",
+		},
+	}
+	for _, hold := range []int64{0, 10, 100, 1_000, 10_000, 100_000} {
+		one := timepeg.RunOneWayAttack(hold)
+		two, err := timepeg.RunTwoWayAttack(hold, deltaTau, tolerance)
+		if err != nil {
+			panic(err)
+		}
+		claim := "-"
+		accepted := "rejected"
+		if two.Accepted {
+			accepted = "yes"
+			claim = fmt.Sprintf("%d", two.ClaimWindow)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", hold),
+			fmt.Sprintf("%d", one.TamperWindow),
+			"unbounded (no lower bound)",
+			accepted,
+			claim,
+			fmt.Sprintf("%d", 2*deltaTau),
+		)
+	}
+	return t
+}

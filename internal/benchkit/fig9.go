@@ -1,0 +1,218 @@
+package benchkit
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ledgerdb/internal/cmtree"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/merkle/accumulator"
+)
+
+// Figure 9: clue (lineage) verification — CM-Tree vs the VLDB'20 ccMPT
+// baseline. 9(a) sweeps total ledger size with clues holding 1–100
+// journals each (CM-Tree stays flat, ccMPT decays as O(m·log n));
+// 9(b) fixes the ledger and sweeps the target clue's entry count m
+// (CM-Tree O(m), ccMPT O(m·log n)).
+
+// fig9World seeds both structures with the same workload: clues named
+// clue-<i>, each with 1–100 journals (1KB average, represented by their
+// digests), interleaved in one global jsn order.
+type fig9World struct {
+	clues  []string
+	counts map[string]int
+	// the same journal digests feed both indexes
+	cm  *cmtree.Tree
+	acc *accumulator.Accumulator
+	cc  *cmtree.CCMPT
+}
+
+func buildFig9World(totalJournals int, rng *rand.Rand) *fig9World {
+	w := &fig9World{
+		counts: make(map[string]int),
+		cm:     cmtree.New(),
+		acc:    accumulator.New(),
+	}
+	w.cc = cmtree.NewCCMPT(w.acc)
+	jsn := uint64(0)
+	for jsn < uint64(totalJournals) {
+		clue := fmt.Sprintf("clue-%06d", len(w.clues))
+		w.clues = append(w.clues, clue)
+		m := 1 + rng.Intn(100)
+		for v := 0; v < m && jsn < uint64(totalJournals); v++ {
+			d := hashutil.Leaf([]byte(fmt.Sprintf("%s/%d", clue, v)))
+			w.cm.Insert(clue, jsn, d)
+			got := w.acc.Append(d)
+			if got != jsn {
+				panic("jsn drift")
+			}
+			w.cc.Insert(clue, jsn)
+			w.counts[clue]++
+			jsn++
+		}
+	}
+	return w
+}
+
+func (w *fig9World) digestsOf(clue string) []hashutil.Digest {
+	m := w.counts[clue]
+	out := make([]hashutil.Digest, m)
+	for v := 0; v < m; v++ {
+		out[v] = hashutil.Leaf([]byte(fmt.Sprintf("%s/%d", clue, v)))
+	}
+	return out
+}
+
+// Fig9a measures whole-clue verification throughput on randomly chosen
+// clues, per total ledger size.
+func Fig9a(full bool) *Table {
+	sizes := []int{1 << 7, 1 << 9, 1 << 11, 1 << 13, 1 << 15}
+	if full {
+		sizes = append(sizes, 1<<17)
+	}
+	t := &Table{
+		Title:  "Figure 9(a): clue verification TPS, CM-Tree vs ccMPT (clues of 1-100 journals, 1KB avg)",
+		Note:   "paper shape: CM-Tree flat in ledger size; ccMPT decays (O(m·log n)); gap widens to >10x at scale",
+		Header: append([]string{"model"}, labelsKB(sizes)...),
+	}
+	const probes = 300
+	rng := rand.New(rand.NewSource(17))
+
+	cmRow := []string{"CM-Tree"}
+	ccRow := []string{"ccMPT"}
+	for _, n := range sizes {
+		w := buildFig9World(n, rand.New(rand.NewSource(int64(n))))
+		picks := make([]string, probes)
+		for i := range picks {
+			picks[i] = w.clues[rng.Intn(len(w.clues))]
+		}
+		snap := w.cm.Snapshot()
+		cmRoot := snap.RootHash()
+		// CM-Tree client verification: records + 2-layer proof.
+		start := time.Now()
+		for _, clue := range picks {
+			digests := w.digestsOf(clue)
+			p, err := snap.ProveClue(clue, 0, uint64(len(digests)))
+			if err != nil {
+				panic(err)
+			}
+			if err := cmtree.VerifyClue(cmRoot, p, digests); err != nil {
+				panic(err)
+			}
+		}
+		cmRow = append(cmRow, Throughput(probes, time.Since(start)))
+
+		// ccMPT verification: counter proof + m accumulator paths.
+		ccRoot := w.cc.RootHash()
+		ledgerRoot, _ := w.acc.Root()
+		start = time.Now()
+		for _, clue := range picks {
+			digests := w.digestsOf(clue)
+			p, err := w.cc.ProveClue(clue)
+			if err != nil {
+				panic(err)
+			}
+			if err := cmtree.VerifyCCMPT(ccRoot, ledgerRoot, p, digests); err != nil {
+				panic(err)
+			}
+		}
+		ccRow = append(ccRow, Throughput(probes, time.Since(start)))
+	}
+	t.AddRow(cmRow...)
+	t.AddRow(ccRow...)
+	return t
+}
+
+// Fig9b measures verification latency vs the target clue's entry count
+// on a fixed background ledger.
+func Fig9b(full bool) *Table {
+	entryCounts := []int{10, 100, 1000, 10000}
+	background := 1 << 15 // fixed "1GB-scale" background ledger
+	if full {
+		background = 1 << 17
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 9(b): clue verification latency vs entries (background ledger %d journals)", background),
+		Note:   "paper shape: both grow with m, ccMPT ~order of magnitude slower (extra log n per entry); gap widens with m",
+		Header: []string{"entries", "CM-Tree", "ccMPT", "speedup"},
+	}
+	for _, m := range entryCounts {
+		cm := cmtree.New()
+		acc := accumulator.New()
+		cc := cmtree.NewCCMPT(acc)
+		jsn := uint64(0)
+		// Background noise first (deep paths for the target entries).
+		for i := 0; i < background; i++ {
+			clue := fmt.Sprintf("bg-%06d", i)
+			d := hashutil.Leaf([]byte(clue))
+			cm.Insert(clue, jsn, d)
+			acc.Append(d)
+			cc.Insert(clue, jsn)
+			jsn++
+		}
+		// The measured clue with m entries.
+		target := "target"
+		digests := make([]hashutil.Digest, m)
+		for v := 0; v < m; v++ {
+			d := hashutil.Leaf([]byte(fmt.Sprintf("%s/%d", target, v)))
+			digests[v] = d
+			cm.Insert(target, jsn, d)
+			acc.Append(d)
+			cc.Insert(target, jsn)
+			jsn++
+		}
+		const reps = 5
+		snap := cm.Snapshot()
+		cmRoot := snap.RootHash()
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			p, err := snap.ProveClue(target, 0, uint64(m))
+			if err != nil {
+				panic(err)
+			}
+			if err := cmtree.VerifyClue(cmRoot, p, digests); err != nil {
+				panic(err)
+			}
+		}
+		cmLat := time.Since(start) / reps
+
+		ccRoot := cc.RootHash()
+		ledgerRoot, _ := acc.Root()
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			p, err := cc.ProveClue(target)
+			if err != nil {
+				panic(err)
+			}
+			if err := cmtree.VerifyCCMPT(ccRoot, ledgerRoot, p, digests); err != nil {
+				panic(err)
+			}
+		}
+		ccLat := time.Since(start) / reps
+		t.AddRow(
+			fmt.Sprintf("%d", m),
+			Latency(cmLat, 1),
+			Latency(ccLat, 1),
+			fmt.Sprintf("%.1fx", float64(ccLat)/float64(cmLat)),
+		)
+	}
+	return t
+}
+
+func labelsKB(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, n := range sizes {
+		// 1KB average journal in this workload.
+		bytes := int64(n) << 10
+		switch {
+		case bytes >= 1<<30:
+			out[i] = fmt.Sprintf("%dG", bytes>>30)
+		case bytes >= 1<<20:
+			out[i] = fmt.Sprintf("%dM", bytes>>20)
+		default:
+			out[i] = fmt.Sprintf("%dK", bytes>>10)
+		}
+	}
+	return out
+}

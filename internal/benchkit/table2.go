@@ -1,0 +1,159 @@
+package benchkit
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"ledgerdb/internal/baseline/qldbsim"
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/server"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/tsa"
+)
+
+// Table II: end-to-end application latency, LedgerDB vs the QLDB
+// simulator, both behind a network path — LedgerDB over a real HTTP
+// loopback service, QLDB with the configured per-API-call RTT (modeling
+// the public-cloud service offering the paper measured against).
+//
+// Workloads: notarization ([index, 32KB data] documents; insert /
+// retrieve / verify) and lineage ([key, data, prehash, sig] documents;
+// verify at 5 and 100 versions).
+const qldbRTT = 15 * time.Millisecond // one simulated cloud API round trip
+
+// Table2 runs both stacks and prints the paper's rows.
+func Table2() *Table {
+	t := &Table{
+		Title: "Table II: end-to-end latency, QLDB(sim) vs LedgerDB (32KB documents)",
+		Note: fmt.Sprintf("QLDB sim uses %v per API call; LedgerDB runs over a real HTTP loopback service; shape target: verify >> read for QLDB, flat for LedgerDB; lineage verify linear in versions for QLDB",
+			qldbRTT),
+		Header: []string{"workload", "operation", "QLDB(sim)", "LedgerDB"},
+	}
+
+	// ---- LedgerDB stack over HTTP.
+	clock := logicalclock.New(1_000_000)
+	lsp := sig.GenerateDeterministic("table2/lsp")
+	authority := tsa.New("table2", tsa.Options{Clock: clock.Now})
+	tl, err := tledger.New(tledger.Config{Clock: clock.Now, Tolerance: 1_000, TSA: tsa.NewPool(authority)})
+	if err != nil {
+		panic(err)
+	}
+	l, err := ledger.Open(ledger.Config{
+		URI:           "ledger://table2",
+		FractalHeight: 15,
+		BlockSize:     128,
+		LSP:           lsp,
+		DBA:           sig.GenerateDeterministic("table2/dba").Public(),
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+		Clock:         clock.Tick,
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(server.New(l, tl))
+	defer srv.Close()
+	cli := &client.Client{
+		BaseURL: srv.URL,
+		Key:     sig.GenerateDeterministic("table2/client"),
+		LSP:     lsp.Public(),
+		URI:     "ledger://table2",
+	}
+
+	// ---- QLDB simulator.
+	q := qldbsim.New(qldbRTT)
+
+	// Notarization: insert.
+	const docs = 30
+	doc := Payload("table2", 0, 32<<10)
+	var ldbInsert, qInsert time.Duration
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		start := time.Now()
+		if _, err := cli.Append(doc, id); err != nil {
+			panic(err)
+		}
+		ldbInsert += time.Since(start)
+		start = time.Now()
+		if _, err := q.Insert(id, doc); err != nil {
+			panic(err)
+		}
+		qInsert += time.Since(start)
+	}
+	t.AddRow("Notarization", "Insert", Latency(qInsert, docs), Latency(ldbInsert, docs))
+
+	// Notarization: retrieve.
+	var ldbRead, qRead time.Duration
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		jsns, err := cli.ClueJSNs(id)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, err := cli.GetPayload(jsns[0]); err != nil {
+			panic(err)
+		}
+		ldbRead += time.Since(start)
+		start = time.Now()
+		if _, err := q.Read(id); err != nil {
+			panic(err)
+		}
+		qRead += time.Since(start)
+	}
+	t.AddRow("Notarization", "Retrieve", Latency(qRead, docs), Latency(ldbRead, docs))
+
+	// Notarization: verify.
+	var ldbVerify, qVerify time.Duration
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		jsns, _ := cli.ClueJSNs(id)
+		start := time.Now()
+		if _, _, err := cli.VerifyExistence(jsns[0], true); err != nil {
+			panic(err)
+		}
+		ldbVerify += time.Since(start)
+		start = time.Now()
+		if _, err := q.VerifyDocument(id); err != nil {
+			panic(err)
+		}
+		qVerify += time.Since(start)
+	}
+	t.AddRow("Notarization", "Verify", Latency(qVerify, docs), Latency(ldbVerify, docs))
+
+	// Lineage: verify at 5 and 100 versions.
+	for _, versions := range []int{5, 100} {
+		key := fmt.Sprintf("asset-%d", versions)
+		data := Payload("table2-lineage", versions, 1024)
+		for v := 0; v < versions; v++ {
+			if _, err := cli.Append(data, key); err != nil {
+				panic(err)
+			}
+			if _, err := q.Insert(key, data); err != nil {
+				panic(err)
+			}
+		}
+		const reps = 3
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := cli.VerifyClue(key, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		ldbLat := time.Since(start) / reps
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := q.VerifyLineage(key); err != nil {
+				panic(err)
+			}
+		}
+		qLat := time.Since(start) / reps
+		t.AddRow(fmt.Sprintf("Lineage %d-versions", versions), "Verify", Latency(qLat, 1), Latency(ldbLat, 1))
+	}
+	return t
+}

@@ -1,0 +1,224 @@
+// Package ca implements the certificate authority assumed by LedgerDB's
+// threat model (§II-B): every participant — user, LSP, TSA, regulator,
+// DBA — discloses a public key certified by a CA, and verifiers trust only
+// CA-certified identities.
+//
+// A Certificate binds (public key, role, name) under the CA's signature.
+// A Registry is the verifier-side view: it pins one or more CA keys and
+// answers "is this key a certified <role>?" during who verification.
+package ca
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/wire"
+)
+
+// Role describes a participant's function in the ledger ecosystem.
+type Role uint8
+
+// Roles understood by the audit protocols.
+const (
+	RoleUser Role = iota + 1
+	RoleLSP
+	RoleTSA
+	RoleRegulator
+	RoleDBA
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleUser:
+		return "user"
+	case RoleLSP:
+		return "lsp"
+	case RoleTSA:
+		return "tsa"
+	case RoleRegulator:
+		return "regulator"
+	case RoleDBA:
+		return "dba"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Errors returned by this package.
+var (
+	ErrUnknownIssuer = errors.New("ca: certificate issuer is not a trusted CA")
+	ErrBadCert       = errors.New("ca: certificate verification failed")
+	ErrNotCertified  = errors.New("ca: key is not certified for role")
+	ErrRevoked       = errors.New("ca: certificate revoked")
+)
+
+// Certificate binds a subject key to a role and human-readable name under
+// a CA signature.
+type Certificate struct {
+	Subject sig.PublicKey
+	Role    Role
+	Name    string
+	Issuer  sig.PublicKey
+	Sig     sig.Signature
+}
+
+// signingDigest is the digest the CA signs: everything but the signature.
+func (c *Certificate) signingDigest() hashutil.Digest {
+	w := wire.NewWriter(128)
+	w.String("ledgerdb/ca/cert/v1")
+	sig.EncodePublicKey(w, c.Subject)
+	w.Uint8(uint8(c.Role))
+	w.String(c.Name)
+	sig.EncodePublicKey(w, c.Issuer)
+	return hashutil.Sum(w.Bytes())
+}
+
+// Encode appends the certificate to a wire writer.
+func (c *Certificate) Encode(w *wire.Writer) {
+	sig.EncodePublicKey(w, c.Subject)
+	w.Uint8(uint8(c.Role))
+	w.String(c.Name)
+	sig.EncodePublicKey(w, c.Issuer)
+	sig.EncodeSignature(w, c.Sig)
+}
+
+// DecodeCertificate reads a certificate from a wire reader. The signature
+// is not checked; use Registry.Check.
+func DecodeCertificate(r *wire.Reader) (*Certificate, error) {
+	c := &Certificate{
+		Subject: sig.DecodePublicKey(r),
+		Role:    Role(r.Uint8()),
+		Name:    r.String(),
+		Issuer:  sig.DecodePublicKey(r),
+		Sig:     sig.DecodeSignature(r),
+	}
+	return c, r.Err()
+}
+
+// Authority is a certificate-issuing CA. It is safe for concurrent use.
+type Authority struct {
+	name string
+	key  *sig.KeyPair
+}
+
+// NewAuthority creates a CA with a fresh key.
+func NewAuthority(name string) (*Authority, error) {
+	key, err := sig.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{name: name, key: key}, nil
+}
+
+// NewTestAuthority creates a CA with a deterministic key for tests and
+// benchmarks.
+func NewTestAuthority(name string) *Authority {
+	return &Authority{name: name, key: sig.GenerateDeterministic("ca/" + name)}
+}
+
+// Public returns the CA's public key; verifiers pin it in a Registry.
+func (a *Authority) Public() sig.PublicKey { return a.key.Public() }
+
+// Name returns the CA's display name.
+func (a *Authority) Name() string { return a.name }
+
+// Issue certifies a subject key for a role.
+func (a *Authority) Issue(subject sig.PublicKey, role Role, name string) (*Certificate, error) {
+	c := &Certificate{Subject: subject, Role: role, Name: name, Issuer: a.key.Public()}
+	sg, err := a.key.Sign(c.signingDigest())
+	if err != nil {
+		return nil, err
+	}
+	c.Sig = sg
+	return c, nil
+}
+
+// Registry is the verifier-side trust store: pinned CA keys plus the
+// certificates presented so far, with optional revocation.
+type Registry struct {
+	mu      sync.RWMutex
+	cas     map[sig.PublicKey]bool
+	certs   map[sig.PublicKey]*Certificate
+	revoked map[sig.PublicKey]bool
+}
+
+// NewRegistry creates a registry trusting the given CA keys.
+func NewRegistry(cas ...sig.PublicKey) *Registry {
+	r := &Registry{
+		cas:     make(map[sig.PublicKey]bool, len(cas)),
+		certs:   make(map[sig.PublicKey]*Certificate),
+		revoked: make(map[sig.PublicKey]bool),
+	}
+	for _, pk := range cas {
+		r.cas[pk] = true
+	}
+	return r
+}
+
+// TrustCA adds a CA key to the trust store.
+func (r *Registry) TrustCA(pk sig.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cas[pk] = true
+}
+
+// Admit verifies a certificate against the pinned CAs and records it.
+func (r *Registry) Admit(c *Certificate) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cas[c.Issuer] {
+		return fmt.Errorf("%w: issuer %s", ErrUnknownIssuer, c.Issuer)
+	}
+	if err := sig.Verify(c.Issuer, c.signingDigest(), c.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCert, err)
+	}
+	r.certs[c.Subject] = c
+	return nil
+}
+
+// Revoke marks a subject key as revoked.
+func (r *Registry) Revoke(pk sig.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.revoked[pk] = true
+}
+
+// Check reports whether pk holds an admitted, unrevoked certificate for
+// role. It is the who-verification primitive.
+func (r *Registry) Check(pk sig.PublicKey, role Role) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.revoked[pk] {
+		return fmt.Errorf("%w: %s", ErrRevoked, pk)
+	}
+	c, ok := r.certs[pk]
+	if !ok || c.Role != role {
+		return fmt.Errorf("%w: key %s, role %s", ErrNotCertified, pk, role)
+	}
+	return nil
+}
+
+// Lookup returns the admitted certificate for pk, if any.
+func (r *Registry) Lookup(pk sig.PublicKey) (*Certificate, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.certs[pk]
+	return c, ok
+}
+
+// Members returns the subjects admitted with the given role.
+func (r *Registry) Members(role Role) []sig.PublicKey {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []sig.PublicKey
+	for pk, c := range r.certs {
+		if c.Role == role && !r.revoked[pk] {
+			out = append(out, pk)
+		}
+	}
+	return out
+}

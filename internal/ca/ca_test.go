@@ -1,0 +1,143 @@
+package ca
+
+import (
+	"errors"
+	"testing"
+
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/wire"
+)
+
+func TestIssueAdmitCheck(t *testing.T) {
+	auth := NewTestAuthority("root")
+	user := sig.GenerateDeterministic("user")
+	cert, err := auth.Issue(user.Public(), RoleUser, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(auth.Public())
+	if err := reg.Admit(cert); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if err := reg.Check(user.Public(), RoleUser); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestCheckRejectsWrongRole(t *testing.T) {
+	auth := NewTestAuthority("root")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := auth.Issue(user.Public(), RoleUser, "alice")
+	reg := NewRegistry(auth.Public())
+	if err := reg.Admit(cert); err != nil {
+		t.Fatal(err)
+	}
+	err := reg.Check(user.Public(), RoleRegulator)
+	if !errors.Is(err, ErrNotCertified) {
+		t.Fatalf("err = %v, want ErrNotCertified", err)
+	}
+}
+
+func TestAdmitRejectsUntrustedIssuer(t *testing.T) {
+	rogue := NewTestAuthority("rogue")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := rogue.Issue(user.Public(), RoleDBA, "evil-dba")
+	reg := NewRegistry() // trusts nobody
+	err := reg.Admit(cert)
+	if !errors.Is(err, ErrUnknownIssuer) {
+		t.Fatalf("err = %v, want ErrUnknownIssuer", err)
+	}
+}
+
+func TestAdmitRejectsTamperedCert(t *testing.T) {
+	auth := NewTestAuthority("root")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := auth.Issue(user.Public(), RoleUser, "alice")
+	cert.Role = RoleDBA // escalate after signing
+	reg := NewRegistry(auth.Public())
+	err := reg.Admit(cert)
+	if !errors.Is(err, ErrBadCert) {
+		t.Fatalf("err = %v, want ErrBadCert", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	auth := NewTestAuthority("root")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := auth.Issue(user.Public(), RoleUser, "alice")
+	reg := NewRegistry(auth.Public())
+	if err := reg.Admit(cert); err != nil {
+		t.Fatal(err)
+	}
+	reg.Revoke(user.Public())
+	err := reg.Check(user.Public(), RoleUser)
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestMembersByRole(t *testing.T) {
+	auth := NewTestAuthority("root")
+	reg := NewRegistry(auth.Public())
+	for i, role := range []Role{RoleUser, RoleUser, RoleRegulator} {
+		kp := sig.GenerateDeterministic(string(rune('a' + i)))
+		cert, _ := auth.Issue(kp.Public(), role, "m")
+		if err := reg.Admit(cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(reg.Members(RoleUser)); got != 2 {
+		t.Fatalf("users = %d, want 2", got)
+	}
+	if got := len(reg.Members(RoleRegulator)); got != 1 {
+		t.Fatalf("regulators = %d, want 1", got)
+	}
+	if got := len(reg.Members(RoleTSA)); got != 0 {
+		t.Fatalf("tsas = %d, want 0", got)
+	}
+}
+
+func TestCertificateWireRoundTrip(t *testing.T) {
+	auth := NewTestAuthority("root")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := auth.Issue(user.Public(), RoleTSA, "ntsc")
+	w := wire.NewWriter(0)
+	cert.Encode(w)
+	got, err := DecodeCertificate(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(auth.Public())
+	if err := reg.Admit(got); err != nil {
+		t.Fatalf("decoded cert rejected: %v", err)
+	}
+	if got.Name != "ntsc" || got.Role != RoleTSA {
+		t.Fatalf("decoded cert fields wrong: %+v", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{
+		RoleUser: "user", RoleLSP: "lsp", RoleTSA: "tsa",
+		RoleRegulator: "regulator", RoleDBA: "dba", Role(99): "role(99)",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Fatalf("Role(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestTrustCAAfterConstruction(t *testing.T) {
+	auth := NewTestAuthority("late")
+	user := sig.GenerateDeterministic("user")
+	cert, _ := auth.Issue(user.Public(), RoleUser, "bob")
+	reg := NewRegistry()
+	if err := reg.Admit(cert); err == nil {
+		t.Fatal("cert admitted before CA trusted")
+	}
+	reg.TrustCA(auth.Public())
+	if err := reg.Admit(cert); err != nil {
+		t.Fatalf("Admit after TrustCA: %v", err)
+	}
+}

@@ -1,0 +1,439 @@
+// Package client is the ledger-client SDK for the HTTP service (package
+// server). Every response that matters is re-verified locally: the
+// client decodes the server's deterministic wire blobs and runs the pure
+// verification functions, so a distrusted LSP cannot fake responses —
+// "verified at client side when LSP is distrusted" (§II-C).
+package client
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/merkle/fam"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/wire"
+)
+
+// Errors returned by this package.
+var (
+	ErrHTTP = errors.New("client: request failed")
+)
+
+// Client talks to one ledger service endpoint on behalf of one member.
+type Client struct {
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Key signs requests (π_c). Required for Append.
+	Key *sig.KeyPair
+	// LSP is the pinned service-provider key every receipt, state, and
+	// proof is checked against. Required.
+	LSP sig.PublicKey
+	// URI is the target ledger identifier.
+	URI string
+
+	nonce uint64
+}
+
+type envelope struct {
+	Receipt string   `json:"receipt"`
+	State   string   `json:"state"`
+	Record  string   `json:"record"`
+	Proof   string   `json:"proof"`
+	Payload string   `json:"payload"`
+	JSNs    []uint64 `json:"jsns"`
+	Error   string   `json:"error"`
+	LSPKey  string   `json:"lsp_key"`
+	URI     string   `json:"uri"`
+	Size    uint64   `json:"size"`
+	Base    uint64   `json:"base"`
+	Height  uint64   `json:"height"`
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) call(method, path string, body any) (*envelope, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHTTP, err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrHTTP, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %s: %s", ErrHTTP, resp.Status, env.Error)
+	}
+	return &env, nil
+}
+
+func unb64(s string) ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: base64: %v", ErrHTTP, err)
+	}
+	return b, nil
+}
+
+// Append signs and submits a normal journal, verifying the returned
+// receipt (π_s) against the pinned LSP key and the submitted hashes.
+func (c *Client) Append(payload []byte, clues ...string) (*journal.Receipt, error) {
+	c.nonce++
+	req := &journal.Request{
+		LedgerURI: c.URI,
+		Type:      journal.TypeNormal,
+		Clues:     clues,
+		Payload:   payload,
+		Nonce:     c.nonce,
+	}
+	if err := req.Sign(c.Key); err != nil {
+		return nil, err
+	}
+	env, err := c.call("POST", "/v1/append", map[string]string{
+		"request": base64.StdEncoding.EncodeToString(req.EncodeBytes()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Receipt)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := receipt.Verify(c.LSP); err != nil {
+		return nil, err
+	}
+	if receipt.RequestHash != req.Hash() {
+		return nil, fmt.Errorf("%w: receipt acknowledges a different request", journal.ErrBadSignature)
+	}
+	return receipt, nil
+}
+
+// AppendBatch signs and submits several payloads in one exchange (the
+// amortized write path). The batch receipt is verified against the
+// pinned LSP key and the returned tx-hash list; payloads[i] maps to jsn
+// FirstJSN+i.
+func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.BatchReceipt, []hashutil.Digest, error) {
+	if clues != nil && len(clues) != len(payloads) {
+		return nil, nil, fmt.Errorf("%w: %d clue sets for %d payloads", journal.ErrBadRequest, len(clues), len(payloads))
+	}
+	encoded := make([]string, len(payloads))
+	for i, p := range payloads {
+		c.nonce++
+		req := &journal.Request{
+			LedgerURI: c.URI,
+			Type:      journal.TypeNormal,
+			Payload:   p,
+			Nonce:     c.nonce,
+		}
+		if clues != nil {
+			req.Clues = clues[i]
+		}
+		if err := req.Sign(c.Key); err != nil {
+			return nil, nil, err
+		}
+		encoded[i] = base64.StdEncoding.EncodeToString(req.EncodeBytes())
+	}
+	env, err := c.call("POST", "/v1/append-batch", map[string]any{"requests": encoded})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := unb64(env.Receipt)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := wire.NewReader(raw)
+	br := &ledger.BatchReceipt{
+		FirstJSN:  r.Uvarint(),
+		Count:     r.Uvarint(),
+		BatchHash: r.Digest(),
+		Timestamp: r.Int64(),
+		LSPPK:     sig.DecodePublicKey(r),
+		LSPSig:    sig.DecodeSignature(r),
+	}
+	txHashes := make([]hashutil.Digest, 0, br.Count)
+	for i := uint64(0); i < br.Count; i++ {
+		txHashes = append(txHashes, r.Digest())
+		if r.Err() != nil {
+			return nil, nil, r.Err()
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return nil, nil, err
+	}
+	if err := br.Verify(c.LSP, txHashes); err != nil {
+		return nil, nil, err
+	}
+	return br, txHashes, nil
+}
+
+// State fetches and verifies the live signed state.
+func (c *Client) State() (*ledger.SignedState, error) {
+	env, err := c.call("GET", "/v1/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.State)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ledger.DecodeSignedState(wire.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Verify(c.LSP); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// GetJournal fetches a committed record (unverified metadata read).
+func (c *Client) GetJournal(jsn uint64) (*journal.Record, error) {
+	env, err := c.call("GET", fmt.Sprintf("/v1/journal/%d", jsn), nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Record)
+	if err != nil {
+		return nil, err
+	}
+	return journal.DecodeRecord(raw)
+}
+
+// GetPayload fetches a journal's raw payload.
+func (c *Client) GetPayload(jsn uint64) ([]byte, error) {
+	env, err := c.call("GET", fmt.Sprintf("/v1/payload/%d", jsn), nil)
+	if err != nil {
+		return nil, err
+	}
+	return unb64(env.Payload)
+}
+
+// VerifyExistence runs the full client-side what(+who) verification for
+// one journal: fetch the proof bundle and validate every layer locally.
+func (c *Client) VerifyExistence(jsn uint64, withPayload bool) (*journal.Record, []byte, error) {
+	path := fmt.Sprintf("/v1/proof/%d", jsn)
+	if withPayload {
+		path += "?payload=1"
+	}
+	env, err := c.call("GET", path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := ledger.DecodeExistenceProof(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := ledger.VerifyExistence(proof, c.LSP)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, proof.Payload, nil
+}
+
+// FetchAnchor downloads the service's current fam-aoa anchor. The
+// caller must audit the ledger up to the anchor before trusting it;
+// after that, VerifyExistenceAnchored uses near-constant-size proofs.
+func (c *Client) FetchAnchor() (*fam.Anchor, error) {
+	env, err := c.call("GET", "/v1/anchor", nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return nil, err
+	}
+	return fam.DecodeAnchor(wire.NewReader(raw))
+}
+
+// VerifyExistenceAnchored is VerifyExistence in the fam-aoa regime: the
+// proof is built and checked against the verifier-held trusted anchor,
+// so sealed-epoch journals cost O(δ) instead of a full merged-leaf
+// chain.
+func (c *Client) VerifyExistenceAnchored(jsn uint64, anchor *fam.Anchor, withPayload bool) (*journal.Record, []byte, error) {
+	path := fmt.Sprintf("/v1/proof-anchored/%d", jsn)
+	if withPayload {
+		path += "?payload=1"
+	}
+	wr := wire.NewWriter(256)
+	anchor.Encode(wr)
+	env, err := c.call("POST", path, map[string]string{
+		"anchor": base64.StdEncoding.EncodeToString(wr.Bytes()),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := ledger.DecodeExistenceProof(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := ledger.VerifyExistenceAnchored(proof, c.LSP, anchor)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, proof.Payload, nil
+}
+
+// ClueJSNs lists a clue's journal sequence numbers.
+func (c *Client) ClueJSNs(clue string) ([]uint64, error) {
+	env, err := c.call("GET", "/v1/clue/"+clue+"/jsns", nil)
+	if err != nil {
+		return nil, err
+	}
+	return env.JSNs, nil
+}
+
+// VerifyClue runs the client-side lineage verification of §IV-C for a
+// version range (end = 0 means the whole clue). It returns the verified
+// records.
+func (c *Client) VerifyClue(clue string, begin, end uint64) ([]*journal.Record, error) {
+	env, err := c.call("GET", fmt.Sprintf("/v1/clue/%s/proof?begin=%d&end=%d", clue, begin, end), nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := ledger.DecodeClueProofBundle(raw)
+	if err != nil {
+		return nil, err
+	}
+	return ledger.VerifyClue(bundle, c.LSP)
+}
+
+// AnchorTime asks the service to run one time-notary round and verifies
+// the returned receipt.
+func (c *Client) AnchorTime() (*journal.Receipt, error) {
+	env, err := c.call("POST", "/v1/anchor-time", nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Receipt)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := receipt.Verify(c.LSP); err != nil {
+		return nil, err
+	}
+	return receipt, nil
+}
+
+// VerifyState runs a verifiable world-state read: fetch the MPT proof
+// for key and check it against the LSP-signed state root. Returns the
+// jsn and payload digest of the journal holding the current value.
+func (c *Client) VerifyState(key []byte) (uint64, hashutil.Digest, error) {
+	env, err := c.call("GET", "/v1/stateproof?key="+base64.StdEncoding.EncodeToString(key), nil)
+	if err != nil {
+		return 0, hashutil.Zero, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return 0, hashutil.Zero, err
+	}
+	p, err := ledger.DecodeStateProof(raw)
+	if err != nil {
+		return 0, hashutil.Zero, err
+	}
+	return ledger.VerifyState(p, c.LSP)
+}
+
+// Purge submits a purge with its gathered multi-signatures (admin API).
+// The server re-verifies Prerequisite 1.
+func (c *Client) Purge(desc *ledger.PurgeDescriptor, ms *sig.MultiSig) (*journal.Receipt, error) {
+	return c.mutate("/v1/admin/purge", desc.EncodeBytes(), ms)
+}
+
+// Occult submits an occult with its gathered multi-signatures (admin
+// API). The server re-verifies Prerequisite 2.
+func (c *Client) Occult(desc *ledger.OccultDescriptor, ms *sig.MultiSig) (*journal.Receipt, error) {
+	return c.mutate("/v1/admin/occult", desc.EncodeBytes(), ms)
+}
+
+func (c *Client) mutate(path string, desc []byte, ms *sig.MultiSig) (*journal.Receipt, error) {
+	wr := wire.NewWriter(512)
+	ms.Encode(wr)
+	env, err := c.call("POST", path, map[string]string{
+		"descriptor": base64.StdEncoding.EncodeToString(desc),
+		"sigs":       base64.StdEncoding.EncodeToString(wr.Bytes()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := unb64(env.Receipt)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if err := receipt.Verify(c.LSP); err != nil {
+		return nil, err
+	}
+	return receipt, nil
+}
+
+// Info reports the service's public counters.
+func (c *Client) Info() (uri string, size, base, height uint64, err error) {
+	env, err := c.call("GET", "/v1/info", nil)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	return env.URI, env.Size, env.Base, env.Height, nil
+}
+
+// DiscoverLSP fetches the service's advertised LSP key. Pinning a key
+// from the service itself is trust-on-first-use: fine for tooling, not a
+// substitute for an out-of-band pin in adversarial settings.
+func (c *Client) DiscoverLSP() (sig.PublicKey, error) {
+	env, err := c.call("GET", "/v1/info", nil)
+	if err != nil {
+		return sig.PublicKey{}, err
+	}
+	return sig.ParsePublicKey(env.LSPKey)
+}

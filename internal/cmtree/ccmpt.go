@@ -1,0 +1,131 @@
+package cmtree
+
+import (
+	"fmt"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/merkle/accumulator"
+	"ledgerdb/internal/mpt"
+	"ledgerdb/internal/wire"
+)
+
+// CCMPT is the clue-counter MPT of the earlier LedgerDB paper (VLDB'20),
+// kept as the baseline CM-Tree replaces. It authenticates only a per-clue
+// *counter* in the MPT; the journals themselves are authenticated one by
+// one against the global ledger accumulator. Verifying a clue with m
+// journals therefore costs one MPT proof plus m accumulator paths —
+// O(m·log n) in total ledger size n, the linear expansion §IV-B1 calls
+// out and Figure 9 measures.
+type CCMPT struct {
+	mu     sync.RWMutex
+	trie   *mpt.Trie
+	index  map[string][]uint64 // clue -> jsns, an unauthenticated index
+	ledger *accumulator.Accumulator
+}
+
+// NewCCMPT creates a ccMPT over a shared ledger accumulator (the tim tree
+// holding every journal digest).
+func NewCCMPT(ledger *accumulator.Accumulator) *CCMPT {
+	return &CCMPT{trie: mpt.New(), index: make(map[string][]uint64), ledger: ledger}
+}
+
+// RootHash returns the counter-trie commitment.
+func (c *CCMPT) RootHash() hashutil.Digest {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.trie.RootHash()
+}
+
+// Insert records that the journal at jsn belongs to clue, bumping the
+// authenticated counter. The journal digest itself must already be in the
+// ledger accumulator at index jsn.
+func (c *CCMPT) Insert(clue string, jsn uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.index[clue] = append(c.index[clue], jsn)
+	c.trie = c.trie.Put([]byte(clue), encodeCounter(uint64(len(c.index[clue]))))
+}
+
+// Count returns the clue's authenticated counter (zero if absent).
+func (c *CCMPT) Count(clue string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.index[clue]))
+}
+
+// JSNs returns the journal sequence numbers recorded under a clue.
+func (c *CCMPT) JSNs(clue string) ([]uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	jsns, ok := c.index[clue]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClue, clue)
+	}
+	out := make([]uint64, len(jsns))
+	copy(out, jsns)
+	return out, nil
+}
+
+func encodeCounter(m uint64) []byte {
+	w := wire.NewWriter(10)
+	w.Uvarint(m)
+	return w.Bytes()
+}
+
+// CCMPTProof bundles the counter proof and the m per-journal accumulator
+// proofs — the full price of ccMPT clue verification.
+type CCMPTProof struct {
+	Clue     string
+	Count    uint64
+	Counter  *mpt.Proof
+	JSNs     []uint64
+	Journals []*accumulator.Proof
+}
+
+// ProveClue builds the verification bundle for a clue's entire lineage.
+func (c *CCMPT) ProveClue(clue string) (*CCMPTProof, error) {
+	c.mu.RLock()
+	jsns, ok := c.index[clue]
+	jsns = append([]uint64(nil), jsns...)
+	trie := c.trie
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClue, clue)
+	}
+	cp, err := trie.Prove([]byte(clue))
+	if err != nil {
+		return nil, err
+	}
+	p := &CCMPTProof{Clue: clue, Count: uint64(len(jsns)), Counter: cp, JSNs: jsns}
+	for _, jsn := range jsns {
+		jp, err := c.ledger.Prove(jsn)
+		if err != nil {
+			return nil, fmt.Errorf("cmtree: ccMPT journal %d: %w", jsn, err)
+		}
+		p.Journals = append(p.Journals, jp)
+	}
+	return p, nil
+}
+
+// VerifyCCMPT checks a clue lineage the ccMPT way: the counter must be
+// committed under trieRoot, the digest count must equal the counter, and
+// every digest must individually prove into the ledger accumulator whose
+// root is ledgerRoot. This is the O(m·log n) path.
+func VerifyCCMPT(trieRoot, ledgerRoot hashutil.Digest, p *CCMPTProof, digests []hashutil.Digest) error {
+	if p == nil || p.Counter == nil {
+		return fmt.Errorf("%w: nil proof", ErrBadProof)
+	}
+	if uint64(len(digests)) != p.Count || uint64(len(p.Journals)) != p.Count {
+		return fmt.Errorf("%w: %d digests / %d proofs for counter %d", ErrBadProof, len(digests), len(p.Journals), p.Count)
+	}
+	if err := mpt.VerifyProof(trieRoot, []byte(p.Clue), encodeCounter(p.Count), p.Counter); err != nil {
+		return fmt.Errorf("%w: counter: %v", ErrBadProof, err)
+	}
+	for i, jp := range p.Journals {
+		if err := accumulator.Verify(digests[i], jp, ledgerRoot); err != nil {
+			return fmt.Errorf("%w: journal %d (jsn %d): %v", ErrBadProof, i, p.JSNs[i], err)
+		}
+	}
+	return nil
+}

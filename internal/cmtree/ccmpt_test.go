@@ -1,0 +1,153 @@
+package cmtree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/merkle/accumulator"
+)
+
+// buildCC seeds a ledger accumulator and ccMPT with `count` journals per
+// clue, interleaved.
+func buildCC(clues []string, count int) (*accumulator.Accumulator, *CCMPT) {
+	acc := accumulator.New()
+	cc := NewCCMPT(acc)
+	for v := 0; v < count; v++ {
+		for _, c := range clues {
+			jsn := acc.Append(digOf(c, uint64(v)))
+			cc.Insert(c, jsn)
+		}
+	}
+	return acc, cc
+}
+
+func TestCCMPTProveVerify(t *testing.T) {
+	acc, cc := buildCC([]string{"a", "b"}, 10)
+	root, _ := acc.Root()
+	for _, c := range []string{"a", "b"} {
+		p, err := cc.ProveClue(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCCMPT(cc.RootHash(), root, p, lineage(c, 10)); err != nil {
+			t.Fatalf("VerifyCCMPT(%s): %v", c, err)
+		}
+	}
+}
+
+func TestCCMPTDetectsTampering(t *testing.T) {
+	acc, cc := buildCC([]string{"a"}, 8)
+	root, _ := acc.Root()
+	p, _ := cc.ProveClue("a")
+
+	bad := lineage("a", 8)
+	bad[5] = hashutil.Leaf([]byte("forged"))
+	if err := VerifyCCMPT(cc.RootHash(), root, p, bad); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered digest: err = %v", err)
+	}
+	if err := VerifyCCMPT(cc.RootHash(), root, p, lineage("a", 7)); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("short lineage: err = %v", err)
+	}
+	// Wrong trie root (forged counter).
+	if err := VerifyCCMPT(hashutil.Leaf([]byte("x")), root, p, lineage("a", 8)); err == nil {
+		t.Fatal("wrong trie root accepted")
+	}
+	// Wrong ledger root.
+	if err := VerifyCCMPT(cc.RootHash(), hashutil.Leaf([]byte("y")), p, lineage("a", 8)); err == nil {
+		t.Fatal("wrong ledger root accepted")
+	}
+}
+
+func TestCCMPTCountAuthenticated(t *testing.T) {
+	// An attacker who hides one journal must be caught by the counter in
+	// the trie, even if all shown journals prove correctly.
+	acc, cc := buildCC([]string{"a"}, 6)
+	root, _ := acc.Root()
+	p, _ := cc.ProveClue("a")
+	p.Count = 5
+	p.JSNs = p.JSNs[:5]
+	p.Journals = p.Journals[:5]
+	if err := VerifyCCMPT(cc.RootHash(), root, p, lineage("a", 5)); err == nil {
+		t.Fatal("counter mismatch not detected")
+	}
+}
+
+func TestCCMPTUnknownClue(t *testing.T) {
+	_, cc := buildCC([]string{"a"}, 2)
+	if _, err := cc.ProveClue("missing"); !errors.Is(err, ErrUnknownClue) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cc.JSNs("missing"); !errors.Is(err, ErrUnknownClue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCCMPTProofSizeGrowsWithLedger(t *testing.T) {
+	// The defining weakness: the same clue costs more to verify as the
+	// *ledger* (not the clue) grows.
+	sizes := []int{16, 256, 4096}
+	var prev int
+	for _, n := range sizes {
+		acc := accumulator.New()
+		cc := NewCCMPT(acc)
+		// One clue with 5 entries early in the ledger, followed by
+		// unrelated traffic (deep leaves have full-length audit paths).
+		for v := 0; v < 5; v++ {
+			jsn := acc.Append(digOf("k", uint64(v)))
+			cc.Insert("k", jsn)
+		}
+		for i := 0; i < n; i++ {
+			acc.Append(hashutil.Leaf([]byte(fmt.Sprintf("noise-%d", i))))
+		}
+		p, err := cc.ProveClue("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, jp := range p.Journals {
+			total += len(jp.Siblings)
+		}
+		if total <= prev {
+			t.Fatalf("ledger %d: proof size %d did not grow from %d", n, total, prev)
+		}
+		prev = total
+		root, _ := acc.Root()
+		if err := VerifyCCMPT(cc.RootHash(), root, p, lineage("k", 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCMTreeProofSizeFlatInLedger(t *testing.T) {
+	// The matching strength: CM-Tree verification cost depends only on
+	// the clue's own entry count.
+	counts := []int{10, 10, 10}
+	noise := []int{16, 256, 4096}
+	var prev int
+	for i, n := range noise {
+		tr := New()
+		for j := 0; j < n; j++ {
+			c := fmt.Sprintf("noise-%d", j)
+			tr.Insert(c, uint64(j), digOf(c, 0))
+		}
+		for v := 0; v < counts[i]; v++ {
+			tr.Insert("k", uint64(n+v), digOf("k", uint64(v)))
+		}
+		snap := tr.Snapshot()
+		p, err := snap.ProveClue("k", 0, uint64(counts[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CM-Tree2 cost: frontier + cells; must not grow with noise.
+		cost := len(p.Frontier) + len(p.Cells)
+		if i > 0 && cost != prev {
+			t.Fatalf("noise %d: CM-Tree2 cost %d changed from %d", n, cost, prev)
+		}
+		prev = cost
+		if err := VerifyClue(snap.RootHash(), p, lineage("k", counts[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package cmtree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func digOf(clue string, v uint64) hashutil.Digest {
+	return hashutil.Leaf([]byte(fmt.Sprintf("journal/%s/%d", clue, v)))
+}
+
+// seed inserts count journals under each of the given clues, with global
+// jsn assignment interleaved round-robin (as a real ledger would).
+func seed(t *Tree, clues []string, count int) {
+	jsn := uint64(0)
+	for v := 0; v < count; v++ {
+		for _, c := range clues {
+			t.Insert(c, jsn, digOf(c, uint64(v)))
+			jsn++
+		}
+	}
+}
+
+func lineage(clue string, n int) []hashutil.Digest {
+	out := make([]hashutil.Digest, n)
+	for i := range out {
+		out[i] = digOf(clue, uint64(i))
+	}
+	return out
+}
+
+func TestInsertAndCount(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"dci-001", "dci-002"}, 5)
+	if tr.Count("dci-001") != 5 || tr.Count("dci-002") != 5 {
+		t.Fatalf("counts = %d, %d", tr.Count("dci-001"), tr.Count("dci-002"))
+	}
+	if tr.Count("absent") != 0 {
+		t.Fatal("absent clue has nonzero count")
+	}
+	if tr.Clues() != 2 {
+		t.Fatalf("Clues = %d", tr.Clues())
+	}
+	jsns, err := tr.JSNs("dci-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jsns) != 5 || jsns[0] != 0 || jsns[1] != 2 {
+		t.Fatalf("jsns = %v", jsns)
+	}
+	if _, err := tr.JSNs("absent"); !errors.Is(err, ErrUnknownClue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerVerifyWholeClue(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"a", "b", "c"}, 9)
+	for _, c := range []string{"a", "b", "c"} {
+		if err := tr.VerifyServer(c, lineage(c, 9)); err != nil {
+			t.Fatalf("VerifyServer(%s): %v", c, err)
+		}
+	}
+}
+
+func TestServerVerifyDetectsTampering(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"a"}, 8)
+	// Tampered entry.
+	bad := lineage("a", 8)
+	bad[3] = hashutil.Leaf([]byte("forged"))
+	if err := tr.VerifyServer("a", bad); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered lineage: err = %v", err)
+	}
+	// Missing entry — the count mismatch the paper insists lineage
+	// verification must catch ("including the number of records").
+	if err := tr.VerifyServer("a", lineage("a", 7)); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("missing entry: err = %v", err)
+	}
+	// Extra forged entry appended.
+	extra := append(lineage("a", 8), hashutil.Leaf([]byte("extra")))
+	if err := tr.VerifyServer("a", extra); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("extra entry: err = %v", err)
+	}
+	// Reordered lineage.
+	swapped := lineage("a", 8)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := tr.VerifyServer("a", swapped); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("reordered lineage: err = %v", err)
+	}
+	if err := tr.VerifyServer("nope", nil); !errors.Is(err, ErrUnknownClue) {
+		t.Fatalf("unknown clue: err = %v", err)
+	}
+}
+
+func TestClientVerifyWholeClue(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"x", "y"}, 13)
+	snap := tr.Snapshot()
+	root := snap.RootHash()
+	p, err := snap.ProveClue("x", 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClue(root, p, lineage("x", 13)); err != nil {
+		t.Fatalf("VerifyClue: %v", err)
+	}
+	// Against the wrong root it must fail.
+	if err := VerifyClue(hashutil.Leaf([]byte("evil")), p, lineage("x", 13)); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestClientVerifyRange(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"k"}, 23)
+	snap := tr.Snapshot()
+	root := snap.RootHash()
+	for _, r := range [][2]uint64{{0, 4}, {3, 9}, {10, 23}, {22, 23}, {0, 23}} {
+		p, err := snap.ProveClue("k", r[0], r[1])
+		if err != nil {
+			t.Fatalf("ProveClue(%v): %v", r, err)
+		}
+		leaves := lineage("k", 23)[r[0]:r[1]]
+		if err := VerifyClue(root, p, leaves); err != nil {
+			t.Fatalf("VerifyClue(%v): %v", r, err)
+		}
+	}
+}
+
+func TestClientVerifyRangeDetectsTampering(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"k"}, 16)
+	snap := tr.Snapshot()
+	root := snap.RootHash()
+	p, _ := snap.ProveClue("k", 4, 10)
+	leaves := append([]hashutil.Digest(nil), lineage("k", 16)[4:10]...)
+	leaves[2] = hashutil.Leaf([]byte("forged"))
+	if err := VerifyClue(root, p, leaves); err == nil {
+		t.Fatal("tampered range accepted")
+	}
+	// Wrong-length slice.
+	if err := VerifyClue(root, p, lineage("k", 16)[4:9]); err == nil {
+		t.Fatal("short range accepted")
+	}
+}
+
+func TestSnapshotStableUnderLaterInserts(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"k"}, 10)
+	snap := tr.Snapshot()
+	root := snap.RootHash()
+	// Grow the live tree after the snapshot.
+	for v := 10; v < 40; v++ {
+		tr.Insert("k", uint64(v), digOf("k", uint64(v)))
+	}
+	p, err := snap.ProveClue("k", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClue(root, p, lineage("k", 10)); err != nil {
+		t.Fatalf("snapshot proof after growth: %v", err)
+	}
+	// Ranged proof from the old snapshot also stays valid.
+	p2, err := snap.ProveClue("k", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClue(root, p2, lineage("k", 10)[2:7]); err != nil {
+		t.Fatalf("snapshot range proof after growth: %v", err)
+	}
+	// The live root has moved on.
+	if tr.RootHash() == root {
+		t.Fatal("live root unchanged after inserts")
+	}
+}
+
+func TestProveClueBadRange(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"k"}, 5)
+	snap := tr.Snapshot()
+	for _, r := range [][2]uint64{{0, 0}, {3, 2}, {0, 6}} {
+		if _, err := snap.ProveClue("k", r[0], r[1]); !errors.Is(err, ErrBadRange) {
+			t.Fatalf("range %v: err = %v", r, err)
+		}
+	}
+	if _, err := snap.ProveClue("absent", 0, 1); !errors.Is(err, ErrUnknownClue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClueProofWireRoundTrip(t *testing.T) {
+	tr := New()
+	seed(tr, []string{"k", "z"}, 11)
+	snap := tr.Snapshot()
+	root := snap.RootHash()
+	p, _ := snap.ProveClue("k", 2, 9)
+	w := wire.NewWriter(0)
+	p.Encode(w)
+	got, err := DecodeClueProof(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyClue(root, got, lineage("k", 11)[2:9]); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+}
+
+func TestQuickWholeClueAcrossSizes(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%120) + 1
+		tr := New()
+		for v := 0; v < n; v++ {
+			tr.Insert("q", uint64(v), digOf("q", uint64(v)))
+		}
+		snap := tr.Snapshot()
+		p, err := snap.ProveClue("q", 0, uint64(n))
+		if err != nil {
+			return false
+		}
+		return VerifyClue(snap.RootHash(), p, lineage("q", n)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRangesAcrossSizes(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw uint8) bool {
+		n := uint64(nRaw%100) + 2
+		a := uint64(aRaw) % (n - 1)
+		b := a + 1 + uint64(bRaw)%(n-a)
+		if b > n {
+			b = n
+		}
+		tr := New()
+		for v := uint64(0); v < n; v++ {
+			tr.Insert("q", v, digOf("q", v))
+		}
+		snap := tr.Snapshot()
+		p, err := snap.ProveClue("q", a, b)
+		if err != nil {
+			return false
+		}
+		return VerifyClue(snap.RootHash(), p, lineage("q", int(n))[a:b]) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyCluesKeepTrieConsistent(t *testing.T) {
+	tr := New()
+	const clues = 300
+	for i := 0; i < clues; i++ {
+		c := fmt.Sprintf("clue-%04d", i)
+		for v := 0; v < 1+i%4; v++ {
+			tr.Insert(c, uint64(i*10+v), digOf(c, uint64(v)))
+		}
+	}
+	snap := tr.Snapshot()
+	for i := 0; i < clues; i += 37 {
+		c := fmt.Sprintf("clue-%04d", i)
+		n := uint64(1 + i%4)
+		p, err := snap.ProveClue(c, 0, n)
+		if err != nil {
+			t.Fatalf("ProveClue(%s): %v", c, err)
+		}
+		if err := VerifyClue(snap.RootHash(), p, lineage(c, int(n))); err != nil {
+			t.Fatalf("VerifyClue(%s): %v", c, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package hashutil
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A leaf over the concatenation of two digests must not equal the
+	// interior node over those digests: that equality is exactly the
+	// second-preimage splice the prefixes exist to prevent.
+	l, r := Leaf([]byte("left")), Leaf([]byte("right"))
+	node := Node(l, r)
+	var cat []byte
+	cat = append(cat, l[:]...)
+	cat = append(cat, r[:]...)
+	if Leaf(cat) == node {
+		t.Fatal("leaf(l||r) equals node(l,r): domain separation broken")
+	}
+	if Sum(cat) == node {
+		t.Fatal("sum(l||r) equals node(l,r): domain separation broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if Leaf([]byte("x")) != Leaf([]byte("x")) {
+		t.Fatal("Leaf not deterministic")
+	}
+	if Node(Leaf([]byte("a")), Leaf([]byte("b"))) != Node(Leaf([]byte("a")), Leaf([]byte("b"))) {
+		t.Fatal("Node not deterministic")
+	}
+	if Epoch(3, Leaf([]byte("r"))) != Epoch(3, Leaf([]byte("r"))) {
+		t.Fatal("Epoch not deterministic")
+	}
+}
+
+func TestNodeOrderMatters(t *testing.T) {
+	a, b := Leaf([]byte("a")), Leaf([]byte("b"))
+	if Node(a, b) == Node(b, a) {
+		t.Fatal("Node must not be commutative")
+	}
+}
+
+func TestEpochBindsIndex(t *testing.T) {
+	r := Leaf([]byte("root"))
+	if Epoch(1, r) == Epoch(2, r) {
+		t.Fatal("Epoch digest must bind the epoch index")
+	}
+}
+
+func TestNodeNPositional(t *testing.T) {
+	a := Leaf([]byte("a"))
+	if NodeN(a, Zero) == NodeN(Zero, a) {
+		t.Fatal("NodeN must bind child positions")
+	}
+	if NodeN(a) == NodeN(a, Zero) {
+		t.Fatal("NodeN must bind arity")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	d := Leaf([]byte("round trip"))
+	got, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got != d {
+		t.Fatalf("round trip mismatch: %s vs %s", got, d)
+	}
+	if _, err := Parse("zz"); err == nil {
+		t.Fatal("Parse accepted short garbage")
+	}
+	if _, err := Parse(string(bytes.Repeat([]byte("g"), 64))); err == nil {
+		t.Fatal("Parse accepted non-hex input")
+	}
+}
+
+func TestMarshalText(t *testing.T) {
+	d := Leaf([]byte("text"))
+	txt, err := d.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := back.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatal("MarshalText/UnmarshalText mismatch")
+	}
+}
+
+func TestCheckEqual(t *testing.T) {
+	a, b := Leaf([]byte("a")), Leaf([]byte("b"))
+	if err := CheckEqual("ctx", a, a); err != nil {
+		t.Fatalf("equal digests reported error: %v", err)
+	}
+	err := CheckEqual("block 7", a, b)
+	if err == nil {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero false")
+	}
+	if Leaf(nil).IsZero() {
+		t.Fatal("Leaf(nil) reported zero")
+	}
+}
+
+func TestQuickLeafInjectivityOnSamples(t *testing.T) {
+	// Distinct inputs produce distinct digests for random samples.
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return Leaf(a) != Leaf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatBindsAllParts(t *testing.T) {
+	a, b, c := Leaf([]byte("a")), Leaf([]byte("b")), Leaf([]byte("c"))
+	if Concat(a, b, c) == Concat(a, b) {
+		t.Fatal("Concat must bind arity")
+	}
+	if Concat(a, b, c) == Concat(a, c, b) {
+		t.Fatal("Concat must bind order")
+	}
+}

@@ -1,0 +1,253 @@
+// Package integration_test exercises whole-system scenarios that no
+// single package test covers: several tenant ledgers sharing one public
+// T-Ledger (the two-layer time-notary architecture of §III-B2), with
+// mutations, audits, restarts, and time proofs interleaved.
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/audit"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/tsa"
+)
+
+// world is a multi-tenant deployment: one TSA, one shared T-Ledger, and
+// n tenant ledgers with their own LSPs, DBAs, and clients.
+type world struct {
+	clock   *logicalclock.Clock
+	tsa     *tsa.Authority
+	tl      *tledger.TLedger
+	tenants []*tenant
+}
+
+type tenant struct {
+	uri    string
+	l      *ledger.Ledger
+	lsp    *sig.KeyPair
+	dba    *sig.KeyPair
+	client *sig.KeyPair
+	cfg    ledger.Config
+	nonce  uint64
+}
+
+func newWorld(t *testing.T, tenants int) *world {
+	t.Helper()
+	w := &world{clock: logicalclock.New(1_000_000)}
+	w.tsa = tsa.New("shared", tsa.Options{Clock: w.clock.Now})
+	tl, err := tledger.New(tledger.Config{
+		Clock:     w.clock.Now,
+		Tolerance: 1_000,
+		TSA:       tsa.NewPool(w.tsa),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.tl = tl
+	for i := 0; i < tenants; i++ {
+		tn := &tenant{
+			uri:    fmt.Sprintf("ledger://tenant-%d", i),
+			lsp:    sig.GenerateDeterministic(fmt.Sprintf("int/lsp/%d", i)),
+			dba:    sig.GenerateDeterministic(fmt.Sprintf("int/dba/%d", i)),
+			client: sig.GenerateDeterministic(fmt.Sprintf("int/client/%d", i)),
+		}
+		tn.cfg = ledger.Config{
+			URI:           tn.uri,
+			FractalHeight: 3,
+			BlockSize:     4,
+			LSP:           tn.lsp,
+			DBA:           tn.dba.Public(),
+			Store:         streamfs.NewMemory(),
+			Blobs:         streamfs.NewMemoryBlobs(),
+			Clock:         w.clock.Tick,
+		}
+		l, err := ledger.Open(tn.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.l = l
+		w.tenants = append(w.tenants, tn)
+	}
+	return w
+}
+
+func (tn *tenant) append(t *testing.T, payload string, clues ...string) *journal.Receipt {
+	t.Helper()
+	tn.nonce++
+	req := &journal.Request{
+		LedgerURI: tn.uri,
+		Type:      journal.TypeNormal,
+		Clues:     clues,
+		Payload:   []byte(payload),
+		Nonce:     tn.nonce,
+	}
+	if err := req.Sign(tn.client); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tn.l.Append(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (tn *tenant) anchorVia(t *testing.T, w *world) *journal.Receipt {
+	t.Helper()
+	r, err := tn.l.AnchorTimeWith(w.tl.StampFunc(tn.uri, tn.l.Clock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (tn *tenant) auditCfg(w *world) audit.Config {
+	return audit.Config{
+		LSP:        tn.lsp.Public(),
+		DBA:        tn.dba.Public(),
+		TrustedTSA: []sig.PublicKey{w.tl.Public(), w.tsa.Public()},
+	}
+}
+
+func TestMultiTenantTimeNotary(t *testing.T) {
+	w := newWorld(t, 3)
+	// Interleaved activity across tenants, with periodic anchoring and
+	// shared finalizations every Δτ.
+	for round := 0; round < 4; round++ {
+		for i, tn := range w.tenants {
+			for k := 0; k < 3+i; k++ {
+				tn.append(t, fmt.Sprintf("r%d-t%d-k%d", round, i, k), fmt.Sprintf("asset-%d", i))
+			}
+			tn.anchorVia(t, w)
+		}
+		w.clock.Advance(1_000)
+		if _, err := w.tl.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shared T-Ledger accumulated every tenant's anchors.
+	if w.tl.Size() != 12 {
+		t.Fatalf("t-ledger entries = %d, want 12", w.tl.Size())
+	}
+	// Every tenant audits clean with the shared trust anchors.
+	for i, tn := range w.tenants {
+		rep, err := audit.Audit(tn.l, nil, tn.auditCfg(w))
+		if err != nil {
+			t.Fatalf("tenant %d audit: %v", i, err)
+		}
+		if rep.TimeJournals != 4 {
+			t.Fatalf("tenant %d time journals = %d", i, rep.TimeJournals)
+		}
+	}
+	// Every T-Ledger entry has a judicially bounded time proof.
+	trusted := []sig.PublicKey{w.tsa.Public()}
+	for seq := uint64(0); seq < w.tl.Size(); seq++ {
+		proof, err := w.tl.ProveTime(seq)
+		if err != nil {
+			t.Fatalf("ProveTime(%d): %v", seq, err)
+		}
+		nb, na, err := tledger.VerifyTimeProof(proof, trusted)
+		if err != nil {
+			t.Fatalf("VerifyTimeProof(%d): %v", seq, err)
+		}
+		if na <= nb && nb != 0 {
+			t.Fatalf("entry %d bounds inverted: (%d, %d]", seq, nb, na)
+		}
+	}
+}
+
+func TestMultiTenantIsolation(t *testing.T) {
+	w := newWorld(t, 2)
+	a, b := w.tenants[0], w.tenants[1]
+	ra := a.append(t, "tenant-a-data", "K")
+	b.append(t, "tenant-b-data", "K")
+
+	// A proof from tenant A must not verify under tenant B's LSP.
+	pa, err := a.l.ProveExistence(ra.JSN, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.VerifyExistence(pa, b.lsp.Public()); err == nil {
+		t.Fatal("tenant A proof verified under tenant B's LSP")
+	}
+	if _, err := ledger.VerifyExistence(pa, a.lsp.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// Same clue name, different ledgers: lineages are independent.
+	la, _ := a.l.ListClue("K")
+	lb, _ := b.l.ListClue("K")
+	if len(la) != 1 || len(lb) != 1 {
+		t.Fatalf("lineages leaked across tenants: %d, %d", len(la), len(lb))
+	}
+}
+
+func TestMultiTenantMutationsAndRestart(t *testing.T) {
+	w := newWorld(t, 2)
+	a, b := w.tenants[0], w.tenants[1]
+	for i := 0; i < 10; i++ {
+		a.append(t, fmt.Sprintf("a-%d", i), "trail")
+		b.append(t, fmt.Sprintf("b-%d", i), "trail")
+	}
+	// Tenant A purges; tenant B occults. Neither affects the other.
+	pdesc := &ledger.PurgeDescriptor{URI: a.uri, Point: 5, ErasePayloads: true}
+	pms := sig.NewMultiSig(pdesc.Digest())
+	for _, kp := range []*sig.KeyPair{a.dba, a.client} {
+		if err := pms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.l.Purge(pdesc, pms); err != nil {
+		t.Fatal(err)
+	}
+	odesc := &ledger.OccultDescriptor{URI: b.uri, JSN: 3}
+	oms := sig.NewMultiSig(odesc.Digest())
+	if err := oms.SignWith(b.dba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.l.Occult(odesc, oms); err != nil {
+		t.Fatal(err)
+	}
+	a.anchorVia(t, w)
+	b.anchorVia(t, w)
+	w.clock.Advance(1_000)
+	if _, err := w.tl.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both audit clean, then both recover to identical roots.
+	for i, tn := range w.tenants {
+		if _, err := audit.Audit(tn.l, nil, tn.auditCfg(w)); err != nil {
+			t.Fatalf("tenant %d audit: %v", i, err)
+		}
+		before, err := tn.l.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := ledger.Open(tn.cfg)
+		if err != nil {
+			t.Fatalf("tenant %d reopen: %v", i, err)
+		}
+		after, err := l2.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before.JournalRoot != after.JournalRoot || before.ClueRoot != after.ClueRoot {
+			t.Fatalf("tenant %d roots diverged across restart", i)
+		}
+		// Re-audit the recovered instance.
+		if _, err := audit.Audit(l2, nil, tn.auditCfg(w)); err != nil {
+			t.Fatalf("tenant %d post-recovery audit: %v", i, err)
+		}
+	}
+	if a.l.Base() != 5 {
+		t.Fatalf("tenant A base = %d", a.l.Base())
+	}
+	if b.l.Base() != 0 {
+		t.Fatalf("tenant B base moved: %d", b.l.Base())
+	}
+}

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Adversarial-bytes robustness: decoders run on data from untrusted
+// peers, so they must reject garbage with an error — never panic, never
+// succeed on junk that then diverges on re-encode.
+
+func TestDecodeRecordNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		rec, err := DecodeRecord(b)
+		if err != nil {
+			return true
+		}
+		// If it decoded, re-encoding must reproduce the input bytes
+		// (decoding is the inverse of the deterministic encoding).
+		out := rec.EncodeBytes()
+		return string(out) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRequestNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		req, err := DecodeRequest(b)
+		if err != nil {
+			return true
+		}
+		return string(req.EncodeBytes()) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTimeAttestationNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		ta, err := DecodeTimeAttestation(b)
+		if err != nil {
+			return true
+		}
+		return string(ta.EncodeBytes()) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncation sweep: every strict prefix of a valid record must fail to
+// decode (no silent acceptance of cut-off data).
+func TestDecodeRecordRejectsEveryTruncation(t *testing.T) {
+	req, _ := testRequest(t)
+	rec := recordFrom(t, req, 7)
+	rec.Extra = []byte("extra")
+	enc := rec.EncodeBytes()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeRecord(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+// Bit-flip sweep: a sample of single-bit corruptions must either fail to
+// decode or change the tx-hash (so the accumulator catches them).
+func TestDecodeRecordBitFlipsDetectable(t *testing.T) {
+	req, _ := testRequest(t)
+	rec := recordFrom(t, req, 7)
+	enc := rec.EncodeBytes()
+	want := rec.TxHash()
+	for pos := 0; pos < len(enc); pos += 7 {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x01
+		got, err := DecodeRecord(mut)
+		if err != nil {
+			continue // rejected: fine
+		}
+		if got.TxHash() == want && got.Occulted == rec.Occulted {
+			t.Fatalf("bit flip at %d invisible to tx-hash", pos)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProveClueByTime(t *testing.T) {
+	e := newEnv(t, nil) // logical clock ticks by 1 per operation
+	var stamps []int64
+	for i := 0; i < 8; i++ {
+		r := e.append(t, "v", "K")
+		rec, err := e.ledger.GetJournal(r.JSN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamps = append(stamps, rec.Timestamp)
+	}
+	// A window covering versions 2..5 (inclusive of 2, exclusive of 6).
+	b, err := e.ledger.ProveClueByTime("K", stamps[2], stamps[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := VerifyClue(b, e.lsp.Public())
+	if err != nil {
+		t.Fatalf("VerifyClue: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("window returned %d records, want 4", len(recs))
+	}
+	if recs[0].Timestamp != stamps[2] || recs[3].Timestamp != stamps[5] {
+		t.Fatalf("window bounds wrong: %d..%d", recs[0].Timestamp, recs[3].Timestamp)
+	}
+	// The whole history via a wide window.
+	b2, err := e.ledger.ProveClueByTime("K", 0, stamps[7]+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := VerifyClue(b2, e.lsp.Public()); len(recs) != 8 {
+		t.Fatalf("wide window returned %d", len(recs))
+	}
+	// An empty window errors.
+	if _, err := e.ledger.ProveClueByTime("K", stamps[7]+100, stamps[7]+200); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown clue errors.
+	if _, err := e.ledger.ProveClueByTime("ghost", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package ledger
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Transport decoders for proof bundles take bytes from the network; they
+// must reject garbage with an error, never panic.
+func TestTransportDecodersNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		if _, err := DecodeExistenceProof(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodeClueProofBundle(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodeStateProof(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodeBlockHeader(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodePurgeExtra(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodeOccultExtra(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodeOccultClueExtra(b); err == nil {
+			_ = err
+		}
+		if _, err := DecodePseudoGenesis(b); err == nil {
+			_ = err
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

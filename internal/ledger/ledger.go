@@ -1,0 +1,594 @@
+// Package ledger implements the LedgerDB engine of §II-C: an auditable
+// centralized ledger database with journals, dense jsn assignment, block
+// cutting, a fam journal accumulator, a CM-Tree clue index, a world-state
+// MPT, three-phase signing (π_c, π_s, π_t), verifiable purge and occult
+// mutations, and the server-side halves of every Dasein verification.
+//
+// Storage follows Figure 1: raw payloads go to shared blob storage
+// (streamfs.BlobStore) keyed by digest; the journal stream holds compact
+// records carrying the payload digest; a parallel digest stream retains
+// every tx-hash forever so the fam tree survives purges ("we only need
+// digest but not raw payload", §III-A2); block headers chain in their own
+// stream; milestone journals that must outlive purges are copied to the
+// survival stream.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ledgerdb/internal/ca"
+	"ledgerdb/internal/cmtree"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/merkle/fam"
+	"ledgerdb/internal/mpt"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/wire"
+)
+
+// Stream names inside the store.
+const (
+	streamJournals = "journals"
+	streamDigests  = "digests"
+	streamBlocks   = "blocks"
+	streamSurvival = "survival"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNotFound     = errors.New("ledger: journal not found")
+	ErrOcculted     = errors.New("ledger: journal payload occulted")
+	ErrPurged       = errors.New("ledger: journal purged")
+	ErrBadConfig    = errors.New("ledger: invalid configuration")
+	ErrNotPermitted = errors.New("ledger: operation not permitted")
+	ErrVerify       = errors.New("ledger: verification failed")
+)
+
+// Config configures a Ledger.
+type Config struct {
+	// URI identifies the ledger (the lgid of the Verify API).
+	URI string
+	// FractalHeight is fam's δ. Zero means 15, the paper's "commonly
+	// used" setting.
+	FractalHeight uint8
+	// BlockSize is the number of journals per block. Zero means 128.
+	BlockSize int
+	// Clock supplies commit timestamps; nil means time.Now().UnixNano().
+	// Tests and the time-attack simulations inject logical clocks.
+	Clock func() int64
+	// LSP signs receipts and states. Required.
+	LSP *sig.KeyPair
+	// Registry authenticates member roles. Optional: when nil, role
+	// checks are skipped (library-embedded mode); mutations then require
+	// only the DBA signature.
+	Registry *ca.Registry
+	// DBA is the database administrator's public key, required for purge
+	// and occult prerequisites.
+	DBA sig.PublicKey
+	// Store holds the ledger streams. Required.
+	Store streamfs.Store
+	// Blobs holds raw payloads. Required.
+	Blobs streamfs.BlobStore
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.URI == "" {
+		return c, fmt.Errorf("%w: empty URI", ErrBadConfig)
+	}
+	if c.LSP == nil {
+		return c, fmt.Errorf("%w: nil LSP key", ErrBadConfig)
+	}
+	if c.Store == nil || c.Blobs == nil {
+		return c, fmt.Errorf("%w: nil store or blob store", ErrBadConfig)
+	}
+	if c.FractalHeight == 0 {
+		c.FractalHeight = 15
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128
+	}
+	if c.Clock == nil {
+		c.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return c, nil
+}
+
+// Ledger is the engine. All mutating operations serialize through its
+// write lock (the single-committer jsn assignment of §II-C); reads and
+// proofs take the read lock.
+type Ledger struct {
+	mu  sync.RWMutex
+	cfg Config
+
+	journals streamfs.Stream // full records; purge truncates a prefix
+	digests  streamfs.Stream // tx-hash per jsn; never truncated
+	blocks   streamfs.Stream // block headers
+	survival streamfs.Stream // milestone journals preserved across purges
+
+	fam   *fam.Tree
+	clues *cmtree.Tree
+	state *mpt.Trie
+
+	occulted     map[uint64]bool            // the occult bitmap index
+	eraseQueue   []uint64                   // async occult backlog
+	payloadRefs  map[hashutil.Digest]int    // live references per blob
+	stateIndex   map[string]stateIndexEntry // latest world-state writes
+	firstSeen    map[sig.PublicKey]uint64
+	headers      []*BlockHeader
+	pendingCount uint64
+	nextJSN      uint64
+	base         uint64 // first unpurged jsn
+}
+
+// Open creates or recovers a ledger over the given stores.
+func Open(cfg Config) (*Ledger, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	l := &Ledger{
+		cfg:       cfg,
+		fam:       fam.MustNew(cfg.FractalHeight),
+		clues:     cmtree.New(),
+		state:     mpt.New(),
+		occulted:    make(map[uint64]bool),
+		payloadRefs: make(map[hashutil.Digest]int),
+		stateIndex:  make(map[string]stateIndexEntry),
+		firstSeen:   make(map[sig.PublicKey]uint64),
+	}
+	for _, open := range []struct {
+		name string
+		dst  *streamfs.Stream
+	}{
+		{streamJournals, &l.journals},
+		{streamDigests, &l.digests},
+		{streamBlocks, &l.blocks},
+		{streamSurvival, &l.survival},
+	} {
+		s, err := cfg.Store.Stream(open.name)
+		if err != nil {
+			return nil, err
+		}
+		*open.dst = s
+	}
+	if l.digests.Len() > 0 {
+		if err := l.recover(); err != nil {
+			return nil, fmt.Errorf("ledger: recover %s: %w", cfg.URI, err)
+		}
+		return l, nil
+	}
+	if err := l.writeGenesis(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// writeGenesis appends the genesis journal (jsn 0), authored by the LSP.
+func (l *Ledger) writeGenesis() error {
+	req := &journal.Request{
+		LedgerURI: l.cfg.URI,
+		Type:      journal.TypeGenesis,
+		Payload:   []byte("genesis:" + l.cfg.URI),
+	}
+	if err := req.Sign(l.cfg.LSP); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.appendLocked(req, nil)
+	return err
+}
+
+// URI returns the ledger identifier.
+func (l *Ledger) URI() string { return l.cfg.URI }
+
+// FractalHeight returns the fam δ in use (auditors rebuild a shadow fam
+// tree with the same shape).
+func (l *Ledger) FractalHeight() uint8 { return l.cfg.FractalHeight }
+
+// LSPPublic returns the LSP's public key (what clients pin).
+func (l *Ledger) LSPPublic() sig.PublicKey { return l.cfg.LSP.Public() }
+
+// Size returns the number of journals committed (including genesis and
+// mutation journals).
+func (l *Ledger) Size() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextJSN
+}
+
+// Base returns the first unpurged jsn.
+func (l *Ledger) Base() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// Append validates a signed client request (π_c and any co-signatures,
+// plus member certification when a registry is configured — the threat-A
+// check) and commits it, returning the LSP-signed receipt π_s.
+func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.VerifyAllSigs(); err != nil {
+		return nil, err
+	}
+	if req.LedgerURI != l.cfg.URI {
+		return nil, fmt.Errorf("%w: request for %q on ledger %q", journal.ErrBadRequest, req.LedgerURI, l.cfg.URI)
+	}
+	switch req.Type {
+	case journal.TypeNormal:
+	default:
+		return nil, fmt.Errorf("%w: clients may only append normal journals (got %s)", ErrNotPermitted, req.Type)
+	}
+	if l.cfg.Registry != nil {
+		if err := l.cfg.Registry.Check(req.ClientPK, ca.RoleUser); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotPermitted, err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(req, nil)
+}
+
+// appendLocked commits a request as the next journal. extra carries
+// type-specific payloads (mutation descriptors, time attestations).
+func (l *Ledger) appendLocked(req *journal.Request, extra []byte) (*journal.Receipt, error) {
+	rec := &journal.Record{
+		JSN:           l.nextJSN,
+		Type:          req.Type,
+		Timestamp:     l.cfg.Clock(),
+		RequestHash:   req.Hash(),
+		PayloadDigest: hashutil.Sum(req.Payload),
+		PayloadSize:   uint64(len(req.Payload)),
+		Clues:         req.Clues,
+		StateKey:      req.StateKey,
+		ClientPK:      req.ClientPK,
+		ClientSig:     req.ClientSig,
+		CoSigners:     req.CoSigners,
+		Extra:         extra,
+	}
+	txHash := rec.TxHash()
+	if err := l.cfg.Blobs.Put(rec.PayloadDigest, req.Payload); err != nil {
+		return nil, fmt.Errorf("ledger: store payload: %w", err)
+	}
+	l.payloadRefs[rec.PayloadDigest]++
+	if _, err := l.journals.Append(rec.EncodeBytes()); err != nil {
+		return nil, fmt.Errorf("ledger: journal stream: %w", err)
+	}
+	if _, err := l.digests.Append(txHash[:]); err != nil {
+		return nil, fmt.Errorf("ledger: digest stream: %w", err)
+	}
+	l.fam.Append(txHash)
+	for _, c := range rec.Clues {
+		l.clues.Insert(c, rec.JSN, txHash)
+	}
+	if len(rec.StateKey) > 0 {
+		l.state = l.state.Put(rec.StateKey, encodeStateValue(rec.JSN, rec.PayloadDigest))
+		l.stateIndex[string(rec.StateKey)] = stateIndexEntry{jsn: rec.JSN, digest: rec.PayloadDigest}
+	}
+	if _, ok := l.firstSeen[rec.ClientPK]; !ok {
+		l.firstSeen[rec.ClientPK] = rec.JSN
+	}
+	l.nextJSN++
+	l.pendingCount++
+	if l.pendingCount >= uint64(l.cfg.BlockSize) {
+		if err := l.cutBlockLocked(); err != nil {
+			return nil, err
+		}
+	}
+	receipt := &journal.Receipt{
+		JSN:         rec.JSN,
+		RequestHash: rec.RequestHash,
+		TxHash:      txHash,
+		BlockHeight: uint64(len(l.headers)), // the block that will contain it
+		Timestamp:   rec.Timestamp,
+	}
+	if n := len(l.headers); n > 0 && l.headers[n-1].FirstJSN+l.headers[n-1].Count > rec.JSN {
+		receipt.BlockHeight = l.headers[n-1].Height
+		receipt.BlockHash = l.headers[n-1].Hash()
+	}
+	if err := receipt.Sign(l.cfg.LSP); err != nil {
+		return nil, err
+	}
+	return receipt, nil
+}
+
+// stateIndexEntry mirrors the latest world-state write per key so that
+// pseudo-genesis snapshots can be built without walking the MPT.
+type stateIndexEntry struct {
+	jsn    uint64
+	digest hashutil.Digest
+}
+
+func encodeStateValue(jsn uint64, payload hashutil.Digest) []byte {
+	w := wire.NewWriter(48)
+	w.Uvarint(jsn)
+	w.Digest(payload)
+	return w.Bytes()
+}
+
+func decodeStateValue(b []byte) (uint64, hashutil.Digest, error) {
+	r := wire.NewReader(b)
+	jsn := r.Uvarint()
+	d := r.Digest()
+	if err := r.Finish(); err != nil {
+		return 0, hashutil.Zero, err
+	}
+	return jsn, d, nil
+}
+
+// CutBlock seals any pending journals into a block immediately (normally
+// blocks cut automatically every BlockSize journals).
+func (l *Ledger) CutBlock() (*BlockHeader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pendingCount == 0 {
+		if n := len(l.headers); n > 0 {
+			return l.headers[n-1], nil
+		}
+		return nil, fmt.Errorf("%w: no journals to commit", ErrNotFound)
+	}
+	if err := l.cutBlockLocked(); err != nil {
+		return nil, err
+	}
+	return l.headers[len(l.headers)-1], nil
+}
+
+func (l *Ledger) cutBlockLocked() error {
+	jroot, err := l.fam.Root()
+	if err != nil {
+		return err
+	}
+	h := &BlockHeader{
+		Height:      uint64(len(l.headers)),
+		FirstJSN:    l.nextJSN - l.pendingCount,
+		Count:       l.pendingCount,
+		Timestamp:   l.cfg.Clock(),
+		JournalRoot: jroot,
+		ClueRoot:    l.clues.RootHash(),
+		StateRoot:   l.state.RootHash(),
+	}
+	if n := len(l.headers); n > 0 {
+		h.Prev = l.headers[n-1].Hash()
+	}
+	if _, err := l.blocks.Append(h.EncodeBytes()); err != nil {
+		return fmt.Errorf("ledger: block stream: %w", err)
+	}
+	l.headers = append(l.headers, h)
+	l.pendingCount = 0
+	return nil
+}
+
+// Header returns the block header at height.
+func (l *Ledger) Header(height uint64) (*BlockHeader, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height >= uint64(len(l.headers)) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrNotFound, height, len(l.headers))
+	}
+	return l.headers[height], nil
+}
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.headers))
+}
+
+// State returns the live LSP-signed LedgerInfo — the trusted datum for
+// client-side verification and the digest source for time anchoring.
+func (l *Ledger) State() (*SignedState, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.stateLocked()
+}
+
+func (l *Ledger) stateLocked() (*SignedState, error) {
+	jroot, err := l.fam.Root()
+	if err != nil {
+		return nil, err
+	}
+	s := &SignedState{
+		URI:         l.cfg.URI,
+		JSN:         l.nextJSN,
+		JournalRoot: jroot,
+		ClueRoot:    l.clues.RootHash(),
+		StateRoot:   l.state.RootHash(),
+		Timestamp:   l.cfg.Clock(),
+	}
+	if err := s.sign(l.cfg.LSP); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// GetJournal returns the committed record at jsn. Occulted journals come
+// back with the Occulted bit set; purged ones fail with ErrPurged.
+func (l *Ledger) GetJournal(jsn uint64) (*journal.Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.getJournalLocked(jsn)
+}
+
+func (l *Ledger) getJournalLocked(jsn uint64) (*journal.Record, error) {
+	if jsn >= l.nextJSN {
+		return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, l.nextJSN)
+	}
+	if jsn < l.base {
+		return nil, fmt.Errorf("%w: jsn %d below pseudo genesis %d", ErrPurged, jsn, l.base)
+	}
+	raw, err := l.journals.Read(jsn)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: read journal %d: %w", jsn, err)
+	}
+	rec, err := journal.DecodeRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	rec.Occulted = l.occulted[jsn]
+	return rec, nil
+}
+
+// GetPayload returns the raw payload of a journal, verified against its
+// recorded digest. Occulted journals fail with ErrOcculted.
+func (l *Ledger) GetPayload(jsn uint64) ([]byte, error) {
+	rec, err := l.GetJournal(jsn)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Occulted {
+		return nil, fmt.Errorf("%w: jsn %d", ErrOcculted, jsn)
+	}
+	data, err := l.cfg.Blobs.Get(rec.PayloadDigest)
+	if err != nil {
+		return nil, err
+	}
+	if hashutil.Sum(data) != rec.PayloadDigest {
+		return nil, fmt.Errorf("%w: payload of jsn %d does not match recorded digest", ErrVerify, jsn)
+	}
+	return data, nil
+}
+
+// TxHash returns the accumulated digest of any journal ever committed,
+// including purged ones (the digest stream is never truncated).
+func (l *Ledger) TxHash(jsn uint64) (hashutil.Digest, error) {
+	raw, err := l.digests.Read(jsn)
+	if err != nil {
+		return hashutil.Zero, fmt.Errorf("%w: jsn %d", ErrNotFound, jsn)
+	}
+	var d hashutil.Digest
+	copy(d[:], raw)
+	return d, nil
+}
+
+// ListClue returns the records of a clue's lineage, in version order.
+func (l *Ledger) ListClue(clue string) ([]*journal.Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	jsns, err := l.clues.JSNs(clue)
+	if err != nil {
+		return nil, fmt.Errorf("%w: clue %q", ErrNotFound, clue)
+	}
+	out := make([]*journal.Record, 0, len(jsns))
+	for _, jsn := range jsns {
+		rec, err := l.getJournalLocked(jsn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// GetState looks up the world-state entry for a key: the jsn and payload
+// digest of the latest journal that set it.
+func (l *Ledger) GetState(key []byte) (uint64, hashutil.Digest, error) {
+	l.mu.RLock()
+	v, err := l.state.Get(key)
+	l.mu.RUnlock()
+	if err != nil {
+		return 0, hashutil.Zero, fmt.Errorf("%w: state key %q", ErrNotFound, key)
+	}
+	return decodeStateValue(v)
+}
+
+// AnchorTime records a verified TSA attestation as a time journal
+// (Protocol 3, step 2: the signed time journal is anchored back to the
+// ledger). When a registry is configured the TSA key must be certified.
+func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, error) {
+	if err := ta.Verify(); err != nil {
+		return nil, err
+	}
+	if l.cfg.Registry != nil {
+		if err := l.cfg.Registry.Check(ta.TSAPK, ca.RoleTSA); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotPermitted, err)
+		}
+	}
+	req := &journal.Request{
+		LedgerURI: l.cfg.URI,
+		Type:      journal.TypeTime,
+		Payload:   []byte("time-journal"),
+	}
+	if err := req.Sign(l.cfg.LSP); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(req, ta.EncodeBytes())
+}
+
+// AnchorTimeWith runs one two-way pegging round (Protocol 3) atomically:
+// under the commit lock it takes the current fam root, has stamp endorse
+// it (a TSA, or a T-Ledger submission), and anchors the result back as a
+// time journal. Because the lock is held across the exchange, the
+// attestation's digest is exactly the fam root over all journals that
+// precede the time journal — which is what lets an auditor re-derive and
+// check it (§V step 2).
+func (l *Ledger) AnchorTimeWith(stamp func(hashutil.Digest) (*journal.TimeAttestation, error)) (*journal.Receipt, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	root, err := l.fam.Root()
+	if err != nil {
+		return nil, err
+	}
+	ta, err := stamp(root)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: time endorsement: %w", err)
+	}
+	if err := ta.Verify(); err != nil {
+		return nil, err
+	}
+	if ta.Digest != root {
+		return nil, fmt.Errorf("%w: attestation covers %s, submitted %s", ErrVerify, ta.Digest.Short(), root.Short())
+	}
+	if l.cfg.Registry != nil {
+		if err := l.cfg.Registry.Check(ta.TSAPK, ca.RoleTSA); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotPermitted, err)
+		}
+	}
+	req := &journal.Request{LedgerURI: l.cfg.URI, Type: journal.TypeTime, Payload: []byte("time-journal")}
+	if err := req.Sign(l.cfg.LSP); err != nil {
+		return nil, err
+	}
+	return l.appendLocked(req, ta.EncodeBytes())
+}
+
+// FamRootAt recomputes the fam root as it was when size journals had
+// been committed. Auditors use it to check that a time journal's
+// attestation covers exactly the preceding ledger prefix.
+func (l *Ledger) FamRootAt(size uint64) (hashutil.Digest, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if size == 0 || size > l.nextJSN {
+		return hashutil.Zero, fmt.Errorf("%w: size %d of %d", ErrNotFound, size, l.nextJSN)
+	}
+	t := fam.MustNew(l.cfg.FractalHeight)
+	for jsn := uint64(0); jsn < size; jsn++ {
+		raw, err := l.digests.Read(jsn)
+		if err != nil {
+			return hashutil.Zero, err
+		}
+		var d hashutil.Digest
+		copy(d[:], raw)
+		t.Append(d)
+	}
+	return t.Root()
+}
+
+// Anchor captures a fam trusted anchor (fam-aoa) at the current state.
+// Verifiers set anchors after completing an audit.
+func (l *Ledger) Anchor() *fam.Anchor {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.fam.AnchorNow()
+}
+
+// Clock returns the configured clock (used by the T-Ledger integration).
+func (l *Ledger) Clock() func() int64 { return l.cfg.Clock }

@@ -1,0 +1,137 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/sig"
+)
+
+func TestOccultClue(t *testing.T) {
+	e := newEnv(t, nil)
+	var jsns []uint64
+	for i := 0; i < 5; i++ {
+		r := e.append(t, fmt.Sprintf("pii-%d", i), "leaky-clue")
+		jsns = append(jsns, r.JSN)
+	}
+	e.append(t, "unrelated", "other-clue")
+
+	desc := &OccultClueDescriptor{URI: "ledger://test", Clue: "leaky-clue"}
+	ms := sig.NewMultiSig(desc.Digest())
+	if err := ms.SignWith(e.dba); err != nil {
+		t.Fatal(err)
+	}
+	hidden, err := e.ledger.OccultClue("leaky-clue", ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hidden) != 5 {
+		t.Fatalf("hidden %d journals, want 5", len(hidden))
+	}
+	// All payloads blocked; erasure queued asynchronously.
+	for _, jsn := range jsns {
+		if _, err := e.ledger.GetPayload(jsn); !errors.Is(err, ErrOcculted) {
+			t.Fatalf("jsn %d: err = %v", jsn, err)
+		}
+	}
+	if e.ledger.PendingErasures() != 5 {
+		t.Fatalf("pending = %d", e.ledger.PendingErasures())
+	}
+	if n, err := e.ledger.Reorganize(); err != nil || n != 5 {
+		t.Fatalf("Reorganize = %d, %v", n, err)
+	}
+	// The untouched clue still serves payloads.
+	recs, err := e.ledger.ListClue("other-clue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ledger.GetPayload(recs[0].JSN); err != nil {
+		t.Fatal(err)
+	}
+	// Clue lineage verification still passes across the occulted set
+	// (Protocol 2: retained digests stand in).
+	if err := e.ledger.VerifyClueServer("leaky-clue"); err != nil {
+		t.Fatal(err)
+	}
+	// The occult journal's extra decodes and carries the full jsn list.
+	occRec, err := e.ledger.GetJournal(e.ledger.Size() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := DecodeOccultClueExtra(occRec.Extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extra.JSNs) != 5 || extra.Desc.Clue != "leaky-clue" {
+		t.Fatalf("extra: %+v", extra)
+	}
+}
+
+func TestOccultClueRequiresDBA(t *testing.T) {
+	e := newEnv(t, nil)
+	e.append(t, "x", "k")
+	desc := &OccultClueDescriptor{URI: "ledger://test", Clue: "k"}
+	ms := sig.NewMultiSig(desc.Digest())
+	ms.SignWith(e.client)
+	if _, err := e.ledger.OccultClue("k", ms); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOccultClueUnknown(t *testing.T) {
+	e := newEnv(t, nil)
+	desc := &OccultClueDescriptor{URI: "ledger://test", Clue: "ghost"}
+	ms := sig.NewMultiSig(desc.Digest())
+	ms.SignWith(e.dba)
+	if _, err := e.ledger.OccultClue("ghost", ms); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOccultClueDoubleIsRejected(t *testing.T) {
+	e := newEnv(t, nil)
+	e.append(t, "x", "k")
+	desc := &OccultClueDescriptor{URI: "ledger://test", Clue: "k"}
+	ms := sig.NewMultiSig(desc.Digest())
+	ms.SignWith(e.dba)
+	if _, err := e.ledger.OccultClue("k", ms); err != nil {
+		t.Fatal(err)
+	}
+	ms2 := sig.NewMultiSig(desc.Digest())
+	ms2.SignWith(e.dba)
+	if _, err := e.ledger.OccultClue("k", ms2); !errors.Is(err, ErrNotPermitted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryAfterOccultClue(t *testing.T) {
+	e := newEnv(t, nil)
+	var jsns []uint64
+	for i := 0; i < 3; i++ {
+		r := e.append(t, fmt.Sprintf("v%d", i), "k")
+		jsns = append(jsns, r.JSN)
+	}
+	desc := &OccultClueDescriptor{URI: "ledger://test", Clue: "k"}
+	ms := sig.NewMultiSig(desc.Digest())
+	ms.SignWith(e.dba)
+	if _, err := e.ledger.OccultClue("k", ms); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(e.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jsn := range jsns {
+		rec, err := l2.GetJournal(jsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Occulted {
+			t.Fatalf("jsn %d occult bit lost across recovery", jsn)
+		}
+	}
+	if l2.PendingErasures() == 0 {
+		t.Fatal("erase queue lost across recovery")
+	}
+}

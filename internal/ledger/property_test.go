@@ -1,0 +1,143 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/sig"
+)
+
+// Randomized-operation property: any interleaving of appends (with and
+// without clues and co-signers), block cuts, occults, and a purge leaves
+// the ledger in a state where
+//
+//  1. every live journal still passes client-side existence verification,
+//  2. every clue still passes server-side lineage verification, and
+//  3. the engine recovers to identical roots after a restart.
+//
+// This is the engine-level tamper-free invariant the unit tests check
+// piecewise; here a generator drives it across operation orders.
+func TestQuickRandomOperationSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEnv(t, func(c *Config) { c.FractalHeight = 2; c.BlockSize = 3 })
+		co := sig.GenerateDeterministic("prop/co")
+		var occultable []uint64
+		purged := false
+
+		steps := 10 + rng.Intn(25)
+		for i := 0; i < steps; i++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // append
+				req := e.request(t, fmt.Sprintf("doc-%d-%d", seed, i))
+				if rng.Intn(2) == 0 {
+					req.Clues = []string{fmt.Sprintf("clue-%d", rng.Intn(3))}
+				}
+				if rng.Intn(3) == 0 {
+					if err := req.CoSign(co); err != nil {
+						return false
+					}
+				}
+				if err := req.Sign(e.client); err != nil {
+					return false
+				}
+				// Re-co-sign after the primary signature changed the hash.
+				req.CoSigners = nil
+				if rng.Intn(3) == 0 {
+					if err := req.CoSign(co); err != nil {
+						return false
+					}
+				}
+				r, err := e.ledger.Append(req)
+				if err != nil {
+					return false
+				}
+				occultable = append(occultable, r.JSN)
+			case op < 7: // cut a block
+				if _, err := e.ledger.CutBlock(); err != nil && e.ledger.Size() > 0 {
+					// Cutting with nothing pending after a fresh cut is fine.
+					continue
+				}
+			case op < 9: // occult a random earlier journal
+				if len(occultable) == 0 {
+					continue
+				}
+				jsn := occultable[rng.Intn(len(occultable))]
+				if jsn < e.ledger.Base() {
+					continue
+				}
+				desc := &OccultDescriptor{URI: "ledger://test", JSN: jsn, Async: rng.Intn(2) == 0}
+				ms := sig.NewMultiSig(desc.Digest())
+				if err := ms.SignWith(e.dba); err != nil {
+					return false
+				}
+				if _, err := e.ledger.Occult(desc, ms); err != nil {
+					// Double occult attempts are expected to fail.
+					continue
+				}
+			case op < 10: // one purge per run
+				if purged || e.ledger.Size() < 4 {
+					continue
+				}
+				point := 1 + uint64(rng.Intn(int(e.ledger.Size()-1)))
+				if point <= e.ledger.Base() {
+					continue
+				}
+				desc := &PurgeDescriptor{URI: "ledger://test", Point: point, ErasePayloads: true}
+				ms := sig.NewMultiSig(desc.Digest())
+				if err := ms.SignWith(e.dba); err != nil {
+					return false
+				}
+				if err := ms.SignWith(e.client); err != nil {
+					return false
+				}
+				if _, err := e.ledger.Purge(desc, ms); err != nil {
+					continue
+				}
+				purged = true
+			}
+		}
+		e.ledger.Reorganize()
+
+		// Invariant 1: every live journal verifies client-side.
+		for jsn := e.ledger.Base(); jsn < e.ledger.Size(); jsn++ {
+			p, err := e.ledger.ProveExistence(jsn, false)
+			if err != nil {
+				return false
+			}
+			if _, err := VerifyExistence(p, e.lsp.Public()); err != nil {
+				return false
+			}
+		}
+		// Invariant 2: every used clue verifies server-side.
+		for c := 0; c < 3; c++ {
+			clue := fmt.Sprintf("clue-%d", c)
+			err := e.ledger.VerifyClueServer(clue)
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				return false
+			}
+		}
+		// Invariant 3: recovery reproduces the roots.
+		before, err := e.ledger.State()
+		if err != nil {
+			return false
+		}
+		l2, err := Open(e.cfg)
+		if err != nil {
+			return false
+		}
+		after, err := l2.State()
+		if err != nil {
+			return false
+		}
+		return before.JournalRoot == after.JournalRoot &&
+			before.ClueRoot == after.ClueRoot &&
+			before.StateRoot == after.StateRoot
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

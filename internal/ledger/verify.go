@@ -1,0 +1,454 @@
+package ledger
+
+import (
+	"fmt"
+
+	"ledgerdb/internal/cmtree"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/merkle/fam"
+	"ledgerdb/internal/mpt"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/wire"
+)
+
+// This file implements the server-side proof generation and the pure
+// client-side verification functions — verification "conducted in two
+// different manners" per §II-C: at server side when the LSP is trusted,
+// at client side when it is not.
+
+// ExistenceProof bundles everything a distrusting client needs to verify
+// that a journal exists verbatim on the ledger (the what factor):
+// the raw record, its fam accumulator proof, and the LSP-signed state the
+// proof anchors to. Payload is included when the caller asked for it and
+// the journal is not occulted.
+type ExistenceProof struct {
+	RecordBytes []byte
+	Payload     []byte // nil for occulted journals or digest-only proofs
+	Fam         *fam.Proof
+	State       *SignedState
+}
+
+// ProveExistence builds an existence proof for jsn against the live
+// state. withPayload controls whether the raw payload ships along.
+func (l *Ledger) ProveExistence(jsn uint64, withPayload bool) (*ExistenceProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if jsn >= l.nextJSN {
+		return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, l.nextJSN)
+	}
+	if jsn < l.base {
+		return nil, fmt.Errorf("%w: jsn %d", ErrPurged, jsn)
+	}
+	raw, err := l.journals.Read(jsn)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := l.fam.Prove(jsn)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.stateLocked()
+	if err != nil {
+		return nil, err
+	}
+	p := &ExistenceProof{RecordBytes: raw, Fam: fp, State: st}
+	if withPayload && !l.occulted[jsn] {
+		rec, err := journal.DecodeRecord(raw)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := l.cfg.Blobs.Get(rec.PayloadDigest)
+		if err == nil {
+			p.Payload = payload
+		}
+	}
+	return p, nil
+}
+
+// ProveExistenceAnchored is ProveExistence using a verifier-held fam-aoa
+// trusted anchor, producing the short proof of Figure 4(a).
+func (l *Ledger) ProveExistenceAnchored(jsn uint64, a *fam.Anchor, withPayload bool) (*ExistenceProof, error) {
+	p, err := l.ProveExistence(jsn, withPayload)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.RLock()
+	fp, err := l.fam.ProveAnchored(jsn, a)
+	l.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	p.Fam = fp
+	return p, nil
+}
+
+// VerifyExistence is the client-side what (+who) verification: check the
+// LSP's signature on the state, fold the record's tx-hash through the fam
+// proof to the signed journal root, re-verify the record's client
+// signatures, and — when a payload is present — match it against the
+// recorded digest (the "foobar" vs "foopar" check of §III-A).
+//
+// Occult Protocol 2 falls out naturally: an occulted journal ships no
+// payload, and its retained PayloadDigest is what the tx-hash covers.
+func VerifyExistence(p *ExistenceProof, lsp sig.PublicKey) (*journal.Record, error) {
+	return verifyExistence(p, lsp, nil)
+}
+
+// VerifyExistenceAnchored is VerifyExistence under a fam-aoa anchor.
+func VerifyExistenceAnchored(p *ExistenceProof, lsp sig.PublicKey, a *fam.Anchor) (*journal.Record, error) {
+	return verifyExistence(p, lsp, a)
+}
+
+func verifyExistence(p *ExistenceProof, lsp sig.PublicKey, a *fam.Anchor) (*journal.Record, error) {
+	if p == nil || p.State == nil || p.Fam == nil {
+		return nil, fmt.Errorf("%w: incomplete proof", ErrVerify)
+	}
+	if err := p.State.Verify(lsp); err != nil {
+		return nil, err
+	}
+	rec, err := journal.DecodeRecord(p.RecordBytes)
+	if err != nil {
+		return nil, err
+	}
+	txHash := rec.TxHash()
+	if a != nil {
+		err = fam.VerifyAnchored(txHash, p.Fam, a, p.State.JournalRoot)
+	} else {
+		err = fam.Verify(txHash, p.Fam, p.State.JournalRoot)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: what: %v", ErrVerify, err)
+	}
+	if err := journal.VerifyRecordSigs(rec); err != nil {
+		return nil, fmt.Errorf("%w: who: %v", ErrVerify, err)
+	}
+	if p.Payload != nil {
+		if hashutil.Sum(p.Payload) != rec.PayloadDigest {
+			return nil, fmt.Errorf("%w: payload does not match recorded digest", ErrVerify)
+		}
+	}
+	return rec, nil
+}
+
+// VerifyExistenceServer is the trusted-LSP fast path: the server checks
+// the journal against its own accumulator without signing a state or
+// shipping bytes.
+func (l *Ledger) VerifyExistenceServer(jsn uint64) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rec, err := l.getJournalLocked(jsn)
+	if err != nil {
+		return err
+	}
+	root, err := l.fam.Root()
+	if err != nil {
+		return err
+	}
+	fp, err := l.fam.Prove(jsn)
+	if err != nil {
+		return err
+	}
+	if err := fam.Verify(rec.TxHash(), fp, root); err != nil {
+		return fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	return nil
+}
+
+// ClueProofBundle is the client-side lineage proof for the Verify(lgid,
+// CLUE, …) API of §IV-C: the retrieved records for the requested version
+// range, the CM-Tree proof set, and the signed state anchoring CM-Tree1.
+type ClueProofBundle struct {
+	Clue    string
+	Records [][]byte // encoded journal records for [Begin, End)
+	CM      *cmtree.ClueProof
+	State   *SignedState
+}
+
+// ProveClue builds the bundle for versions [begin, end) of a clue
+// (steps 1–5 of the client-side algorithm, executed at the server).
+// Pass end = 0 for "the entire clue so far".
+func (l *Ledger) ProveClue(clue string, begin, end uint64) (*ClueProofBundle, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	jsns, err := l.clues.JSNs(clue)
+	if err != nil {
+		return nil, fmt.Errorf("%w: clue %q", ErrNotFound, clue)
+	}
+	if end == 0 {
+		end = uint64(len(jsns))
+	}
+	if begin >= end || end > uint64(len(jsns)) {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d", cmtree.ErrBadRange, begin, end, len(jsns))
+	}
+	snap := l.clues.Snapshot()
+	cp, err := snap.ProveClue(clue, begin, end)
+	if err != nil {
+		return nil, err
+	}
+	b := &ClueProofBundle{Clue: clue, CM: cp}
+	for _, jsn := range jsns[begin:end] {
+		raw, err := l.journals.Read(jsn)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: clue %q journal %d: %w", clue, jsn, err)
+		}
+		b.Records = append(b.Records, raw)
+	}
+	st, err := l.stateLocked()
+	if err != nil {
+		return nil, err
+	}
+	b.State = st
+	return b, nil
+}
+
+// ProveClueByTime is the timestamp-boundary form of §IV-C's typical
+// scene 2 ("verify within a range specified by version (or timestamp)
+// boundaries"): it maps the half-open commit-time window [t1, t2) to the
+// clue's version range and proves that. Clue versions are appended in
+// commit order, so timestamps are monotone within a clue.
+func (l *Ledger) ProveClueByTime(clue string, t1, t2 int64) (*ClueProofBundle, error) {
+	l.mu.RLock()
+	jsns, err := l.clues.JSNs(clue)
+	l.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("%w: clue %q", ErrNotFound, clue)
+	}
+	begin, end := uint64(0), uint64(0)
+	found := false
+	for v, jsn := range jsns {
+		rec, err := l.GetJournal(jsn)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Timestamp < t1 {
+			begin = uint64(v + 1)
+			continue
+		}
+		if rec.Timestamp >= t2 {
+			break
+		}
+		end = uint64(v + 1)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: clue %q has no versions in [%d, %d)", ErrNotFound, clue, t1, t2)
+	}
+	return l.ProveClue(clue, begin, end)
+}
+
+// VerifyClue is the client-side step 6: re-derive each record's tx-hash,
+// validate the lineage against the clue's CM-Tree2 frontier and CM-Tree1
+// root (both layers must prove, §IV-C), check the LSP state signature,
+// and re-verify every record's client signatures. Returns the decoded
+// records on success.
+func VerifyClue(b *ClueProofBundle, lsp sig.PublicKey) ([]*journal.Record, error) {
+	if b == nil || b.CM == nil || b.State == nil {
+		return nil, fmt.Errorf("%w: incomplete clue bundle", ErrVerify)
+	}
+	if err := b.State.Verify(lsp); err != nil {
+		return nil, err
+	}
+	recs := make([]*journal.Record, 0, len(b.Records))
+	digests := make([]hashutil.Digest, 0, len(b.Records))
+	for i, raw := range b.Records {
+		rec, err := journal.DecodeRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrVerify, i, err)
+		}
+		if err := journal.VerifyRecordSigs(rec); err != nil {
+			return nil, fmt.Errorf("%w: who: %v", ErrVerify, err)
+		}
+		recs = append(recs, rec)
+		digests = append(digests, rec.TxHash())
+	}
+	if err := cmtree.VerifyClue(b.State.ClueRoot, b.CM, digests); err != nil {
+		return nil, fmt.Errorf("%w: lineage: %v", ErrVerify, err)
+	}
+	return recs, nil
+}
+
+// EncodeBytes serializes an existence proof for transport.
+func (p *ExistenceProof) EncodeBytes() []byte {
+	w := wire.NewWriter(1024)
+	w.WriteBytes(p.RecordBytes)
+	w.WriteBytes(p.Payload)
+	p.Fam.Encode(w)
+	p.State.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeExistenceProof parses a transported existence proof.
+func DecodeExistenceProof(b []byte) (*ExistenceProof, error) {
+	r := wire.NewReader(b)
+	p := &ExistenceProof{RecordBytes: r.BytesCopy()}
+	if payload := r.BytesCopy(); len(payload) > 0 {
+		p.Payload = payload
+	}
+	fp, err := fam.DecodeProof(r)
+	if err != nil {
+		return nil, err
+	}
+	p.Fam = fp
+	st, err := DecodeSignedState(r)
+	if err != nil {
+		return nil, err
+	}
+	p.State = st
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EncodeBytes serializes a clue proof bundle for transport.
+func (b *ClueProofBundle) EncodeBytes() []byte {
+	w := wire.NewWriter(4096)
+	w.String(b.Clue)
+	w.Uvarint(uint64(len(b.Records)))
+	for _, rec := range b.Records {
+		w.WriteBytes(rec)
+	}
+	b.CM.Encode(w)
+	b.State.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeClueProofBundle parses a transported clue bundle.
+func DecodeClueProofBundle(raw []byte) (*ClueProofBundle, error) {
+	r := wire.NewReader(raw)
+	b := &ClueProofBundle{Clue: r.String()}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("%w: %d records", ErrVerify, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		b.Records = append(b.Records, r.BytesCopy())
+	}
+	cp, err := cmtree.DecodeClueProof(r)
+	if err != nil {
+		return nil, err
+	}
+	b.CM = cp
+	st, err := DecodeSignedState(r)
+	if err != nil {
+		return nil, err
+	}
+	b.State = st
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// StateProof is a verifiable world-state read: the current value
+// binding for a key (the jsn and payload digest of the latest journal
+// that set it), proven into the state MPT whose root the LSP signed.
+type StateProof struct {
+	Key   []byte
+	Value []byte // encodeStateValue(jsn, payloadDigest)
+	MPT   *mpt.Proof
+	State *SignedState
+}
+
+// ProveState builds a verifiable read of the world-state entry for key.
+func (l *Ledger) ProveState(key []byte) (*StateProof, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	value, err := l.state.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: state key %q", ErrNotFound, key)
+	}
+	proof, err := l.state.Prove(key)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.stateLocked()
+	if err != nil {
+		return nil, err
+	}
+	return &StateProof{Key: key, Value: value, MPT: proof, State: st}, nil
+}
+
+// VerifyState is the client-side check of a world-state read: the LSP
+// signature over the state, then the MPT path from the key's leaf to the
+// signed StateRoot. Returns the jsn and payload digest of the journal
+// holding the current value.
+func VerifyState(p *StateProof, lsp sig.PublicKey) (uint64, hashutil.Digest, error) {
+	if p == nil || p.MPT == nil || p.State == nil {
+		return 0, hashutil.Zero, fmt.Errorf("%w: incomplete state proof", ErrVerify)
+	}
+	if err := p.State.Verify(lsp); err != nil {
+		return 0, hashutil.Zero, err
+	}
+	if err := mpt.VerifyProof(p.State.StateRoot, p.Key, p.Value, p.MPT); err != nil {
+		return 0, hashutil.Zero, fmt.Errorf("%w: state: %v", ErrVerify, err)
+	}
+	return decodeStateValue(p.Value)
+}
+
+// EncodeBytes serializes a state proof for transport.
+func (p *StateProof) EncodeBytes() []byte {
+	w := wire.NewWriter(512)
+	w.WriteBytes(p.Key)
+	w.WriteBytes(p.Value)
+	w.Uvarint(uint64(len(p.MPT.Nodes)))
+	for _, n := range p.MPT.Nodes {
+		w.WriteBytes(n)
+	}
+	p.State.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeStateProof parses a transported state proof.
+func DecodeStateProof(raw []byte) (*StateProof, error) {
+	r := wire.NewReader(raw)
+	p := &StateProof{Key: r.BytesCopy(), Value: r.BytesCopy(), MPT: &mpt.Proof{}}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 4096 {
+		return nil, fmt.Errorf("%w: %d MPT nodes", ErrVerify, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		p.MPT.Nodes = append(p.MPT.Nodes, r.BytesCopy())
+	}
+	st, err := DecodeSignedState(r)
+	if err != nil {
+		return nil, err
+	}
+	p.State = st
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// VerifyClueServer is the trusted-LSP lineage fast path (§IV-C server
+// side: steps 1–3 plus a local validation).
+func (l *Ledger) VerifyClueServer(clue string) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	jsns, err := l.clues.JSNs(clue)
+	if err != nil {
+		return fmt.Errorf("%w: clue %q", ErrNotFound, clue)
+	}
+	digests := make([]hashutil.Digest, 0, len(jsns))
+	for _, jsn := range jsns {
+		raw, err := l.digests.Read(jsn)
+		if err != nil {
+			return err
+		}
+		var d hashutil.Digest
+		copy(d[:], raw)
+		digests = append(digests, d)
+	}
+	if err := l.clues.VerifyServer(clue, digests); err != nil {
+		return fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package logicalclock provides the controllable clock shared by the
+// time-protocol simulations and their tests. Timestamp protocols are
+// about ordering and windows, not wall time, so every party in a
+// simulation reads the same advancing logical clock.
+package logicalclock
+
+import "sync"
+
+// Clock is a manually-advanced logical clock. Safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+// New starts a clock at t0.
+func New(t0 int64) *Clock { return &Clock{now: t0} }
+
+// Now returns the current logical time.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves time forward by d units.
+func (c *Clock) Advance(d int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+}
+
+// Tick advances by one unit and returns the new time. It doubles as a
+// strictly-monotonic clock function for ledgers under test.
+func (c *Clock) Tick() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now++
+	return c.now
+}

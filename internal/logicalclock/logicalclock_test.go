@@ -1,0 +1,60 @@
+package logicalclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAdvanceAndNow(t *testing.T) {
+	c := New(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+}
+
+func TestTickMonotonic(t *testing.T) {
+	c := New(0)
+	prev := int64(0)
+	for i := 0; i < 100; i++ {
+		v := c.Tick()
+		if v <= prev {
+			t.Fatalf("Tick regressed: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestConcurrentTicksUnique(t *testing.T) {
+	c := New(0)
+	const goroutines, ticks = 8, 200
+	seen := make(chan int64, goroutines*ticks)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				seen <- c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	unique := make(map[int64]bool)
+	for v := range seen {
+		if unique[v] {
+			t.Fatalf("duplicate tick %d", v)
+		}
+		unique[v] = true
+	}
+	if len(unique) != goroutines*ticks {
+		t.Fatalf("got %d unique ticks", len(unique))
+	}
+	if c.Now() != goroutines*ticks {
+		t.Fatalf("final Now = %d", c.Now())
+	}
+}

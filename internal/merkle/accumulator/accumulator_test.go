@@ -1,0 +1,239 @@
+package accumulator
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func leafOf(i uint64) hashutil.Digest {
+	return hashutil.Leaf([]byte(fmt.Sprintf("leaf-%d", i)))
+}
+
+func build(n uint64) *Accumulator {
+	a := New()
+	for i := uint64(0); i < n; i++ {
+		a.Append(leafOf(i))
+	}
+	return a
+}
+
+// naiveRoot computes the RFC 6962 root directly from the definition.
+func naiveRoot(leaves []hashutil.Digest) hashutil.Digest {
+	switch len(leaves) {
+	case 0:
+		return hashutil.Zero
+	case 1:
+		return leaves[0]
+	}
+	k := 1
+	for k*2 < len(leaves) {
+		k *= 2
+	}
+	return hashutil.Node(naiveRoot(leaves[:k]), naiveRoot(leaves[k:]))
+}
+
+func TestRootMatchesNaiveDefinition(t *testing.T) {
+	var leaves []hashutil.Digest
+	a := New()
+	for n := uint64(1); n <= 130; n++ {
+		leaves = append(leaves, leafOf(n-1))
+		a.Append(leafOf(n - 1))
+		got, err := a.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveRoot(leaves); got != want {
+			t.Fatalf("size %d: root %s, want %s", n, got.Short(), want.Short())
+		}
+	}
+}
+
+func TestEmptyRoot(t *testing.T) {
+	if _, err := New().Root(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100} {
+		a := build(n)
+		root, _ := a.Root()
+		for i := uint64(0); i < n; i++ {
+			p, err := a.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d Prove(%d): %v", n, i, err)
+			}
+			if err := Verify(leafOf(i), p, root); err != nil {
+				t.Fatalf("n=%d Verify(%d): %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	a := build(20)
+	root, _ := a.Root()
+	p, _ := a.Prove(7)
+	err := Verify(leafOf(8), p, root)
+	if !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	a := build(20)
+	p, _ := a.Prove(7)
+	if err := Verify(leafOf(7), p, hashutil.Leaf([]byte("bogus"))); err == nil {
+		t.Fatal("verified against bogus root")
+	}
+}
+
+func TestVerifyRejectsTamperedPath(t *testing.T) {
+	a := build(33)
+	root, _ := a.Root()
+	p, _ := a.Prove(13)
+	for i := range p.Siblings {
+		bad := *p
+		bad.Siblings = append([]hashutil.Digest(nil), p.Siblings...)
+		bad.Siblings[i] = hashutil.Leaf([]byte("evil"))
+		if err := Verify(leafOf(13), &bad, root); err == nil {
+			t.Fatalf("tampered sibling %d accepted", i)
+		}
+	}
+	// Truncated and extended paths must fail too.
+	short := *p
+	short.Siblings = p.Siblings[:len(p.Siblings)-1]
+	if err := Verify(leafOf(13), &short, root); err == nil {
+		t.Fatal("truncated path accepted")
+	}
+	long := *p
+	long.Siblings = append(append([]hashutil.Digest(nil), p.Siblings...), hashutil.Zero)
+	if err := Verify(leafOf(13), &long, root); err == nil {
+		t.Fatal("extended path accepted")
+	}
+}
+
+func TestVerifyRejectsWrongIndex(t *testing.T) {
+	a := build(16)
+	root, _ := a.Root()
+	p, _ := a.Prove(5)
+	bad := *p
+	bad.Index = 6
+	if err := Verify(leafOf(5), &bad, root); err == nil {
+		t.Fatal("index swap accepted")
+	}
+}
+
+func TestHistoricalRootAndProof(t *testing.T) {
+	a := build(50)
+	// The root at size 32 must equal a fresh 32-leaf tree's root.
+	want, _ := build(32).Root()
+	got, err := a.RootAt(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("historical root mismatch")
+	}
+	p, err := a.ProveAt(10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(leafOf(10), p, got); err != nil {
+		t.Fatalf("historical proof: %v", err)
+	}
+	// A proof at the historical size must not verify against the live root.
+	live, _ := a.Root()
+	if err := Verify(leafOf(10), p, live); err == nil {
+		t.Fatal("historical proof verified against live root")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	a := build(4)
+	if _, err := a.Prove(4); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.ProveAt(0, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.Leaf(4); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPathLenMatchesProof(t *testing.T) {
+	a := build(100)
+	for i := uint64(0); i < 100; i += 7 {
+		p, _ := a.Prove(i)
+		if got := PathLen(i, 100); got != len(p.Siblings) {
+			t.Fatalf("PathLen(%d,100) = %d, proof has %d", i, got, len(p.Siblings))
+		}
+	}
+}
+
+func TestProofWireRoundTrip(t *testing.T) {
+	a := build(37)
+	root, _ := a.Root()
+	p, _ := a.Prove(19)
+	w := wire.NewWriter(0)
+	p.Encode(w)
+	got, err := DecodeProof(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(leafOf(19), got, root); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+}
+
+func TestQuickProveVerify(t *testing.T) {
+	f := func(nRaw uint16, iRaw uint16) bool {
+		n := uint64(nRaw%500) + 1
+		i := uint64(iRaw) % n
+		a := build(n)
+		root, _ := a.Root()
+		p, err := a.Prove(i)
+		if err != nil {
+			return false
+		}
+		return Verify(leafOf(i), p, root) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTamperDetected(t *testing.T) {
+	f := func(nRaw, iRaw uint16, flip uint8) bool {
+		n := uint64(nRaw%200) + 2
+		i := uint64(iRaw) % n
+		a := build(n)
+		root, _ := a.Root()
+		p, _ := a.Prove(i)
+		// Tamper: flip a bit in the leaf being verified.
+		bad := leafOf(i)
+		bad[flip%32] ^= 0x80
+		return Verify(bad, p, root) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendReturnsDenseIndices(t *testing.T) {
+	a := New()
+	for i := uint64(0); i < 10; i++ {
+		if got := a.Append(leafOf(i)); got != i {
+			t.Fatalf("Append returned %d, want %d", got, i)
+		}
+	}
+	if a.Size() != 10 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}

@@ -1,0 +1,217 @@
+// Package bim implements the block-intensive model of §II-A: the
+// Bitcoin-style organization in which transactions batch into blocks,
+// each block carries a Merkle root over its transactions, and block
+// headers chain by hash.
+//
+// It exists as the second baseline next to tim (package
+// merkle/accumulator): bim has fast SPV verification once headers are
+// held as block-oriented anchors (boa), but a light client must store
+// O(number of blocks) headers — the storage overhead fam removes. The
+// time-notary simulation (package timepeg) also uses bim as its public
+// anchoring chain.
+package bim
+
+import (
+	"errors"
+	"fmt"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/merkle/accumulator"
+	"ledgerdb/internal/wire"
+)
+
+// Errors returned by this package.
+var (
+	ErrEmptyBlock  = errors.New("bim: cannot cut an empty block")
+	ErrOutOfRange  = errors.New("bim: transaction or block out of range")
+	ErrBadProof    = errors.New("bim: SPV verification failed")
+	ErrBrokenChain = errors.New("bim: header chain broken")
+)
+
+// Header is a block header: what a light client stores per block.
+type Header struct {
+	Height     uint64
+	Prev       hashutil.Digest // hash of the previous header; zero at genesis
+	MerkleRoot hashutil.Digest // root over the block's transaction digests
+	TxCount    uint64
+	Timestamp  int64 // block producer's clock, as in Bitcoin headers
+}
+
+// Encode appends the header to a wire writer.
+func (h *Header) Encode(w *wire.Writer) {
+	w.Uvarint(h.Height)
+	w.Digest(h.Prev)
+	w.Digest(h.MerkleRoot)
+	w.Uvarint(h.TxCount)
+	w.Int64(h.Timestamp)
+}
+
+// DecodeHeader reads a header from a wire reader.
+func DecodeHeader(r *wire.Reader) (*Header, error) {
+	h := &Header{
+		Height:     r.Uvarint(),
+		Prev:       r.Digest(),
+		MerkleRoot: r.Digest(),
+		TxCount:    r.Uvarint(),
+		Timestamp:  r.Int64(),
+	}
+	return h, r.Err()
+}
+
+// Hash returns the header's digest (the "block hash").
+func (h *Header) Hash() hashutil.Digest {
+	w := wire.NewWriter(96)
+	h.Encode(w)
+	return hashutil.Block(w.Bytes())
+}
+
+// block couples a header with its per-block transaction tree.
+type block struct {
+	header *Header
+	tree   *accumulator.Accumulator
+	first  uint64 // global index of the block's first transaction
+}
+
+// Chain is a full node: all blocks with their transaction trees, plus the
+// buffer of transactions awaiting the next block cut. Not safe for
+// concurrent mutation.
+type Chain struct {
+	blocks  []*block
+	pending []hashutil.Digest
+	total   uint64 // committed transactions
+}
+
+// NewChain returns an empty chain.
+func NewChain() *Chain { return &Chain{} }
+
+// AddTx buffers a transaction digest for the next block and returns its
+// global index once committed.
+func (c *Chain) AddTx(tx hashutil.Digest) uint64 {
+	idx := c.total + uint64(len(c.pending))
+	c.pending = append(c.pending, tx)
+	return idx
+}
+
+// CutBlock seals all pending transactions into a block with the given
+// timestamp and returns its header.
+func (c *Chain) CutBlock(timestamp int64) (*Header, error) {
+	if len(c.pending) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	tree := accumulator.New()
+	for _, tx := range c.pending {
+		tree.Append(tx)
+	}
+	root, err := tree.Root()
+	if err != nil {
+		return nil, err
+	}
+	h := &Header{
+		Height:     uint64(len(c.blocks)),
+		MerkleRoot: root,
+		TxCount:    uint64(len(c.pending)),
+		Timestamp:  timestamp,
+	}
+	if n := len(c.blocks); n > 0 {
+		h.Prev = c.blocks[n-1].header.Hash()
+	}
+	c.blocks = append(c.blocks, &block{header: h, tree: tree, first: c.total})
+	c.total += uint64(len(c.pending))
+	c.pending = c.pending[:0]
+	return h, nil
+}
+
+// Height returns the number of committed blocks.
+func (c *Chain) Height() uint64 { return uint64(len(c.blocks)) }
+
+// TxCount returns the number of committed transactions.
+func (c *Chain) TxCount() uint64 { return c.total }
+
+// Header returns the header at the given height.
+func (c *Chain) Header(height uint64) (*Header, error) {
+	if height >= uint64(len(c.blocks)) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrOutOfRange, height, len(c.blocks))
+	}
+	return c.blocks[height].header, nil
+}
+
+// Headers returns all headers — what a light client downloads to build
+// its boa anchor set.
+func (c *Chain) Headers() []*Header {
+	out := make([]*Header, len(c.blocks))
+	for i, b := range c.blocks {
+		out[i] = b.header
+	}
+	return out
+}
+
+// SPVProof locates a committed transaction and proves it against its
+// block's Merkle root. A light client holding the header needs nothing
+// else (simplified payment verification, §II-A).
+type SPVProof struct {
+	Height  uint64
+	InBlock *accumulator.Proof
+}
+
+// Prove produces an SPV proof for the transaction at global index.
+func (c *Chain) Prove(global uint64) (*SPVProof, error) {
+	if global >= c.total {
+		return nil, fmt.Errorf("%w: tx %d of %d", ErrOutOfRange, global, c.total)
+	}
+	b := c.findBlock(global)
+	ip, err := b.tree.Prove(global - b.first)
+	if err != nil {
+		return nil, err
+	}
+	return &SPVProof{Height: b.header.Height, InBlock: ip}, nil
+}
+
+func (c *Chain) findBlock(global uint64) *block {
+	lo, hi := 0, len(c.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		b := c.blocks[mid]
+		switch {
+		case global < b.first:
+			hi = mid
+		case global >= b.first+b.header.TxCount:
+			lo = mid + 1
+		default:
+			return b
+		}
+	}
+	return nil
+}
+
+// VerifySPV checks a transaction digest against a header the verifier
+// already trusts (its boa anchor).
+func VerifySPV(tx hashutil.Digest, p *SPVProof, header *Header) error {
+	if p == nil || header == nil {
+		return fmt.Errorf("%w: nil proof or header", ErrBadProof)
+	}
+	if p.Height != header.Height {
+		return fmt.Errorf("%w: proof for block %d, header is %d", ErrBadProof, p.Height, header.Height)
+	}
+	if err := accumulator.Verify(tx, p.InBlock, header.MerkleRoot); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	return nil
+}
+
+// VerifyHeaderChain checks that a header sequence is hash-linked and
+// dense from the first element. A light client runs this once while
+// downloading headers; afterwards each header is a trusted anchor.
+func VerifyHeaderChain(headers []*Header) error {
+	for i, h := range headers {
+		if i == 0 {
+			continue
+		}
+		if h.Height != headers[i-1].Height+1 {
+			return fmt.Errorf("%w: height %d follows %d", ErrBrokenChain, h.Height, headers[i-1].Height)
+		}
+		if h.Prev != headers[i-1].Hash() {
+			return fmt.Errorf("%w: block %d prev-hash mismatch", ErrBrokenChain, h.Height)
+		}
+	}
+	return nil
+}

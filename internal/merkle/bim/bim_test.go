@@ -1,0 +1,187 @@
+package bim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func txOf(i uint64) hashutil.Digest {
+	return hashutil.Leaf([]byte(fmt.Sprintf("tx-%d", i)))
+}
+
+func buildChain(t testing.TB, blocks int, perBlock int) *Chain {
+	c := NewChain()
+	n := uint64(0)
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < perBlock; i++ {
+			c.AddTx(txOf(n))
+			n++
+		}
+		if _, err := c.CutBlock(int64(1000 + b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestCutBlockEmpty(t *testing.T) {
+	c := NewChain()
+	if _, err := c.CutBlock(1); !errors.Is(err, ErrEmptyBlock) {
+		t.Fatalf("err = %v, want ErrEmptyBlock", err)
+	}
+}
+
+func TestChainLinksAndHeights(t *testing.T) {
+	c := buildChain(t, 5, 3)
+	if c.Height() != 5 || c.TxCount() != 15 {
+		t.Fatalf("height=%d txs=%d", c.Height(), c.TxCount())
+	}
+	headers := c.Headers()
+	if err := VerifyHeaderChain(headers); err != nil {
+		t.Fatalf("VerifyHeaderChain: %v", err)
+	}
+	// Tamper with one header: the chain must break.
+	headers[2].Timestamp++
+	if err := VerifyHeaderChain(headers); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("tampered chain: err = %v", err)
+	}
+}
+
+func TestSPVProveVerify(t *testing.T) {
+	c := buildChain(t, 8, 7)
+	for i := uint64(0); i < c.TxCount(); i++ {
+		p, err := c.Prove(i)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+		h, err := c.Header(p.Height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifySPV(txOf(i), p, h); err != nil {
+			t.Fatalf("VerifySPV(%d): %v", i, err)
+		}
+	}
+}
+
+func TestSPVRejectsWrongTx(t *testing.T) {
+	c := buildChain(t, 3, 4)
+	p, _ := c.Prove(5)
+	h, _ := c.Header(p.Height)
+	if err := VerifySPV(txOf(6), p, h); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestSPVRejectsWrongHeader(t *testing.T) {
+	c := buildChain(t, 3, 4)
+	p, _ := c.Prove(1) // block 0
+	other, _ := c.Header(2)
+	if err := VerifySPV(txOf(1), p, other); err == nil {
+		t.Fatal("proof accepted against wrong header")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	c := buildChain(t, 2, 2)
+	if _, err := c.Prove(4); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Header(2); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPendingNotProvable(t *testing.T) {
+	c := NewChain()
+	c.AddTx(txOf(0))
+	if _, err := c.Prove(0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("uncommitted tx provable: %v", err)
+	}
+	if _, err := c.CutBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Prove(0); err != nil {
+		t.Fatalf("committed tx not provable: %v", err)
+	}
+}
+
+func TestHeaderHashBindsAllFields(t *testing.T) {
+	h := &Header{Height: 1, MerkleRoot: txOf(0), TxCount: 2, Timestamp: 99}
+	base := h.Hash()
+	mut := *h
+	mut.Timestamp = 100
+	if mut.Hash() == base {
+		t.Fatal("timestamp not bound by header hash")
+	}
+	mut = *h
+	mut.TxCount = 3
+	if mut.Hash() == base {
+		t.Fatal("tx count not bound by header hash")
+	}
+	mut = *h
+	mut.Prev = txOf(1)
+	if mut.Hash() == base {
+		t.Fatal("prev not bound by header hash")
+	}
+}
+
+func TestQuickSPVAcrossShapes(t *testing.T) {
+	f := func(blocksRaw, perRaw, pick uint16) bool {
+		blocks := int(blocksRaw%10) + 1
+		per := int(perRaw%20) + 1
+		c := NewChain()
+		n := uint64(0)
+		for b := 0; b < blocks; b++ {
+			for i := 0; i < per; i++ {
+				c.AddTx(txOf(n))
+				n++
+			}
+			if _, err := c.CutBlock(int64(b)); err != nil {
+				return false
+			}
+		}
+		i := uint64(pick) % n
+		p, err := c.Prove(i)
+		if err != nil {
+			return false
+		}
+		h, err := c.Header(p.Height)
+		if err != nil {
+			return false
+		}
+		return VerifySPV(txOf(i), p, h) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableBlockSizes(t *testing.T) {
+	c := NewChain()
+	sizes := []int{1, 5, 2, 9, 1}
+	n := uint64(0)
+	for b, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			c.AddTx(txOf(n))
+			n++
+		}
+		if _, err := c.CutBlock(int64(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		p, err := c.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := c.Header(p.Height)
+		if err := VerifySPV(txOf(i), p, h); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+}

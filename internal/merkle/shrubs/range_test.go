@@ -1,0 +1,171 @@
+package shrubs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func rangeLeaves(tr *Tree, a, b uint64) []hashutil.Digest {
+	out := make([]hashutil.Digest, 0, b-a)
+	for i := a; i < b; i++ {
+		d, _ := tr.Leaf(i)
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestRangeProofAllWindows(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 7, 8, 13, 16, 21} {
+		tr := build(n)
+		com, _ := tr.Root()
+		for a := uint64(0); a < n; a++ {
+			for b := a + 1; b <= n; b++ {
+				cells, err := tr.RangeProofCells(n, a, b)
+				if err != nil {
+					t.Fatalf("n=%d [%d,%d): %v", n, a, b, err)
+				}
+				if err := VerifyRange(n, a, b, rangeLeaves(tr, a, b), cells, com); err != nil {
+					t.Fatalf("n=%d [%d,%d): %v", n, a, b, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeProofAtHistoricalSize(t *testing.T) {
+	// Cells for a size-s frontier remain valid after the tree grows.
+	tr := build(10)
+	com10, _ := tr.Root()
+	cells, err := tr.RangeProofCells(10, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := rangeLeaves(tr, 3, 7)
+	for i := uint64(10); i < 40; i++ {
+		tr.Append(leafOf(i))
+	}
+	cells2, err := tr.RangeProofCells(10, 3, 7)
+	if err != nil {
+		t.Fatalf("historical cells after growth: %v", err)
+	}
+	if len(cells2) != len(cells) {
+		t.Fatalf("cell count changed: %d vs %d", len(cells2), len(cells))
+	}
+	if err := VerifyRange(10, 3, 7, leaves, cells2, com10); err != nil {
+		t.Fatalf("historical range proof: %v", err)
+	}
+}
+
+func TestVerifyRangeRejectsTampering(t *testing.T) {
+	tr := build(16)
+	com, _ := tr.Root()
+	cells, _ := tr.RangeProofCells(16, 4, 10)
+	leaves := rangeLeaves(tr, 4, 10)
+
+	// A forged leaf.
+	bad := append([]hashutil.Digest(nil), leaves...)
+	bad[2] = hashutil.Leaf([]byte("evil"))
+	if err := VerifyRange(16, 4, 10, bad, cells, com); err == nil {
+		t.Fatal("forged leaf accepted")
+	}
+	// A tampered proof cell.
+	if len(cells) > 0 {
+		badCells := append([]CellRef(nil), cells...)
+		badCells[0].Digest = hashutil.Leaf([]byte("evil"))
+		if err := VerifyRange(16, 4, 10, leaves, badCells, com); err == nil {
+			t.Fatal("tampered cell accepted")
+		}
+		// A missing proof cell.
+		if err := VerifyRange(16, 4, 10, leaves, cells[1:], com); err == nil {
+			t.Fatal("missing cell accepted")
+		}
+	}
+	// Wrong range bounds.
+	if err := VerifyRange(16, 5, 11, leaves, cells, com); err == nil {
+		t.Fatal("shifted range accepted")
+	}
+	// Wrong leaf count.
+	if err := VerifyRange(16, 4, 10, leaves[:5], cells, com); err == nil {
+		t.Fatal("short leaf set accepted")
+	}
+	// Wrong commitment.
+	if err := VerifyRange(16, 4, 10, leaves, cells, hashutil.Leaf([]byte("x"))); err == nil {
+		t.Fatal("wrong commitment accepted")
+	}
+}
+
+func TestRangeProofMinimality(t *testing.T) {
+	// The full-tree range needs zero cells; a single leaf in a full
+	// binary tree needs exactly its audit-path worth of cells.
+	tr := build(16)
+	cells, err := tr.RangeProofCells(16, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("full range shipped %d cells", len(cells))
+	}
+	cells, err = tr.RangeProofCells(16, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // log2(16) = audit path length
+		t.Fatalf("single-leaf range shipped %d cells, want 4", len(cells))
+	}
+}
+
+func TestRangeProofBadInputs(t *testing.T) {
+	tr := build(8)
+	if _, err := tr.RangeProofCells(8, 3, 3); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := tr.RangeProofCells(8, 5, 9); err == nil {
+		t.Fatal("overflowing range accepted")
+	}
+	if _, err := tr.RangeProofCells(9, 0, 1); err == nil {
+		t.Fatal("future size accepted")
+	}
+}
+
+func TestCellsWireRoundTrip(t *testing.T) {
+	tr := build(21)
+	cells, _ := tr.RangeProofCells(21, 3, 9)
+	w := wire.NewWriter(0)
+	EncodeCells(w, cells)
+	got, err := DecodeCells(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatal("length mismatch")
+	}
+	for i := range cells {
+		if got[i] != cells[i] {
+			t.Fatal("cell mismatch")
+		}
+	}
+}
+
+func TestQuickRangeProofs(t *testing.T) {
+	f := func(nRaw, aRaw, bRaw uint16) bool {
+		n := uint64(nRaw%200) + 1
+		a := uint64(aRaw) % n
+		b := a + 1 + uint64(bRaw)%(n-a)
+		if b > n {
+			b = n
+		}
+		tr := build(n)
+		com, _ := tr.Root()
+		cells, err := tr.RangeProofCells(n, a, b)
+		if err != nil {
+			return false
+		}
+		return VerifyRange(n, a, b, rangeLeaves(tr, a, b), cells, com) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

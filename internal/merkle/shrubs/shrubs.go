@@ -1,0 +1,348 @@
+// Package shrubs implements the Shrubs Merkle tree of §III-A1: an
+// append-only accumulator with O(1) amortized insertion that exposes a
+// *node-set proof* — the frontier of complete-subtree roots — instead of a
+// single root hash while the binary tree is not yet full.
+//
+// The frontier is the binary-counter decomposition of the current size: a
+// tree holding n leaves has one complete subtree per set bit of n, and the
+// frontier lists their roots from largest to smallest. In the paper's
+// Figure 3(a), after 5 leaves the proof for cell₅ is {cell₇}+{cell₈}
+// style node sets; here the same sets fall out of Frontier().
+//
+// Shrubs is the storage layer under both fam epochs (package merkle/fam)
+// and the per-clue CM-Tree2 accumulators (package cmtree), which need to
+// fetch arbitrary interior cells by position — so, unlike a pure frontier
+// accumulator, Shrubs retains all computed cells, addressable by the
+// paper's (level, offset) scheme.
+package shrubs
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+// Errors returned by this package.
+var (
+	ErrEmpty      = errors.New("shrubs: empty tree")
+	ErrOutOfRange = errors.New("shrubs: cell position out of range")
+	ErrNotYet     = errors.New("shrubs: interior cell not yet computed")
+	ErrBadProof   = errors.New("shrubs: proof verification failed")
+)
+
+// Pos addresses a cell: Level 0 is the leaf level; Offset counts cells
+// within the level left to right.
+type Pos struct {
+	Level  uint8
+	Offset uint64
+}
+
+// String renders a position for diagnostics.
+func (p Pos) String() string { return fmt.Sprintf("L%d[%d]", p.Level, p.Offset) }
+
+// Tree is an append-only Shrubs tree. Not safe for concurrent mutation.
+type Tree struct {
+	levels [][]hashutil.Digest
+}
+
+// New returns an empty Shrubs tree.
+func New() *Tree {
+	return &Tree{levels: make([][]hashutil.Digest, 1, 12)}
+}
+
+// Size returns the number of leaves appended.
+func (t *Tree) Size() uint64 { return uint64(len(t.levels[0])) }
+
+// Append adds a leaf digest and returns its index. Interior cells are
+// computed lazily: exactly when a subtree completes, never earlier —
+// this is the "avoids unnecessary accumulation for intermediate nodes"
+// property that makes Shrubs insertion O(1) amortized.
+func (t *Tree) Append(leaf hashutil.Digest) uint64 {
+	idx := uint64(len(t.levels[0]))
+	t.levels[0] = append(t.levels[0], leaf)
+	i := idx
+	for lvl := 0; i%2 == 1; lvl++ {
+		if lvl+1 >= len(t.levels) {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[lvl+1] = append(t.levels[lvl+1], hashutil.Node(t.levels[lvl][i-1], t.levels[lvl][i]))
+		i /= 2
+	}
+	return idx
+}
+
+// Cell returns the digest stored at a position. Interior cells exist only
+// for completed subtrees.
+func (t *Tree) Cell(p Pos) (hashutil.Digest, error) {
+	if int(p.Level) >= len(t.levels) {
+		return hashutil.Zero, fmt.Errorf("%w: %s", ErrOutOfRange, p)
+	}
+	lvl := t.levels[p.Level]
+	if p.Offset >= uint64(len(lvl)) {
+		if p.Level > 0 && p.Offset < t.Size()>>uint(p.Level)+1 {
+			return hashutil.Zero, fmt.Errorf("%w: %s", ErrNotYet, p)
+		}
+		return hashutil.Zero, fmt.Errorf("%w: %s", ErrOutOfRange, p)
+	}
+	return lvl[p.Offset], nil
+}
+
+// CellCount reports the number of digests stored across all levels — the
+// storage-overhead metric for Table I style comparisons.
+func (t *Tree) CellCount() uint64 {
+	var n uint64
+	for _, lvl := range t.levels {
+		n += uint64(len(lvl))
+	}
+	return n
+}
+
+// Frontier returns the node-set proof for the current tree state: the
+// roots of the complete subtrees, largest first. For a full tree (size a
+// power of two) it is a single digest — the root.
+func (t *Tree) Frontier() []hashutil.Digest {
+	n := t.Size()
+	out := make([]hashutil.Digest, 0, bits.OnesCount64(n))
+	off := uint64(0)
+	for b := bits.Len64(n); b > 0; b-- {
+		lvl := uint(b - 1)
+		if n&(1<<lvl) == 0 {
+			continue
+		}
+		out = append(out, t.levels[lvl][off>>lvl])
+		off += 1 << lvl
+	}
+	return out
+}
+
+// Root returns the single digest committing to the whole tree: the root
+// for a full tree, otherwise the frontier bagged right-to-left (the
+// smallest subtrees fold into the larger ones, matching how the tree will
+// close as it fills).
+func (t *Tree) Root() (hashutil.Digest, error) {
+	f := t.Frontier()
+	if len(f) == 0 {
+		return hashutil.Zero, ErrEmpty
+	}
+	return BagFrontier(f), nil
+}
+
+// BagFrontier folds a frontier into one digest. It is exported so
+// verifiers can recompute roots from node-set proofs.
+func BagFrontier(f []hashutil.Digest) hashutil.Digest {
+	acc := f[len(f)-1]
+	for i := len(f) - 2; i >= 0; i-- {
+		acc = hashutil.Node(f[i], acc)
+	}
+	return acc
+}
+
+// IsFull reports whether the size is a power of two (a complete tree).
+func (t *Tree) IsFull() bool {
+	n := t.Size()
+	return n > 0 && n&(n-1) == 0
+}
+
+// Leaf returns the leaf digest at index i.
+func (t *Tree) Leaf(i uint64) (hashutil.Digest, error) {
+	return t.Cell(Pos{Level: 0, Offset: i})
+}
+
+// Proof is a membership proof for one leaf against a frontier snapshot:
+// the audit path inside the leaf's complete subtree, plus the other
+// frontier roots so the verifier can re-bag the full commitment.
+type Proof struct {
+	Index    uint64 // leaf index
+	TreeSize uint64 // size when the proof was taken
+	// Siblings is the bottom-up audit path within the complete subtree
+	// containing the leaf.
+	Siblings []hashutil.Digest
+	// Frontier is the node-set proof at TreeSize. The subtree containing
+	// the leaf appears at FrontierIdx; the verifier recomputes that entry
+	// from Siblings and re-bags.
+	Frontier    []hashutil.Digest
+	FrontierIdx int
+}
+
+// Prove produces the membership proof for leaf index at the current size.
+func (t *Tree) Prove(index uint64) (*Proof, error) {
+	n := t.Size()
+	if index >= n {
+		return nil, fmt.Errorf("%w: leaf %d of %d", ErrOutOfRange, index, n)
+	}
+	p := &Proof{Index: index, TreeSize: n, Frontier: t.Frontier()}
+	// Locate the complete subtree (frontier entry) containing the leaf.
+	off := uint64(0)
+	fi := 0
+	for b := bits.Len64(n); b > 0; b-- {
+		lvl := uint(b - 1)
+		if n&(1<<lvl) == 0 {
+			continue
+		}
+		width := uint64(1) << lvl
+		if index < off+width {
+			p.FrontierIdx = fi
+			// Audit path inside this subtree, bottom-up.
+			rel := index - off
+			base := off
+			for l := uint(0); l < lvl; l++ {
+				sibOff := (base >> l) + (rel>>l ^ 1)
+				p.Siblings = append(p.Siblings, t.levels[l][sibOff])
+			}
+			return p, nil
+		}
+		off += width
+		fi++
+	}
+	return nil, fmt.Errorf("%w: leaf %d not covered by frontier", ErrOutOfRange, index)
+}
+
+// VerifyProof checks a leaf against a commitment produced by BagFrontier
+// over the proof's frontier. It is a pure function.
+func VerifyProof(leaf hashutil.Digest, p *Proof, commitment hashutil.Digest) error {
+	if p == nil || p.TreeSize == 0 || p.Index >= p.TreeSize {
+		return fmt.Errorf("%w: malformed proof", ErrBadProof)
+	}
+	if p.FrontierIdx < 0 || p.FrontierIdx >= len(p.Frontier) {
+		return fmt.Errorf("%w: frontier index %d of %d", ErrBadProof, p.FrontierIdx, len(p.Frontier))
+	}
+	if bits.OnesCount64(p.TreeSize) != len(p.Frontier) {
+		return fmt.Errorf("%w: frontier has %d entries for size %d", ErrBadProof, len(p.Frontier), p.TreeSize)
+	}
+	// Recompute the subtree root from the leaf and its audit path. The
+	// leaf's relative index inside its subtree determines sibling sides.
+	rel, width, err := relativeIndex(p.Index, p.TreeSize, p.FrontierIdx)
+	if err != nil {
+		return err
+	}
+	if uint64(1)<<len(p.Siblings) != width {
+		return fmt.Errorf("%w: path length %d for subtree of %d", ErrBadProof, len(p.Siblings), width)
+	}
+	acc := leaf
+	for l, sib := range p.Siblings {
+		if (rel>>uint(l))&1 == 0 {
+			acc = hashutil.Node(acc, sib)
+		} else {
+			acc = hashutil.Node(sib, acc)
+		}
+	}
+	if acc != p.Frontier[p.FrontierIdx] {
+		return fmt.Errorf("%w: subtree root %s != frontier entry %s", ErrBadProof, acc.Short(), p.Frontier[p.FrontierIdx].Short())
+	}
+	if got := BagFrontier(p.Frontier); got != commitment {
+		return fmt.Errorf("%w: bagged frontier %s != commitment %s", ErrBadProof, got.Short(), commitment.Short())
+	}
+	return nil
+}
+
+// relativeIndex returns the leaf's index inside its frontier subtree and
+// that subtree's width, walking the set bits of size.
+func relativeIndex(index, size uint64, frontierIdx int) (rel, width uint64, err error) {
+	off := uint64(0)
+	fi := 0
+	for b := bits.Len64(size); b > 0; b-- {
+		lvl := uint(b - 1)
+		if size&(1<<lvl) == 0 {
+			continue
+		}
+		w := uint64(1) << lvl
+		if index < off+w {
+			if fi != frontierIdx {
+				return 0, 0, fmt.Errorf("%w: leaf %d lies in frontier entry %d, proof says %d", ErrBadProof, index, fi, frontierIdx)
+			}
+			return index - off, w, nil
+		}
+		off += w
+		fi++
+	}
+	return 0, 0, fmt.Errorf("%w: index %d outside size %d", ErrBadProof, index, size)
+}
+
+// RecomputeFrontier rebuilds the frontier from raw leaf digests. Clue
+// verification (CM-Tree2) uses it to check a retrieved journal set against
+// the frontier stored in CM-Tree1 in O(m).
+func RecomputeFrontier(leaves []hashutil.Digest) []hashutil.Digest {
+	t := New()
+	for _, l := range leaves {
+		t.Append(l)
+	}
+	if t.Size() == 0 {
+		return nil
+	}
+	return t.Frontier()
+}
+
+// Encode appends the proof to a wire writer.
+func (p *Proof) Encode(w *wire.Writer) {
+	w.Uvarint(p.Index)
+	w.Uvarint(p.TreeSize)
+	w.Uvarint(uint64(p.FrontierIdx))
+	w.Uvarint(uint64(len(p.Siblings)))
+	for _, s := range p.Siblings {
+		w.Digest(s)
+	}
+	w.Uvarint(uint64(len(p.Frontier)))
+	for _, f := range p.Frontier {
+		w.Digest(f)
+	}
+}
+
+// DecodeProof reads a proof from a wire reader.
+func DecodeProof(r *wire.Reader) (*Proof, error) {
+	p := &Proof{Index: r.Uvarint(), TreeSize: r.Uvarint(), FrontierIdx: int(r.Uvarint())}
+	ns := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if ns > 64 {
+		return nil, fmt.Errorf("%w: %d siblings", ErrBadProof, ns)
+	}
+	for i := uint64(0); i < ns; i++ {
+		p.Siblings = append(p.Siblings, r.Digest())
+	}
+	nf := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nf > 64 {
+		return nil, fmt.Errorf("%w: %d frontier entries", ErrBadProof, nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		p.Frontier = append(p.Frontier, r.Digest())
+	}
+	return p, r.Err()
+}
+
+// EncodeFrontier serializes a frontier (node-set proof) for storage as a
+// CM-Tree1 leaf value.
+func EncodeFrontier(f []hashutil.Digest) []byte {
+	w := wire.NewWriter(1 + len(f)*hashutil.Size)
+	w.Uvarint(uint64(len(f)))
+	for _, d := range f {
+		w.Digest(d)
+	}
+	return w.Bytes()
+}
+
+// DecodeFrontier parses a frontier serialized by EncodeFrontier.
+func DecodeFrontier(b []byte) ([]hashutil.Digest, error) {
+	r := wire.NewReader(b)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("%w: %d frontier entries", ErrBadProof, n)
+	}
+	out := make([]hashutil.Digest, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.Digest())
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

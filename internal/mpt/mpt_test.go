@@ -1,0 +1,273 @@
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.RootHash().IsZero() {
+		t.Fatal("empty trie root not zero")
+	}
+	if _, err := tr.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPutGetMany(t *testing.T) {
+	tr := New()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr = tr.Put([]byte(fmt.Sprintf("clue-%04d", i)), []byte(fmt.Sprintf("value-%04d", i)))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := tr.Get([]byte(fmt.Sprintf("clue-%04d", i)))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if want := fmt.Sprintf("value-%04d", i); string(got) != want {
+			t.Fatalf("Get(%d) = %q", i, got)
+		}
+	}
+}
+
+func TestOverwriteKeepsSize(t *testing.T) {
+	tr := New().Put([]byte("k"), []byte("v1"))
+	tr2 := tr.Put([]byte("k"), []byte("v2"))
+	if tr2.Len() != 1 {
+		t.Fatalf("Len = %d", tr2.Len())
+	}
+	got, _ := tr2.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q", got)
+	}
+	// The old snapshot still answers with the old value.
+	old, _ := tr.Get([]byte("k"))
+	if string(old) != "v1" {
+		t.Fatalf("old snapshot mutated: %q", old)
+	}
+	if tr.RootHash() == tr2.RootHash() {
+		t.Fatal("root unchanged after overwrite")
+	}
+}
+
+func TestRootHashOrderIndependent(t *testing.T) {
+	// The same key set must yield the same root regardless of insertion
+	// order (structural canonicality).
+	keys := []string{"a", "bb", "ccc", "dd", "e", "ffff", "g", "hh"}
+	a := New()
+	for _, k := range keys {
+		a = a.Put([]byte(k), []byte("v-"+k))
+	}
+	b := New()
+	for i := len(keys) - 1; i >= 0; i-- {
+		b = b.Put([]byte(keys[i]), []byte("v-"+keys[i]))
+	}
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("insertion order changed root hash")
+	}
+}
+
+func TestRootHashBindsValues(t *testing.T) {
+	a := New().Put([]byte("k"), []byte("v1"))
+	b := New().Put([]byte("k"), []byte("v2"))
+	if a.RootHash() == b.RootHash() {
+		t.Fatal("different values, same root")
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	tr := New()
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr = tr.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	root := tr.RootHash()
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		p, err := tr.Prove(key)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", i, err)
+		}
+		if err := VerifyProof(root, key, []byte(fmt.Sprintf("val-%d", i)), p); err != nil {
+			t.Fatalf("Verify(%d): %v", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongValue(t *testing.T) {
+	tr := New().Put([]byte("k1"), []byte("v1")).Put([]byte("k2"), []byte("v2"))
+	p, _ := tr.Prove([]byte("k1"))
+	err := VerifyProof(tr.RootHash(), []byte("k1"), []byte("forged"), p)
+	if !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	tr := New().Put([]byte("k1"), []byte("v1")).Put([]byte("k2"), []byte("v2"))
+	p, _ := tr.Prove([]byte("k1"))
+	if err := VerifyProof(tr.RootHash(), []byte("k2"), []byte("v1"), p); err == nil {
+		t.Fatal("proof for k1 accepted for k2")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := New().Put([]byte("k1"), []byte("v1"))
+	p, _ := tr.Prove([]byte("k1"))
+	if err := VerifyProof(hashutil.Leaf([]byte("other")), []byte("k1"), []byte("v1"), p); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedNodes(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr = tr.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	key := []byte("key-17")
+	p, _ := tr.Prove(key)
+	for i := range p.Nodes {
+		bad := &Proof{Nodes: make([][]byte, len(p.Nodes))}
+		for j := range p.Nodes {
+			bad.Nodes[j] = append([]byte(nil), p.Nodes[j]...)
+		}
+		bad.Nodes[i][len(bad.Nodes[i])-1] ^= 0x01
+		if err := VerifyProof(tr.RootHash(), key, []byte("v"), bad); err == nil {
+			t.Fatalf("tampered node %d accepted", i)
+		}
+	}
+	// Truncated proof chains must fail.
+	if len(p.Nodes) > 1 {
+		trunc := &Proof{Nodes: p.Nodes[:len(p.Nodes)-1]}
+		if err := VerifyProof(tr.RootHash(), key, []byte("v"), trunc); err == nil {
+			t.Fatal("truncated proof accepted")
+		}
+	}
+}
+
+func TestProveMissingKey(t *testing.T) {
+	tr := New().Put([]byte("k"), []byte("v"))
+	if _, err := tr.Prove([]byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotsIndependent(t *testing.T) {
+	// Historical snapshots keep proving against their own roots — the
+	// per-block versioning CM-Tree relies on.
+	v1 := New().Put([]byte("k"), []byte("v1"))
+	v2 := v1.Put([]byte("k"), []byte("v2")).Put([]byte("k2"), []byte("x"))
+	p1, err := v1.Prove([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyProof(v1.RootHash(), []byte("k"), []byte("v1"), p1); err != nil {
+		t.Fatalf("historical proof: %v", err)
+	}
+	if err := VerifyProof(v2.RootHash(), []byte("k"), []byte("v1"), p1); err == nil {
+		t.Fatal("old proof verified against new root")
+	}
+}
+
+func TestWalkVisitsAllValues(t *testing.T) {
+	tr := New()
+	want := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		v := fmt.Sprintf("val-%d", i)
+		tr = tr.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(v))
+		want[v] = true
+	}
+	seen := map[string]bool{}
+	err := tr.Walk(func(v []byte) error {
+		seen[string(v)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("walked %d values, want %d", len(seen), len(want))
+	}
+}
+
+func TestWalkStopsOnError(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr = tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	boom := errors.New("boom")
+	count := 0
+	err := tr.Walk(func([]byte) error {
+		count++
+		if count == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 3 {
+		t.Fatalf("err = %v, count = %d", err, count)
+	}
+}
+
+func TestQuickPutGetProve(t *testing.T) {
+	f := func(keys [][]byte, pick uint8) bool {
+		tr := New()
+		var last []byte
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			tr = tr.Put(k, append([]byte("v:"), k...))
+			seen[string(k)] = true
+			last = k
+		}
+		if last == nil {
+			return true
+		}
+		if tr.Len() != len(seen) {
+			return false
+		}
+		got, err := tr.Get(last)
+		if err != nil || !bytes.Equal(got, append([]byte("v:"), last...)) {
+			return false
+		}
+		p, err := tr.Prove(last)
+		if err != nil {
+			return false
+		}
+		return VerifyProof(tr.RootHash(), last, got, p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrderIndependence(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		fwd, rev := New(), New()
+		for _, k := range keys {
+			fwd = fwd.Put(k, k)
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			rev = rev.Put(keys[i], keys[i])
+		}
+		return fwd.RootHash() == rev.RootHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/sig"
+)
+
+// Admin-path end-to-end tests: mutations and verifiable state reads over
+// HTTP.
+
+func TestEndToEndStateProof(t *testing.T) {
+	s := newStack(t)
+	// World-state writes need a StateKey: use a raw request through the
+	// client's key.
+	req := &journal.Request{
+		LedgerURI: "ledger://e2e",
+		Type:      journal.TypeNormal,
+		StateKey:  []byte("account/alice"),
+		Payload:   []byte("balance=100"),
+		Nonce:     1,
+	}
+	if err := req.Sign(s.cli.Key); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.ledger.Append(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, digest, err := s.cli.VerifyState([]byte("account/alice"))
+	if err != nil {
+		t.Fatalf("VerifyState: %v", err)
+	}
+	if jsn != r.JSN || digest != hashutil.Sum([]byte("balance=100")) {
+		t.Fatalf("state = (%d, %s)", jsn, digest.Short())
+	}
+	// Missing keys 404.
+	if _, _, err := s.cli.VerifyState([]byte("ghost")); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndToEndBatchAppend(t *testing.T) {
+	s := newStack(t)
+	payloads := make([][]byte, 30)
+	clueSets := make([][]string, 30)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("batch-%d", i))
+		clueSets[i] = []string{"bulk"}
+	}
+	br, txHashes, err := s.cli.AppendBatch(payloads, clueSets)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if br.Count != 30 || len(txHashes) != 30 {
+		t.Fatalf("receipt: %+v", br)
+	}
+	// Each batched journal is individually verifiable end to end.
+	for i := uint64(0); i < br.Count; i += 7 {
+		rec, payload, err := s.cli.VerifyExistence(br.FirstJSN+i, true)
+		if err != nil {
+			t.Fatalf("jsn %d: %v", br.FirstJSN+i, err)
+		}
+		if rec.TxHash() != txHashes[i] {
+			t.Fatal("tx-hash order mismatch")
+		}
+		if string(payload) != fmt.Sprintf("batch-%d", i) {
+			t.Fatalf("payload %q", payload)
+		}
+	}
+	// Lineage spans the whole batch.
+	recs, err := s.cli.VerifyClue("bulk", 0, 0)
+	if err != nil || len(recs) != 30 {
+		t.Fatalf("lineage: %d, %v", len(recs), err)
+	}
+}
+
+func TestEndToEndBatchRejectsTamperedRequest(t *testing.T) {
+	s := newStack(t)
+	// Submit a raw batch where one encoded request is corrupted.
+	if _, _, err := s.cli.AppendBatch([][]byte{[]byte("ok")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := s.ledger.Size()
+	_, _, err := s.cli.AppendBatch([][]byte{{}, []byte("y")}, nil) // empty payload: structurally invalid
+	if !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.ledger.Size() != before {
+		t.Fatal("partial batch committed")
+	}
+}
+
+func TestEndToEndAdminOccult(t *testing.T) {
+	s := newStack(t)
+	r, err := s.cli.Append([]byte("sensitive"), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dba := sig.GenerateDeterministic("e2e-dba")
+	desc := &ledger.OccultDescriptor{URI: "ledger://e2e", JSN: r.JSN}
+	ms := sig.NewMultiSig(desc.Digest())
+	if err := ms.SignWith(dba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.cli.Occult(desc, ms); err != nil {
+		t.Fatalf("admin occult: %v", err)
+	}
+	if _, err := s.cli.GetPayload(r.JSN); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("payload err = %v", err)
+	}
+	// Existence still verifies through the retained digest.
+	if _, _, err := s.cli.VerifyExistence(r.JSN, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndAdminOccultRejectsBadSigs(t *testing.T) {
+	s := newStack(t)
+	r, err := s.cli.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := &ledger.OccultDescriptor{URI: "ledger://e2e", JSN: r.JSN}
+	ms := sig.NewMultiSig(desc.Digest())
+	// Signed by a random key, not the DBA.
+	if err := ms.SignWith(sig.GenerateDeterministic("mallory")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.cli.Occult(desc, ms); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndToEndAdminPurge(t *testing.T) {
+	s := newStack(t)
+	for i := 0; i < 8; i++ {
+		if _, err := s.cli.Append([]byte(fmt.Sprintf("doc-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dba := sig.GenerateDeterministic("e2e-dba")
+	clientKey := sig.GenerateDeterministic("e2e-client")
+	desc := &ledger.PurgeDescriptor{URI: "ledger://e2e", Point: 5, ErasePayloads: true}
+	ms := sig.NewMultiSig(desc.Digest())
+	for _, kp := range []*sig.KeyPair{dba, clientKey} {
+		if err := ms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.cli.Purge(desc, ms); err != nil {
+		t.Fatalf("admin purge: %v", err)
+	}
+	_, _, base, _, err := s.cli.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 5 {
+		t.Fatalf("base = %d", base)
+	}
+	// Purged journals 404 over HTTP.
+	if _, err := s.cli.GetJournal(2); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("err = %v", err)
+	}
+	// Live journals still verify end to end.
+	if _, _, err := s.cli.VerifyExistence(6, true); err != nil {
+		t.Fatal(err)
+	}
+}

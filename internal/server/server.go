@@ -1,0 +1,422 @@
+// Package server exposes a LedgerDB instance as an HTTP service — the
+// ledger proxy + ledger server path of Figure 1. Proof objects travel as
+// base64-encoded deterministic wire blobs inside small JSON envelopes, so
+// clients re-verify exactly the bytes the server committed to.
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/merkle/fam"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/wire"
+)
+
+// Server wires a ledger (and optionally a T-Ledger for time anchoring)
+// into an http.Handler.
+type Server struct {
+	Ledger *ledger.Ledger
+	// TLedger, when set, serves time anchoring: POST /v1/anchor-time
+	// submits the current state digest through Protocol 4.
+	TLedger *tledger.TLedger
+	mux     *http.ServeMux
+}
+
+// New builds the HTTP surface over a ledger.
+func New(l *ledger.Ledger, tl *tledger.TLedger) *Server {
+	s := &Server{Ledger: l, TLedger: tl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/append-batch", s.handleAppendBatch)
+	s.mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux.HandleFunc("GET /v1/journal/{jsn}", s.handleJournal)
+	s.mux.HandleFunc("GET /v1/payload/{jsn}", s.handlePayload)
+	s.mux.HandleFunc("GET /v1/proof/{jsn}", s.handleProof)
+	s.mux.HandleFunc("GET /v1/anchor", s.handleAnchor)
+	s.mux.HandleFunc("POST /v1/proof-anchored/{jsn}", s.handleProofAnchored)
+	s.mux.HandleFunc("GET /v1/clue/{name}/proof", s.handleClueProof)
+	s.mux.HandleFunc("GET /v1/clue/{name}/jsns", s.handleClueJSNs)
+	s.mux.HandleFunc("POST /v1/anchor-time", s.handleAnchorTime)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/stateproof", s.handleStateProof)
+	s.mux.HandleFunc("POST /v1/admin/purge", s.handlePurge)
+	s.mux.HandleFunc("POST /v1/admin/occult", s.handleOccult)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Envelope is the uniform JSON response shape.
+type Envelope struct {
+	// B64 fields hold deterministic wire encodings.
+	Receipt string   `json:"receipt,omitempty"`
+	State   string   `json:"state,omitempty"`
+	Record  string   `json:"record,omitempty"`
+	Proof   string   `json:"proof,omitempty"`
+	Payload string   `json:"payload,omitempty"`
+	JSNs    []uint64 `json:"jsns,omitempty"`
+	Error   string   `json:"error,omitempty"`
+
+	URI    string `json:"uri,omitempty"`
+	Size   uint64 `json:"size,omitempty"`
+	Base   uint64 `json:"base,omitempty"`
+	Height uint64 `json:"height,omitempty"`
+	LSPKey string `json:"lsp_key,omitempty"` // hex; clients pin it (TOFU)
+}
+
+func writeJSON(w http.ResponseWriter, status int, env *Envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		// The response is already committed; nothing sensible to do.
+		_ = err
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ledger.ErrNotFound), errors.Is(err, ledger.ErrPurged):
+		status = http.StatusNotFound
+	case errors.Is(err, ledger.ErrOcculted):
+		status = http.StatusGone
+	case errors.Is(err, ledger.ErrNotPermitted), errors.Is(err, journal.ErrBadSignature):
+		status = http.StatusForbidden
+	case errors.Is(err, journal.ErrBadRequest), errors.Is(err, journal.ErrDecode):
+		status = http.StatusBadRequest
+	case errors.Is(err, tledger.ErrStale), errors.Is(err, tledger.ErrFuture):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, &Envelope{Error: err.Error()})
+}
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+func pathJSN(r *http.Request) (uint64, error) {
+	v := r.PathValue("jsn")
+	jsn, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad jsn %q", journal.ErrBadRequest, v)
+	}
+	return jsn, nil
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Request string `json:"request"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(body.Request)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	req, err := journal.DecodeRequest(raw)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	receipt, err := s.Ledger.Append(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	receipt.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+}
+
+// handleAppendBatch ingests a batch of signed requests (the amortized
+// write path). The response carries the batch receipt and the committed
+// tx-hashes so the submitter can bind each journal to the receipt.
+func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []string `json:"requests"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	reqs := make([]*journal.Request, 0, len(body.Requests))
+	for i, enc := range body.Requests {
+		raw, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: request %d: %v", journal.ErrBadRequest, i, err))
+			return
+		}
+		req, err := journal.DecodeRequest(raw)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		reqs = append(reqs, req)
+	}
+	br, txHashes, err := s.Ledger.AppendBatch(reqs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	wr.Uvarint(br.FirstJSN)
+	wr.Uvarint(br.Count)
+	wr.Digest(br.BatchHash)
+	wr.Int64(br.Timestamp)
+	sig.EncodePublicKey(wr, br.LSPPK)
+	sig.EncodeSignature(wr, br.LSPSig)
+	for _, d := range txHashes {
+		wr.Digest(d)
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Ledger.State()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	st.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{State: b64(wr.Bytes())})
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	jsn, err := pathJSN(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rec, err := s.Ledger.GetJournal(jsn)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Record: b64(rec.EncodeBytes())})
+}
+
+func (s *Server) handlePayload(w http.ResponseWriter, r *http.Request) {
+	jsn, err := pathJSN(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	payload, err := s.Ledger.GetPayload(jsn)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Payload: b64(payload)})
+}
+
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	jsn, err := pathJSN(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	withPayload := r.URL.Query().Get("payload") == "1"
+	p, err := s.Ledger.ProveExistence(jsn, withPayload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+// handleAnchor hands out the current fam-aoa trusted anchor. A verifier
+// adopts it only AFTER auditing the ledger up to the anchor's size; from
+// then on anchored proofs are near-constant size (Figure 4).
+func (s *Server) handleAnchor(w http.ResponseWriter, r *http.Request) {
+	anchor := s.Ledger.Anchor()
+	wr := newWriter()
+	anchor.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(wr.Bytes())})
+}
+
+// handleProofAnchored builds an existence proof against the anchor the
+// client ships in the request body (the fam-aoa regime).
+func (s *Server) handleProofAnchored(w http.ResponseWriter, r *http.Request) {
+	jsn, err := pathJSN(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var body struct {
+		Anchor string `json:"anchor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(body.Anchor)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	anchor, err := fam.DecodeAnchor(wire.NewReader(raw))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	withPayload := r.URL.Query().Get("payload") == "1"
+	p, err := s.Ledger.ProveExistenceAnchored(jsn, anchor, withPayload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+func (s *Server) handleClueProof(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	begin, _ := strconv.ParseUint(q.Get("begin"), 10, 64)
+	end, _ := strconv.ParseUint(q.Get("end"), 10, 64)
+	b, err := s.Ledger.ProveClue(name, begin, end)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(b.EncodeBytes())})
+}
+
+func (s *Server) handleClueJSNs(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimSpace(r.PathValue("name"))
+	recs, err := s.Ledger.ListClue(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	jsns := make([]uint64, len(recs))
+	for i, rec := range recs {
+		jsns[i] = rec.JSN
+	}
+	writeJSON(w, http.StatusOK, &Envelope{JSNs: jsns})
+}
+
+func (s *Server) handleAnchorTime(w http.ResponseWriter, r *http.Request) {
+	if s.TLedger == nil {
+		writeErr(w, fmt.Errorf("%w: no time notary configured", ledger.ErrNotPermitted))
+		return
+	}
+	receipt, err := s.Ledger.AnchorTimeWith(
+		s.TLedger.StampFunc(s.Ledger.URI(), s.Ledger.Clock()))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	receipt.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+}
+
+// handleStateProof serves a verifiable world-state read for ?key=<hex or
+// plain>. Keys are passed base64 to be binary-safe.
+func (s *Server) handleStateProof(w http.ResponseWriter, r *http.Request) {
+	key, err := base64.StdEncoding.DecodeString(r.URL.Query().Get("key"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: key: %v", journal.ErrBadRequest, err))
+		return
+	}
+	p, err := s.Ledger.ProveState(key)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+// mutationBody is the admin request shape: a descriptor plus the
+// gathered multi-signatures, both as wire blobs. The server re-checks
+// the prerequisites; signatures cannot be forged by the transport.
+type mutationBody struct {
+	Descriptor string `json:"descriptor"`
+	Sigs       string `json:"sigs"`
+}
+
+func decodeMutation(r *http.Request) ([]byte, *sig.MultiSig, error) {
+	var body mutationBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", journal.ErrBadRequest, err)
+	}
+	desc, err := base64.StdEncoding.DecodeString(body.Descriptor)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: descriptor: %v", journal.ErrBadRequest, err)
+	}
+	rawSigs, err := base64.StdEncoding.DecodeString(body.Sigs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: sigs: %v", journal.ErrBadRequest, err)
+	}
+	ms, err := sig.DecodeMultiSig(wire.NewReader(rawSigs))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: sigs: %v", journal.ErrBadRequest, err)
+	}
+	return desc, ms, nil
+}
+
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
+	rawDesc, ms, err := decodeMutation(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	desc, err := ledger.DecodePurgeDescriptor(rawDesc)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	receipt, err := s.Ledger.Purge(desc, ms)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	receipt.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+}
+
+func (s *Server) handleOccult(w http.ResponseWriter, r *http.Request) {
+	rawDesc, ms, err := decodeMutation(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	desc, err := ledger.DecodeOccultDescriptor(rawDesc)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	receipt, err := s.Ledger.Occult(desc, ms)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	receipt.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &Envelope{
+		URI:    s.Ledger.URI(),
+		Size:   s.Ledger.Size(),
+		Base:   s.Ledger.Base(),
+		Height: s.Ledger.Height(),
+		LSPKey: s.Ledger.LSPPublic().Hex(),
+	})
+}
+
+// newWriter is a tiny indirection so handlers read naturally.
+func newWriter() *wire.Writer { return wire.NewWriter(256) }

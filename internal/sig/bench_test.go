@@ -1,0 +1,53 @@
+package sig
+
+import (
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// Signature cost bounds the whole system's throughput (every append
+// carries π_c verification and π_s signing), so these two numbers are
+// the floor under Figures 7 and 10.
+
+func BenchmarkSign(b *testing.B) {
+	kp := GenerateDeterministic("bench")
+	d := hashutil.Leaf([]byte("payload"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kp.Sign(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp := GenerateDeterministic("bench")
+	d := hashutil.Leaf([]byte("payload"))
+	s := kp.MustSign(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(kp.Public(), d, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiSigVerifyAll(b *testing.B) {
+	d := hashutil.Leaf([]byte("mutation"))
+	ms := NewMultiSig(d)
+	var required []PublicKey
+	for i := 0; i < 5; i++ {
+		kp := GenerateDeterministic(string(rune('a' + i)))
+		if err := ms.SignWith(kp); err != nil {
+			b.Fatal(err)
+		}
+		required = append(required, kp.Public())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ms.VerifyAll(d, required); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

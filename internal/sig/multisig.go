@@ -1,0 +1,157 @@
+package sig
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+// MultiSig collects independent signatures from several parties over one
+// digest. The paper's mutation prerequisites are expressed as multisig
+// policies: Prerequisite 1 (purge) demands the DBA plus every member owning
+// journals before the purge point; Prerequisite 2 (occult) demands the DBA
+// plus a regulator-role holder.
+type MultiSig struct {
+	digest  hashutil.Digest
+	entries []msEntry // kept sorted by public key for deterministic encoding
+}
+
+type msEntry struct {
+	pk PublicKey
+	sg Signature
+}
+
+// Multisig errors.
+var (
+	ErrDuplicateSigner = errors.New("sig: duplicate signer in multisig")
+	ErrMissingSigner   = errors.New("sig: multisig missing required signer")
+	ErrWrongDigest     = errors.New("sig: multisig signs a different digest")
+)
+
+// NewMultiSig starts an empty collection over the given digest.
+func NewMultiSig(digest hashutil.Digest) *MultiSig {
+	return &MultiSig{digest: digest}
+}
+
+// Digest returns the digest every collected signature covers.
+func (m *MultiSig) Digest() hashutil.Digest { return m.digest }
+
+// Len returns the number of collected signatures.
+func (m *MultiSig) Len() int { return len(m.entries) }
+
+// Signers returns the public keys that have signed, in encoding order.
+func (m *MultiSig) Signers() []PublicKey {
+	out := make([]PublicKey, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.pk
+	}
+	return out
+}
+
+// Add verifies and records one party's signature. Adding the same signer
+// twice or a signature that does not verify is an error.
+func (m *MultiSig) Add(pk PublicKey, sg Signature) error {
+	if err := Verify(pk, m.digest, sg); err != nil {
+		return fmt.Errorf("sig: multisig add %s: %w", pk, err)
+	}
+	i := m.search(pk)
+	if i < len(m.entries) && m.entries[i].pk == pk {
+		return fmt.Errorf("%w: %s", ErrDuplicateSigner, pk)
+	}
+	m.entries = append(m.entries, msEntry{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = msEntry{pk: pk, sg: sg}
+	return nil
+}
+
+// SignWith signs the digest with kp and adds the result.
+func (m *MultiSig) SignWith(kp *KeyPair) error {
+	sg, err := kp.Sign(m.digest)
+	if err != nil {
+		return err
+	}
+	return m.Add(kp.Public(), sg)
+}
+
+func (m *MultiSig) search(pk PublicKey) int {
+	return sort.Search(len(m.entries), func(i int) bool {
+		return compareKeys(m.entries[i].pk, pk) >= 0
+	})
+}
+
+func compareKeys(a, b PublicKey) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Has reports whether pk has signed.
+func (m *MultiSig) Has(pk PublicKey) bool {
+	i := m.search(pk)
+	return i < len(m.entries) && m.entries[i].pk == pk
+}
+
+// VerifyAll re-checks every collected signature against digest. It is the
+// verifier-side entry point: auditors rebuild the expected digest and call
+// VerifyAll with a required-signer policy.
+func (m *MultiSig) VerifyAll(digest hashutil.Digest, required []PublicKey) error {
+	if digest != m.digest {
+		return fmt.Errorf("%w: have %s, want %s", ErrWrongDigest, m.digest.Short(), digest.Short())
+	}
+	for _, e := range m.entries {
+		if err := Verify(e.pk, m.digest, e.sg); err != nil {
+			return fmt.Errorf("sig: multisig signer %s: %w", e.pk, err)
+		}
+	}
+	for _, pk := range required {
+		if !m.Has(pk) {
+			return fmt.Errorf("%w: %s", ErrMissingSigner, pk)
+		}
+	}
+	return nil
+}
+
+// Encode appends the multisig to a wire writer.
+func (m *MultiSig) Encode(w *wire.Writer) {
+	w.Digest(m.digest)
+	w.Uvarint(uint64(len(m.entries)))
+	for _, e := range m.entries {
+		EncodePublicKey(w, e.pk)
+		EncodeSignature(w, e.sg)
+	}
+}
+
+// DecodeMultiSig reads a multisig from a wire reader. Signatures are NOT
+// verified during decode; callers must run VerifyAll.
+func DecodeMultiSig(r *wire.Reader) (*MultiSig, error) {
+	m := &MultiSig{digest: r.Digest()}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("sig: multisig with %d entries exceeds limit", n)
+	}
+	var prev PublicKey
+	for i := uint64(0); i < n; i++ {
+		e := msEntry{pk: DecodePublicKey(r), sg: DecodeSignature(r)}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if i > 0 && compareKeys(prev, e.pk) >= 0 {
+			return nil, fmt.Errorf("sig: multisig entries not strictly sorted")
+		}
+		prev = e.pk
+		m.entries = append(m.entries, e)
+	}
+	return m, r.Err()
+}

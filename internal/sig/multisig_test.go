@@ -1,0 +1,152 @@
+package sig
+
+import (
+	"errors"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func testDigest() hashutil.Digest { return hashutil.Leaf([]byte("purge journal #42")) }
+
+func TestMultiSigCollectAndVerify(t *testing.T) {
+	dba := GenerateDeterministic("dba")
+	m1 := GenerateDeterministic("member-1")
+	m2 := GenerateDeterministic("member-2")
+	ms := NewMultiSig(testDigest())
+	for _, kp := range []*KeyPair{dba, m1, m2} {
+		if err := ms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ms.Len() != 3 {
+		t.Fatalf("Len = %d", ms.Len())
+	}
+	required := []PublicKey{dba.Public(), m1.Public(), m2.Public()}
+	if err := ms.VerifyAll(testDigest(), required); err != nil {
+		t.Fatalf("VerifyAll: %v", err)
+	}
+}
+
+func TestMultiSigMissingRequiredSigner(t *testing.T) {
+	dba := GenerateDeterministic("dba")
+	absent := GenerateDeterministic("absent")
+	ms := NewMultiSig(testDigest())
+	if err := ms.SignWith(dba); err != nil {
+		t.Fatal(err)
+	}
+	err := ms.VerifyAll(testDigest(), []PublicKey{dba.Public(), absent.Public()})
+	if !errors.Is(err, ErrMissingSigner) {
+		t.Fatalf("err = %v, want ErrMissingSigner", err)
+	}
+}
+
+func TestMultiSigWrongDigest(t *testing.T) {
+	dba := GenerateDeterministic("dba")
+	ms := NewMultiSig(testDigest())
+	if err := ms.SignWith(dba); err != nil {
+		t.Fatal(err)
+	}
+	err := ms.VerifyAll(hashutil.Leaf([]byte("different")), nil)
+	if !errors.Is(err, ErrWrongDigest) {
+		t.Fatalf("err = %v, want ErrWrongDigest", err)
+	}
+}
+
+func TestMultiSigRejectsDuplicateSigner(t *testing.T) {
+	dba := GenerateDeterministic("dba")
+	ms := NewMultiSig(testDigest())
+	if err := ms.SignWith(dba); err != nil {
+		t.Fatal(err)
+	}
+	err := ms.SignWith(dba)
+	if !errors.Is(err, ErrDuplicateSigner) {
+		t.Fatalf("err = %v, want ErrDuplicateSigner", err)
+	}
+}
+
+func TestMultiSigRejectsInvalidSignature(t *testing.T) {
+	dba := GenerateDeterministic("dba")
+	ms := NewMultiSig(testDigest())
+	var forged Signature
+	forged[0] = 1
+	if err := ms.Add(dba.Public(), forged); err == nil {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestMultiSigWireRoundTrip(t *testing.T) {
+	keys := []*KeyPair{
+		GenerateDeterministic("w1"),
+		GenerateDeterministic("w2"),
+		GenerateDeterministic("w3"),
+	}
+	ms := NewMultiSig(testDigest())
+	var required []PublicKey
+	for _, kp := range keys {
+		if err := ms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+		required = append(required, kp.Public())
+	}
+	w := wire.NewWriter(0)
+	ms.Encode(w)
+	got, err := DecodeMultiSig(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyAll(testDigest(), required); err != nil {
+		t.Fatalf("decoded multisig failed verification: %v", err)
+	}
+}
+
+func TestMultiSigDecodeRejectsUnsorted(t *testing.T) {
+	a := GenerateDeterministic("u1")
+	b := GenerateDeterministic("u2")
+	d := testDigest()
+	// Hand-encode two entries in descending key order.
+	lo, hi := a, b
+	if compareKeys(lo.Public(), hi.Public()) > 0 {
+		lo, hi = hi, lo
+	}
+	w := wire.NewWriter(0)
+	w.Digest(d)
+	w.Uvarint(2)
+	EncodePublicKey(w, hi.Public())
+	EncodeSignature(w, hi.MustSign(d))
+	EncodePublicKey(w, lo.Public())
+	EncodeSignature(w, lo.MustSign(d))
+	if _, err := DecodeMultiSig(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("unsorted multisig encoding accepted")
+	}
+}
+
+func TestMultiSigSignersSortedAndHas(t *testing.T) {
+	keys := []*KeyPair{
+		GenerateDeterministic("s1"),
+		GenerateDeterministic("s2"),
+		GenerateDeterministic("s3"),
+		GenerateDeterministic("s4"),
+	}
+	ms := NewMultiSig(testDigest())
+	for _, kp := range keys {
+		if err := ms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	signers := ms.Signers()
+	for i := 1; i < len(signers); i++ {
+		if compareKeys(signers[i-1], signers[i]) >= 0 {
+			t.Fatal("Signers not strictly sorted")
+		}
+	}
+	for _, kp := range keys {
+		if !ms.Has(kp.Public()) {
+			t.Fatalf("Has(%s) = false", kp.Public())
+		}
+	}
+	if ms.Has(GenerateDeterministic("other").Public()) {
+		t.Fatal("Has reported an absent signer")
+	}
+}

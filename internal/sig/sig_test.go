@@ -1,0 +1,128 @@
+package sig
+
+import (
+	"errors"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func TestSignVerify(t *testing.T) {
+	kp, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := hashutil.Leaf([]byte("message"))
+	sg, err := kp.Sign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(kp.Public(), d, sg); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongDigest(t *testing.T) {
+	kp := GenerateDeterministic("wrong-digest")
+	sg := kp.MustSign(hashutil.Leaf([]byte("original")))
+	err := Verify(kp.Public(), hashutil.Leaf([]byte("tampered")), sg)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	alice := GenerateDeterministic("alice")
+	mallory := GenerateDeterministic("mallory")
+	d := hashutil.Leaf([]byte("doc"))
+	sg := alice.MustSign(d)
+	if err := Verify(mallory.Public(), d, sg); err == nil {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestVerifyRejectsCorruptedSignature(t *testing.T) {
+	kp := GenerateDeterministic("corrupt")
+	d := hashutil.Leaf([]byte("doc"))
+	sg := kp.MustSign(d)
+	for _, i := range []int{0, 31, 32, 63} {
+		bad := sg
+		bad[i] ^= 0x01
+		if err := Verify(kp.Public(), d, bad); err == nil {
+			t.Fatalf("flipped byte %d: still verified", i)
+		}
+	}
+}
+
+func TestVerifyRejectsGarbageKey(t *testing.T) {
+	var junk PublicKey
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	err := Verify(junk, hashutil.Leaf([]byte("x")), Signature{})
+	if !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestDeterministicKeysStable(t *testing.T) {
+	a := GenerateDeterministic("seed-1")
+	b := GenerateDeterministic("seed-1")
+	c := GenerateDeterministic("seed-2")
+	if a.Public() != b.Public() {
+		t.Fatal("same seed produced different keys")
+	}
+	if a.Public() == c.Public() {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestPublicKeyFingerprint(t *testing.T) {
+	a := GenerateDeterministic("fp-a")
+	b := GenerateDeterministic("fp-b")
+	if a.Public().Fingerprint() == b.Public().Fingerprint() {
+		t.Fatal("fingerprint collision across keys")
+	}
+	if a.Public().IsZero() {
+		t.Fatal("generated key reported zero")
+	}
+	var zero PublicKey
+	if !zero.IsZero() {
+		t.Fatal("zero key not reported zero")
+	}
+}
+
+func TestKeySignatureWireRoundTrip(t *testing.T) {
+	kp := GenerateDeterministic("wire")
+	d := hashutil.Leaf([]byte("wire"))
+	sg := kp.MustSign(d)
+	w := wire.NewWriter(0)
+	EncodePublicKey(w, kp.Public())
+	EncodeSignature(w, sg)
+	r := wire.NewReader(w.Bytes())
+	pk2 := DecodePublicKey(r)
+	sg2 := DecodeSignature(r)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if pk2 != kp.Public() || sg2 != sg {
+		t.Fatal("wire round trip mismatch")
+	}
+	if err := Verify(pk2, d, sg2); err != nil {
+		t.Fatalf("decoded signature rejected: %v", err)
+	}
+}
+
+func TestSignaturesAreRandomizedButBothVerify(t *testing.T) {
+	kp := GenerateDeterministic("rand")
+	d := hashutil.Leaf([]byte("same message"))
+	s1 := kp.MustSign(d)
+	s2 := kp.MustSign(d)
+	if err := Verify(kp.Public(), d, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(kp.Public(), d, s2); err != nil {
+		t.Fatal(err)
+	}
+}

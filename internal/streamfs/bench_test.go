@@ -1,0 +1,77 @@
+package streamfs
+
+import (
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// Stream throughput bounds the ledger's raw append path (one journal
+// record + one digest record per commit).
+
+func BenchmarkAppendMemory(b *testing.B) {
+	s := NewMemory()
+	st, _ := s.Stream("bench")
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendDisk(b *testing.B) {
+	s, err := OpenDisk(b.TempDir(), DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	st, _ := s.Stream("bench")
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadDisk(b *testing.B) {
+	s, err := OpenDisk(b.TempDir(), DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	st, _ := s.Stream("bench")
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if _, err := st.Append([]byte(fmt.Sprintf("record-%4d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Read(uint64(i*31) % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobPutGet(b *testing.B) {
+	blobs := NewMemoryBlobs()
+	data := make([]byte, 4096)
+	b.Run("put", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data[0] = byte(i)
+			data[1] = byte(i >> 8)
+			key := hashutil.Sum(data)
+			if err := blobs.Put(key, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

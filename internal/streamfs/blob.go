@@ -1,0 +1,121 @@
+package streamfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// BlobStore is the "shared storage" of Figure 1: the ledger proxy writes
+// raw transaction payloads here and hands only the digest to the ledger
+// server, so journals stay small and — critically for the purge and
+// occult mutations of §III-A — payload bytes can be physically erased
+// without touching the append-only journal stream that carries the
+// tamper-evidence.
+type BlobStore interface {
+	// Put stores data under its digest key. Storing the same digest twice
+	// is a no-op (content addressing).
+	Put(key hashutil.Digest, data []byte) error
+	// Get returns the payload for key.
+	Get(key hashutil.Digest) ([]byte, error)
+	// Delete physically erases the payload. Deleting an absent key is a
+	// no-op: erasure must be idempotent for the async occult reorganizer.
+	Delete(key hashutil.Digest) error
+}
+
+// ErrBlobNotFound is returned by Get for absent or erased payloads.
+var ErrBlobNotFound = errors.New("streamfs: blob not found (absent or erased)")
+
+// memBlobStore is the in-memory BlobStore.
+type memBlobStore struct {
+	mu    sync.RWMutex
+	blobs map[hashutil.Digest][]byte
+}
+
+// NewMemoryBlobs returns an empty in-memory blob store.
+func NewMemoryBlobs() BlobStore {
+	return &memBlobStore{blobs: make(map[hashutil.Digest][]byte)}
+}
+
+func (s *memBlobStore) Put(key hashutil.Digest, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[key]; !ok {
+		s.blobs[key] = cp
+	}
+	return nil
+}
+
+func (s *memBlobStore) Get(key hashutil.Digest) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, key.Short())
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+func (s *memBlobStore) Delete(key hashutil.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, key)
+	return nil
+}
+
+// diskBlobStore shards blobs into dir/<first-two-hex>/<digest>.
+type diskBlobStore struct {
+	dir string
+}
+
+// OpenDiskBlobs opens (creating if needed) a disk blob store.
+func OpenDiskBlobs(dir string) (BlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskBlobStore{dir: dir}, nil
+}
+
+func (s *diskBlobStore) path(key hashutil.Digest) string {
+	hex := key.String()
+	return filepath.Join(s.dir, hex[:2], hex)
+}
+
+func (s *diskBlobStore) Put(key hashutil.Digest, data []byte) error {
+	p := s.path(key)
+	if _, err := os.Stat(p); err == nil {
+		return nil // content-addressed: already present
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+func (s *diskBlobStore) Get(key hashutil.Digest) ([]byte, error) {
+	b, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, key.Short())
+	}
+	return b, err
+}
+
+func (s *diskBlobStore) Delete(key hashutil.Digest) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,488 @@
+package streamfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Segment file layout:
+//
+//	header : [u32 magic][u32 version][u64 firstSeq]
+//	records: repeated [u32 len][u32 crc32c(payload)][payload]
+//
+// The first sequence number is stored in the header so that the index can
+// be rebuilt after leading segments have been deleted by Truncate.
+const (
+	segMagic     = 0x4c445345 // "LDSE"
+	segVersion   = 1
+	segHeaderLen = 16
+	frameHdrLen  = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DiskOptions tunes the on-disk store.
+type DiskOptions struct {
+	// SegmentSize is the byte capacity at which a segment rolls over.
+	// Zero means 64 MiB.
+	SegmentSize int64
+	// SyncEvery forces an fsync after every N appends. Zero disables
+	// automatic syncing; callers then use Stream.Sync at commit points.
+	SyncEvery int
+}
+
+func (o DiskOptions) withDefaults() DiskOptions {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 64 << 20
+	}
+	return o
+}
+
+// diskStore is the persistent Store implementation.
+type diskStore struct {
+	dir  string
+	opts DiskOptions
+
+	mu      sync.Mutex
+	streams map[string]*diskStream
+	closed  bool
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir.
+// Existing streams are recovered: torn tails from a crash mid-append are
+// truncated away; interior corruption fails the open.
+func OpenDisk(dir string, opts DiskOptions) (Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("streamfs: open %s: %w", dir, err)
+	}
+	return &diskStore{dir: dir, opts: opts.withDefaults(), streams: make(map[string]*diskStream)}, nil
+}
+
+func (s *diskStore) Stream(name string) (Stream, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := s.streams[name]; ok {
+		return st, nil
+	}
+	st, err := openDiskStream(s.dir, name, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.streams[name] = st
+	return st, nil
+}
+
+func (s *diskStore) Streams() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, e := range ents {
+		n := e.Name()
+		if i := strings.Index(n, ".seg."); i > 0 {
+			seen[n[:i]] = true
+		}
+	}
+	for n := range s.streams {
+		seen[n] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (s *diskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, st := range s.streams {
+		if err := st.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// segment describes one on-disk segment file.
+type segment struct {
+	index    int    // position in the file name, monotonically increasing
+	path     string
+	firstSeq uint64
+	offsets  []int64 // byte offset of each record frame
+	size     int64   // current byte size
+}
+
+func (g *segment) lastSeq() uint64 { return g.firstSeq + uint64(len(g.offsets)) }
+
+type diskStream struct {
+	dir  string
+	name string
+	opts DiskOptions
+
+	mu       sync.RWMutex
+	segs     []*segment
+	active   *os.File // write handle on the last segment
+	base     uint64   // first readable sequence (advanced by Truncate)
+	next     uint64   // next sequence to assign
+	unsynced int
+}
+
+func segPath(dir, name string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.seg.%08d", name, index))
+}
+
+func openDiskStream(dir, name string, opts DiskOptions) (*diskStream, error) {
+	pattern := filepath.Join(dir, name+".seg.*")
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	st := &diskStream{dir: dir, name: name, opts: opts}
+	for i, p := range paths {
+		idx, err := strconv.Atoi(strings.TrimPrefix(filepath.Base(p), name+".seg."))
+		if err != nil {
+			return nil, fmt.Errorf("streamfs: stray segment file %s", p)
+		}
+		last := i == len(paths)-1
+		seg, err := scanSegment(p, idx, last)
+		if err != nil {
+			return nil, err
+		}
+		st.segs = append(st.segs, seg)
+	}
+	if n := len(st.segs); n > 0 {
+		st.next = st.segs[n-1].lastSeq()
+		st.base = st.segs[0].firstSeq
+		f, err := os.OpenFile(st.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st.active = f
+	}
+	if b, err := readBaseMeta(dir, name); err != nil {
+		return nil, err
+	} else if b > st.base {
+		st.base = b
+	}
+	return st, nil
+}
+
+// scanSegment validates a segment file and builds its record index. When
+// tail is true, a torn final frame is repaired by truncation; otherwise
+// any damage is corruption.
+func scanSegment(path string, index int, tail bool) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, path)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != segMagic || binary.BigEndian.Uint32(hdr[4:8]) != segVersion {
+		return nil, fmt.Errorf("%w: %s: bad magic/version", ErrCorrupt, path)
+	}
+	seg := &segment{index: index, path: path, firstSeq: binary.BigEndian.Uint64(hdr[8:16])}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	total := fi.Size()
+	off := int64(segHeaderLen)
+	buf := make([]byte, frameHdrLen)
+	for off < total {
+		if total-off < frameHdrLen {
+			return repairTail(path, seg, off, tail)
+		}
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return nil, err
+		}
+		n := int64(binary.BigEndian.Uint32(buf[0:4]))
+		want := binary.BigEndian.Uint32(buf[4:8])
+		if n > MaxRecordSize || off+frameHdrLen+n > total {
+			return repairTail(path, seg, off, tail)
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+frameHdrLen); err != nil {
+			return nil, err
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return repairTail(path, seg, off, tail)
+		}
+		seg.offsets = append(seg.offsets, off)
+		off += frameHdrLen + n
+	}
+	seg.size = off
+	return seg, nil
+}
+
+func repairTail(path string, seg *segment, off int64, tail bool) (*segment, error) {
+	if !tail {
+		return nil, fmt.Errorf("%w: %s at offset %d (interior segment)", ErrCorrupt, path, off)
+	}
+	if err := os.Truncate(path, off); err != nil {
+		return nil, err
+	}
+	seg.size = off
+	return seg, nil
+}
+
+func (st *diskStream) Append(record []byte) (uint64, error) {
+	if len(record) > MaxRecordSize {
+		return 0, ErrTooLarge
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seg := st.lastSeg()
+	if seg == nil || seg.size >= st.opts.SegmentSize {
+		var err error
+		seg, err = st.rollLocked()
+		if err != nil {
+			return 0, err
+		}
+	}
+	frame := make([]byte, frameHdrLen+len(record))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(record)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(record, castagnoli))
+	copy(frame[frameHdrLen:], record)
+	if _, err := st.active.Write(frame); err != nil {
+		return 0, fmt.Errorf("streamfs: append %s: %w", st.name, err)
+	}
+	seg.offsets = append(seg.offsets, seg.size)
+	seg.size += int64(len(frame))
+	seq := st.next
+	st.next++
+	st.unsynced++
+	if st.opts.SyncEvery > 0 && st.unsynced >= st.opts.SyncEvery {
+		if err := st.active.Sync(); err != nil {
+			return 0, err
+		}
+		st.unsynced = 0
+	}
+	return seq, nil
+}
+
+func (st *diskStream) lastSeg() *segment {
+	if len(st.segs) == 0 {
+		return nil
+	}
+	return st.segs[len(st.segs)-1]
+}
+
+func (st *diskStream) rollLocked() (*segment, error) {
+	idx := 0
+	if last := st.lastSeg(); last != nil {
+		idx = last.index + 1
+	}
+	path := segPath(st.dir, st.name, idx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [segHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], segMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], segVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], st.next)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.active != nil {
+		if err := st.active.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		st.active.Close()
+	}
+	st.active = f
+	seg := &segment{index: idx, path: path, firstSeq: st.next, size: segHeaderLen}
+	st.segs = append(st.segs, seg)
+	return seg, nil
+}
+
+func (st *diskStream) Read(seq uint64) ([]byte, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if seq < st.base || seq >= st.next {
+		return nil, ErrNotFound
+	}
+	seg := st.findSeg(seq)
+	if seg == nil {
+		return nil, ErrNotFound
+	}
+	return readRecordAt(seg, seq)
+}
+
+func (st *diskStream) findSeg(seq uint64) *segment {
+	i := sort.Search(len(st.segs), func(i int) bool { return st.segs[i].lastSeq() > seq })
+	if i == len(st.segs) || seq < st.segs[i].firstSeq {
+		return nil
+	}
+	return st.segs[i]
+}
+
+func readRecordAt(seg *segment, seq uint64) ([]byte, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	off := seg.offsets[seq-seg.firstSeq]
+	var hdr [frameHdrLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrCorrupt, seg.path, seq, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, off+frameHdrLen); err != nil {
+		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrCorrupt, seg.path, seq, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: %s seq %d: checksum mismatch", ErrCorrupt, seg.path, seq)
+	}
+	return payload, nil
+}
+
+func (st *diskStream) Base() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.base
+}
+
+func (st *diskStream) Len() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.next
+}
+
+func (st *diskStream) Iterate(from uint64, fn func(uint64, []byte) error) error {
+	st.mu.RLock()
+	base, next := st.base, st.next
+	st.mu.RUnlock()
+	if from < base {
+		return ErrNotFound
+	}
+	if from > next {
+		return ErrOutOfRange
+	}
+	for seq := from; seq < next; seq++ {
+		rec, err := st.Read(seq)
+		if err != nil {
+			return err
+		}
+		if err := fn(seq, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *diskStream) Truncate(before uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if before <= st.base {
+		return nil
+	}
+	if before > st.next {
+		before = st.next
+	}
+	st.base = before
+	// Delete segments that fall entirely below the new base, except the
+	// active (last) one.
+	keep := st.segs[:0]
+	for i, seg := range st.segs {
+		whole := seg.lastSeq() <= before
+		if whole && i < len(st.segs)-1 {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	st.segs = keep
+	return writeBaseMeta(st.dir, st.name, st.base)
+}
+
+func (st *diskStream) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.active == nil {
+		return nil
+	}
+	st.unsynced = 0
+	return st.active.Sync()
+}
+
+func (st *diskStream) close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.active == nil {
+		return nil
+	}
+	err := st.active.Sync()
+	if cerr := st.active.Close(); err == nil {
+		err = cerr
+	}
+	st.active = nil
+	return err
+}
+
+// Base-sequence metadata, persisted so Truncate survives restarts.
+
+func metaPath(dir, name string) string { return filepath.Join(dir, name+".base") }
+
+func writeBaseMeta(dir, name string, base uint64) error {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], base)
+	binary.BigEndian.PutUint32(b[8:12], crc32.Checksum(b[0:8], castagnoli))
+	tmp := metaPath(dir, name) + ".tmp"
+	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, metaPath(dir, name))
+}
+
+func readBaseMeta(dir, name string) (uint64, error) {
+	b, err := os.ReadFile(metaPath(dir, name))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 12 || crc32.Checksum(b[0:8], castagnoli) != binary.BigEndian.Uint32(b[8:12]) {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, metaPath(dir, name))
+	}
+	return binary.BigEndian.Uint64(b[0:8]), nil
+}

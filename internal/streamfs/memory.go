@@ -1,0 +1,145 @@
+package streamfs
+
+import (
+	"sort"
+	"sync"
+)
+
+// memStore is the in-memory Store used by tests and benchmarks. It honours
+// the same semantics as the disk store, including Truncate releasing
+// storage and reads of purged records failing with ErrNotFound.
+type memStore struct {
+	mu      sync.Mutex
+	streams map[string]*memStream
+	closed  bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() Store {
+	return &memStore{streams: make(map[string]*memStream)}
+}
+
+func (s *memStore) Stream(name string) (Stream, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	st, ok := s.streams[name]
+	if !ok {
+		st = &memStream{}
+		s.streams[name] = st
+	}
+	return st, nil
+}
+
+func (s *memStore) Streams() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	names := make([]string, 0, len(s.streams))
+	for n := range s.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (s *memStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+type memStream struct {
+	mu    sync.RWMutex
+	base  uint64 // sequence of records[0]; advances on Truncate
+	items [][]byte
+}
+
+func (st *memStream) Append(record []byte) (uint64, error) {
+	if len(record) > MaxRecordSize {
+		return 0, ErrTooLarge
+	}
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seq := st.base + uint64(len(st.items))
+	st.items = append(st.items, cp)
+	return seq, nil
+}
+
+func (st *memStream) Read(seq uint64) ([]byte, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if seq < st.base || seq >= st.base+uint64(len(st.items)) {
+		return nil, ErrNotFound
+	}
+	src := st.items[seq-st.base]
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+func (st *memStream) Base() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.base
+}
+
+func (st *memStream) Len() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.base + uint64(len(st.items))
+}
+
+func (st *memStream) Iterate(from uint64, fn func(uint64, []byte) error) error {
+	// Snapshot under lock, then call fn outside it so fn may append.
+	st.mu.RLock()
+	base := st.base
+	if from < base {
+		st.mu.RUnlock()
+		return ErrNotFound
+	}
+	end := base + uint64(len(st.items))
+	if from > end {
+		st.mu.RUnlock()
+		return ErrOutOfRange
+	}
+	snap := st.items[from-base:]
+	st.mu.RUnlock()
+	for i, rec := range snap {
+		if err := fn(from+uint64(i), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *memStream) Truncate(before uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if before <= st.base {
+		return nil
+	}
+	end := st.base + uint64(len(st.items))
+	if before > end {
+		before = end
+	}
+	drop := before - st.base
+	// Copy the tail so the dropped prefix becomes collectable.
+	tail := make([][]byte, uint64(len(st.items))-drop)
+	copy(tail, st.items[drop:])
+	st.items = tail
+	st.base = before
+	return nil
+}
+
+func (st *memStream) Sync() error { return nil }

@@ -1,0 +1,219 @@
+// Package timepeg models the timestamp pegging protocols and attacks of
+// §III-B1 (Figure 5).
+//
+// One-way pegging (the ProvenDB approach): the LSP periodically submits
+// ledger digests to a public chain. The public chain bounds only the
+// *latest* possible creation time of a digest; nothing bounds how long
+// the LSP sat on (and could keep tampering with) the data before
+// anchoring — the infinite time amplification attack of Figure 5(a).
+//
+// Two-way pegging through a T-Ledger (Protocols 3+4): submissions are
+// only accepted within τ_Δ of the submitter's clock, and the T-Ledger
+// finalizes to the TSA every Δτ, so a verified entry is sandwiched
+// between two TSA timestamps at most 2·Δτ apart — Figure 5(b)'s finite
+// malicious time window.
+//
+// The Adversary type drives both protocols with an arbitrary holding
+// delay; the *measured* backdating windows are what the Figure 5 bench
+// (cmd/bench fig5) reports, and the property tests assert the unbounded
+// vs bounded separation.
+package timepeg
+
+import (
+	"errors"
+	"fmt"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/merkle/bim"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/tsa"
+)
+
+// Errors returned by this package.
+var (
+	ErrRejected = errors.New("timepeg: submission rejected")
+)
+
+// OneWayNotary is the ProvenDB-style public-chain anchor: digests batch
+// into blocks cut every Interval. It accepts any digest at any time — the
+// flaw the attack exploits.
+type OneWayNotary struct {
+	chain    *bim.Chain
+	clock    *logicalclock.Clock
+	interval int64
+	lastCut  int64
+	index    map[hashutil.Digest]int64 // digest -> block timestamp
+}
+
+// NewOneWayNotary builds a notary cutting blocks every interval.
+func NewOneWayNotary(clock *logicalclock.Clock, interval int64) *OneWayNotary {
+	return &OneWayNotary{
+		chain:    bim.NewChain(),
+		clock:    clock,
+		interval: interval,
+		lastCut:  clock.Now(),
+		index:    make(map[hashutil.Digest]int64),
+	}
+}
+
+// Tick cuts a block if the interval elapsed and pending digests exist.
+func (n *OneWayNotary) Tick() {
+	if n.clock.Now()-n.lastCut < n.interval {
+		return
+	}
+	n.lastCut = n.clock.Now()
+	if h, err := n.chain.CutBlock(n.clock.Now()); err == nil {
+		_ = h
+	}
+}
+
+// Submit anchors a digest; it lands in the next cut block. No freshness
+// check is performed — that is the one-way protocol.
+func (n *OneWayNotary) Submit(d hashutil.Digest) {
+	n.chain.AddTx(d)
+	n.index[d] = -1 // pending
+}
+
+// AnchoredAt returns the public-chain timestamp bounding a digest's
+// latest creation time, or an error if not yet committed. For a one-way
+// verifier this is the ONLY time evidence available.
+func (n *OneWayNotary) AnchoredAt(d hashutil.Digest) (int64, error) {
+	ts, ok := n.index[d]
+	if !ok {
+		return 0, fmt.Errorf("%w: digest never submitted", ErrRejected)
+	}
+	if ts < 0 {
+		return 0, fmt.Errorf("%w: digest not yet in a block", ErrRejected)
+	}
+	return ts, nil
+}
+
+// CutNow forces a block cut and settles pending digests (the simulation
+// driver calls it after advancing time).
+func (n *OneWayNotary) CutNow() {
+	if _, err := n.chain.CutBlock(n.clock.Now()); err != nil {
+		return
+	}
+	for d, ts := range n.index {
+		if ts < 0 {
+			n.index[d] = n.clock.Now()
+		}
+	}
+}
+
+// OneWayOutcome is the verdict a third-party auditor can reach about a
+// journal under one-way pegging.
+type OneWayOutcome struct {
+	CreatedAt     int64 // ground truth (hidden from the verifier)
+	AnchoredAt    int64 // the only evidence the verifier has
+	TamperWindow  int64 // how long the adversary could mutate the data
+	ClaimableFrom int64 // earliest creation time the adversary can claim
+}
+
+// RunOneWayAttack simulates the infinite amplification attack: the
+// adversary generates a journal, holds (and can freely rewrite) it for
+// holdFor time units, then anchors. The tamper window equals the hold
+// time — unbounded, because nothing in the protocol limits it.
+func RunOneWayAttack(holdFor int64) OneWayOutcome {
+	clock := logicalclock.New(1_000)
+	notary := NewOneWayNotary(clock, 10)
+	createdAt := clock.Now()
+	digest := hashutil.Leaf([]byte("journal-payload"))
+	// The adversary sits on the journal, mutating at will.
+	clock.Advance(holdFor)
+	// Finally anchors the (possibly rewritten) digest.
+	notary.Submit(digest)
+	clock.Advance(1)
+	notary.CutNow()
+	anchoredAt, _ := notary.AnchoredAt(digest)
+	return OneWayOutcome{
+		CreatedAt:    createdAt,
+		AnchoredAt:   anchoredAt,
+		TamperWindow: anchoredAt - createdAt,
+		// One-way evidence has no lower bound: the adversary can claim
+		// the journal existed at any time in the past.
+		ClaimableFrom: 0,
+	}
+}
+
+// TwoWayOutcome is the verdict under two-way pegging via a T-Ledger.
+type TwoWayOutcome struct {
+	CreatedAt    int64
+	Accepted     bool  // whether the (possibly delayed) submission passed
+	NotBefore    int64 // TSA lower bound from the previous finalization
+	NotAfter     int64 // TSA upper bound from the covering finalization
+	ClaimWindow  int64 // NotAfter - NotBefore: maximum credible backdating
+	TamperWindow int64 // time the adversary held the journal mutable
+}
+
+// RunTwoWayAttack simulates the same adversary against the T-Ledger
+// protocol: create at t0, hold for holdFor, then submit claiming the
+// submission-time clock (claiming an old τ_c is pointless — Protocol 4
+// compares against the notary clock, and the finalization chain supplies
+// the judicial lower bound). deltaTau is the finalization period Δτ;
+// tolerance is τ_Δ.
+func RunTwoWayAttack(holdFor, deltaTau, tolerance int64) (TwoWayOutcome, error) {
+	clock := logicalclock.New(1_000)
+	authority := tsa.New("sim", tsa.Options{Clock: clock.Now})
+	tl, err := tledger.New(tledger.Config{
+		Name:      "sim",
+		Clock:     clock.Now,
+		Tolerance: tolerance,
+		TSA:       tsa.NewPool(authority),
+	})
+	if err != nil {
+		return TwoWayOutcome{}, err
+	}
+	// Background traffic: the T-Ledger finalizes every Δτ regardless of
+	// the adversary.
+	finalize := func() error {
+		_, err := tl.Finalize()
+		return err
+	}
+	if err := finalize(); err != nil { // finalization at t0
+		return TwoWayOutcome{}, err
+	}
+	out := TwoWayOutcome{CreatedAt: clock.Now(), TamperWindow: holdFor}
+	digest := hashutil.Leaf([]byte("journal-payload"))
+
+	// The adversary holds the journal; meanwhile the T-Ledger keeps
+	// finalizing on schedule.
+	for held := int64(0); held < holdFor; held += deltaTau {
+		step := deltaTau
+		if holdFor-held < deltaTau {
+			step = holdFor - held
+		}
+		clock.Advance(step)
+		if err := finalize(); err != nil {
+			return TwoWayOutcome{}, err
+		}
+	}
+	// Submission with an honest-looking τ_c (a stale τ_c ≤ now-τ_Δ would
+	// be rejected outright by Protocol 4).
+	entry, _, err := tl.Submit("ledger://victim", digest, clock.Now())
+	if errors.Is(err, tledger.ErrStale) {
+		return out, nil // rejected: attack failed entirely
+	}
+	if err != nil {
+		return TwoWayOutcome{}, err
+	}
+	out.Accepted = true
+	// The next scheduled finalization covers the entry.
+	clock.Advance(deltaTau)
+	if err := finalize(); err != nil {
+		return TwoWayOutcome{}, err
+	}
+	proof, err := tl.ProveTime(entry.Seq)
+	if err != nil {
+		return TwoWayOutcome{}, err
+	}
+	nb, na, err := tledger.VerifyTimeProof(proof, []sig.PublicKey{authority.Public()})
+	if err != nil {
+		return TwoWayOutcome{}, err
+	}
+	out.NotBefore, out.NotAfter = nb, na
+	out.ClaimWindow = na - nb
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package timepeg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/logicalclock"
+)
+
+func TestOneWayWindowGrowsWithHoldTime(t *testing.T) {
+	// Figure 5(a): the tamper window equals however long the adversary
+	// chooses to hold the journal — unbounded.
+	var prev int64 = -1
+	for _, hold := range []int64{0, 10, 100, 10_000, 1_000_000} { // one-way attack is O(1) in hold
+
+		out := RunOneWayAttack(hold)
+		if out.TamperWindow < hold {
+			t.Fatalf("hold %d: window %d smaller than the hold", hold, out.TamperWindow)
+		}
+		if out.TamperWindow <= prev {
+			t.Fatalf("hold %d: window %d did not grow (prev %d)", hold, out.TamperWindow, prev)
+		}
+		prev = out.TamperWindow
+		if out.ClaimableFrom != 0 {
+			t.Fatal("one-way evidence unexpectedly has a lower bound")
+		}
+	}
+}
+
+func TestTwoWayWindowBoundedBy2DeltaTau(t *testing.T) {
+	// Figure 5(b): no matter how long the adversary holds the journal,
+	// the credible claim window never exceeds 2·Δτ.
+	const deltaTau, tolerance = 10, 10
+	for _, hold := range []int64{0, 5, 10, 100, 2_000, 20_000} {
+		out, err := RunTwoWayAttack(hold, deltaTau, tolerance)
+		if err != nil {
+			t.Fatalf("hold %d: %v", hold, err)
+		}
+		if !out.Accepted {
+			continue // rejected outright: even stronger than bounded
+		}
+		if out.ClaimWindow > 2*deltaTau {
+			t.Fatalf("hold %d: claim window %d exceeds 2Δτ=%d", hold, out.ClaimWindow, 2*deltaTau)
+		}
+		// The lower bound moved up past the creation time for long holds:
+		// the adversary cannot pretend the (tampered) journal is old.
+		if hold > 2*deltaTau && out.NotBefore <= out.CreatedAt {
+			t.Fatalf("hold %d: notBefore %d did not advance past creation %d", hold, out.NotBefore, out.CreatedAt)
+		}
+	}
+}
+
+func TestTwoWayRejectsStaleClaims(t *testing.T) {
+	// Claiming an old τ_c directly is rejected by Protocol 4 — simulate
+	// by holding past tolerance with a stale claim.
+	out, err := RunTwoWayAttack(50_000, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack either got rejected or is bounded; both defeat
+	// amplification.
+	if out.Accepted && out.ClaimWindow > 20 {
+		t.Fatalf("amplification survived: window %d", out.ClaimWindow)
+	}
+}
+
+func TestQuickTwoWayBoundHolds(t *testing.T) {
+	f := func(holdRaw uint32, dtRaw, tolRaw uint8) bool {
+		deltaTau := int64(dtRaw%50) + 1
+		tolerance := int64(tolRaw%50) + 1
+		hold := int64(holdRaw % 5_000)
+		out, err := RunTwoWayAttack(hold, deltaTau, tolerance)
+		if err != nil {
+			return false
+		}
+		if !out.Accepted {
+			return true
+		}
+		return out.ClaimWindow <= 2*deltaTau
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneWayNotaryMechanics(t *testing.T) {
+	clock := logicalclock.New(100)
+	n := NewOneWayNotary(clock, 10)
+	d := hashutil.Leaf([]byte("x"))
+	if _, err := n.AnchoredAt(d); err == nil {
+		t.Fatal("unsubmitted digest anchored")
+	}
+	n.Submit(d)
+	if _, err := n.AnchoredAt(d); err == nil {
+		t.Fatal("pending digest anchored")
+	}
+	clock.Advance(5)
+	n.CutNow()
+	ts, err := n.AnchoredAt(d)
+	if err != nil || ts != 105 {
+		t.Fatalf("anchored at %d, %v", ts, err)
+	}
+}
+
+func TestTickRespectsInterval(t *testing.T) {
+	clock := logicalclock.New(0)
+	n := NewOneWayNotary(clock, 10)
+	n.Submit(hashutil.Leaf([]byte("a")))
+	n.Tick() // too early: nothing cut
+	if _, err := n.AnchoredAt(hashutil.Leaf([]byte("a"))); err == nil {
+		t.Fatal("tick cut a block before the interval")
+	}
+	clock.Advance(10)
+	n.Tick()
+	// Tick cuts the chain but settlement happens via CutNow in the sim;
+	// mechanics-level: chain height advanced.
+}

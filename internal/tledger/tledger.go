@@ -1,0 +1,383 @@
+// Package tledger implements the Time Ledger of §III-B2: a public time
+// notary maintained by the LSP that sits between common ledgers and the
+// TSA, forming the two-layer anchoring architecture.
+//
+//   - Bottom layer (Protocol 4): common ledgers submit their digests with
+//     their local timestamp τ_c; the T-Ledger accepts only if its own
+//     clock τ_t satisfies τ_t < τ_c + τ_Δ, eliminating the infinite time
+//     amplification of plain one-way pegging (§III-B1).
+//   - Top layer (Protocol 3): every Δτ the T-Ledger commits an
+//     accumulator root over all accepted entries to the TSA and records
+//     the signed attestation — the periodic time notary finalization.
+//
+// A common ledger can submit at high throughput because a submission is
+// one signature, not a TSA round trip; TSA interaction is amortized over
+// every entry in the finalization window. The judicial time bound for an
+// entry is (previous finalization's TSA timestamp, covering
+// finalization's TSA timestamp] — at most 2·Δτ wide.
+package tledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/merkle/accumulator"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/tsa"
+	"ledgerdb/internal/wire"
+)
+
+// Errors returned by this package.
+var (
+	ErrStale    = errors.New("tledger: submission delayed beyond tolerance (protocol 4)")
+	ErrFuture   = errors.New("tledger: submission timestamp in the future")
+	ErrNotFound = errors.New("tledger: entry or finalization not found")
+	ErrVerify   = errors.New("tledger: time proof verification failed")
+)
+
+// Entry is one accepted notary submission.
+type Entry struct {
+	Seq        uint64
+	LedgerURI  string
+	Digest     hashutil.Digest // the submitting ledger's accumulator root
+	ClientTime int64           // τ_c: the submitter's local clock
+	NotaryTime int64           // τ_t: the T-Ledger's clock at acceptance
+}
+
+// digest returns the leaf accumulated for this entry.
+func (e *Entry) digest() hashutil.Digest {
+	w := wire.NewWriter(96)
+	w.String("ledgerdb/tledger-entry/v1")
+	w.Uvarint(e.Seq)
+	w.String(e.LedgerURI)
+	w.Digest(e.Digest)
+	w.Int64(e.ClientTime)
+	w.Int64(e.NotaryTime)
+	return hashutil.Sum(w.Bytes())
+}
+
+// Finalization is one periodic TSA endorsement: the accumulator root over
+// entries [0, UpToSeq), stamped and signed by a TSA.
+type Finalization struct {
+	Index       uint64
+	UpToSeq     uint64
+	Root        hashutil.Digest
+	Attestation *journal.TimeAttestation
+}
+
+// Config configures a T-Ledger.
+type Config struct {
+	// Name identifies the service; its signing key derives from it.
+	Name string
+	// Clock is the notary clock τ_t. Required for deterministic tests;
+	// nil is rejected (the T-Ledger's whole point is controlled time).
+	Clock func() int64
+	// Tolerance is τ_Δ of Protocol 4, in clock units.
+	Tolerance int64
+	// TSA is the upstream authority pool for finalization.
+	TSA *tsa.Pool
+}
+
+// TLedger is the public time notary. Safe for concurrent use.
+type TLedger struct {
+	cfg Config
+	key *sig.KeyPair
+
+	mu      sync.RWMutex
+	entries []*Entry
+	acc     *accumulator.Accumulator
+	finals  []*Finalization
+}
+
+// New creates a T-Ledger.
+func New(cfg Config) (*TLedger, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("tledger: nil clock")
+	}
+	if cfg.Tolerance <= 0 {
+		return nil, errors.New("tledger: non-positive tolerance")
+	}
+	if cfg.TSA == nil {
+		return nil, errors.New("tledger: nil TSA pool")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "t-ledger"
+	}
+	return &TLedger{
+		cfg: cfg,
+		key: sig.GenerateDeterministic("tledger/" + cfg.Name),
+		acc: accumulator.New(),
+	}, nil
+}
+
+// Public returns the T-Ledger's notary key; common ledgers' registries
+// certify it for the TSA role so anchored entries pass role checks.
+func (t *TLedger) Public() sig.PublicKey { return t.key.Public() }
+
+// Size returns the number of accepted entries.
+func (t *TLedger) Size() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.entries))
+}
+
+// Finalizations returns the number of TSA finalizations so far.
+func (t *TLedger) Finalizations() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.finals)
+}
+
+// Submit runs Protocol 4 for one digest: accept only when the notary
+// clock is within τ_Δ of the submitter's claimed local time, record the
+// entry, and return a notary attestation signed by the T-Ledger (the
+// submitting ledger anchors it back as its time journal).
+func (t *TLedger) Submit(uri string, digest hashutil.Digest, clientTime int64) (*Entry, *journal.TimeAttestation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.cfg.Clock()
+	if now >= clientTime+t.cfg.Tolerance {
+		return nil, nil, fmt.Errorf("%w: τ_t=%d, τ_c=%d, τ_Δ=%d", ErrStale, now, clientTime, t.cfg.Tolerance)
+	}
+	if clientTime > now+t.cfg.Tolerance {
+		return nil, nil, fmt.Errorf("%w: τ_c=%d, τ_t=%d", ErrFuture, clientTime, now)
+	}
+	e := &Entry{
+		Seq:        uint64(len(t.entries)),
+		LedgerURI:  uri,
+		Digest:     digest,
+		ClientTime: clientTime,
+		NotaryTime: now,
+	}
+	t.entries = append(t.entries, e)
+	t.acc.Append(e.digest())
+	ta := &journal.TimeAttestation{Digest: digest, Timestamp: now, TSAPK: t.key.Public()}
+	s, err := t.key.Sign(ta.SignedDigest())
+	if err != nil {
+		return nil, nil, err
+	}
+	ta.TSASig = s
+	return e, ta, nil
+}
+
+// StampFunc adapts Submit to the ledger engine's AnchorTimeWith hook: the
+// returned function submits a digest under the given URI using the
+// submitting ledger's clock.
+func (t *TLedger) StampFunc(uri string, clientClock func() int64) func(hashutil.Digest) (*journal.TimeAttestation, error) {
+	return func(d hashutil.Digest) (*journal.TimeAttestation, error) {
+		_, ta, err := t.Submit(uri, d, clientClock())
+		return ta, err
+	}
+}
+
+// Finalize runs Protocol 3 against the TSA: commit the current entry
+// accumulator root for a universal timestamp. Call it every Δτ.
+func (t *TLedger) Finalize() (*Finalization, error) {
+	t.mu.Lock()
+	size := t.acc.Size()
+	var root hashutil.Digest
+	var err error
+	if size > 0 {
+		root, err = t.acc.Root()
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+	}
+	t.mu.Unlock()
+
+	// The TSA round trip happens outside the lock: submissions keep
+	// flowing while the endorsement is in flight.
+	ta, err := t.cfg.TSA.Stamp(root)
+	if err != nil {
+		return nil, fmt.Errorf("tledger: finalize: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := &Finalization{
+		Index:       uint64(len(t.finals)),
+		UpToSeq:     size,
+		Root:        root,
+		Attestation: ta,
+	}
+	t.finals = append(t.finals, f)
+	return f, nil
+}
+
+// TimeProof bounds an entry's true creation time for a third party: the
+// entry is included in Covering's TSA-stamped root (so it existed before
+// that timestamp) and was accepted after the previous finalization (so it
+// cannot predate that one) — the ≤ 2·Δτ window of Figure 5(b).
+type TimeProof struct {
+	Entry     *Entry
+	Inclusion *accumulator.Proof
+	Covering  *Finalization
+	Previous  *Finalization // nil for entries in the first window
+}
+
+// ProveTime builds the time proof for entry seq. It fails until a
+// finalization covers the entry.
+func (t *TLedger) ProveTime(seq uint64) (*TimeProof, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if seq >= uint64(len(t.entries)) {
+		return nil, fmt.Errorf("%w: entry %d of %d", ErrNotFound, seq, len(t.entries))
+	}
+	var covering, previous *Finalization
+	for _, f := range t.finals {
+		if f.UpToSeq > seq {
+			covering = f
+			break
+		}
+		previous = f
+	}
+	if covering == nil {
+		return nil, fmt.Errorf("%w: entry %d not yet finalized", ErrNotFound, seq)
+	}
+	ip, err := t.acc.ProveAt(seq, covering.UpToSeq)
+	if err != nil {
+		return nil, err
+	}
+	return &TimeProof{Entry: t.entries[seq], Inclusion: ip, Covering: covering, Previous: previous}, nil
+}
+
+// VerifyTimeProof validates a time proof against a set of trusted TSA
+// keys (Prerequisite 3) and returns the judicial bounds
+// (notBefore, notAfter] on the entry's creation time.
+func VerifyTimeProof(p *TimeProof, trustedTSA []sig.PublicKey) (notBefore, notAfter int64, err error) {
+	if p == nil || p.Entry == nil || p.Covering == nil || p.Covering.Attestation == nil {
+		return 0, 0, fmt.Errorf("%w: incomplete proof", ErrVerify)
+	}
+	att := p.Covering.Attestation
+	if !trustedKey(att.TSAPK, trustedTSA) {
+		return 0, 0, fmt.Errorf("%w: attestation from untrusted TSA %s", ErrVerify, att.TSAPK)
+	}
+	if err := att.Verify(); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if att.Digest != p.Covering.Root {
+		return 0, 0, fmt.Errorf("%w: attestation does not cover finalization root", ErrVerify)
+	}
+	if err := accumulator.Verify(p.Entry.digest(), p.Inclusion, p.Covering.Root); err != nil {
+		return 0, 0, fmt.Errorf("%w: inclusion: %v", ErrVerify, err)
+	}
+	notAfter = att.Timestamp
+	if p.Previous != nil {
+		if p.Previous.Attestation == nil || !trustedKey(p.Previous.Attestation.TSAPK, trustedTSA) {
+			return 0, 0, fmt.Errorf("%w: previous finalization untrusted", ErrVerify)
+		}
+		if err := p.Previous.Attestation.Verify(); err != nil {
+			return 0, 0, fmt.Errorf("%w: previous: %v", ErrVerify, err)
+		}
+		notBefore = p.Previous.Attestation.Timestamp
+	}
+	return notBefore, notAfter, nil
+}
+
+func trustedKey(pk sig.PublicKey, set []sig.PublicKey) bool {
+	for _, k := range set {
+		if k == pk {
+			return true
+		}
+	}
+	return false
+}
+
+// PublicView is the downloadable form of the T-Ledger that Prerequisite
+// 4 demands ("a public ledger containing regular TSA journals that
+// anyone can download and verify"): every entry and every finalization,
+// self-contained.
+type PublicView struct {
+	Entries []*Entry
+	Finals  []*Finalization
+}
+
+// Export snapshots the public view.
+func (t *TLedger) Export() *PublicView {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &PublicView{
+		Entries: append([]*Entry(nil), t.entries...),
+		Finals:  append([]*Finalization(nil), t.finals...),
+	}
+}
+
+// VerifyPublicView is the anyone-can-verify check of Prerequisite 4:
+// rebuild the entry accumulator from scratch, confirm every finalization
+// root matches the rebuilt prefix, every TSA attestation verifies under
+// a trusted key, finalization timestamps are monotone, and every entry's
+// notary time respects Protocol 4 relative to its claimed client time
+// (given the tolerance τ_Δ the service advertises).
+func VerifyPublicView(v *PublicView, trustedTSA []sig.PublicKey, tolerance int64) error {
+	if v == nil {
+		return fmt.Errorf("%w: nil view", ErrVerify)
+	}
+	acc := accumulator.New()
+	for i, e := range v.Entries {
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("%w: entry %d claims seq %d", ErrVerify, i, e.Seq)
+		}
+		if e.NotaryTime >= e.ClientTime+tolerance {
+			return fmt.Errorf("%w: entry %d violates protocol 4 (τ_t=%d, τ_c=%d)", ErrVerify, i, e.NotaryTime, e.ClientTime)
+		}
+		acc.Append(e.digest())
+	}
+	var prevTime int64
+	var prevSeq uint64
+	for i, f := range v.Finals {
+		if f.Index != uint64(i) {
+			return fmt.Errorf("%w: finalization %d claims index %d", ErrVerify, i, f.Index)
+		}
+		if f.UpToSeq < prevSeq || f.UpToSeq > uint64(len(v.Entries)) {
+			return fmt.Errorf("%w: finalization %d covers %d entries (prev %d, have %d)", ErrVerify, i, f.UpToSeq, prevSeq, len(v.Entries))
+		}
+		if f.UpToSeq > 0 {
+			root, err := acc.RootAt(f.UpToSeq)
+			if err != nil {
+				return err
+			}
+			if root != f.Root {
+				return fmt.Errorf("%w: finalization %d root does not match rebuilt entries", ErrVerify, i)
+			}
+		}
+		att := f.Attestation
+		if att == nil || !trustedKey(att.TSAPK, trustedTSA) {
+			return fmt.Errorf("%w: finalization %d lacks a trusted TSA attestation", ErrVerify, i)
+		}
+		if err := att.Verify(); err != nil {
+			return fmt.Errorf("%w: finalization %d: %v", ErrVerify, i, err)
+		}
+		if att.Digest != f.Root {
+			return fmt.Errorf("%w: finalization %d attestation covers a different root", ErrVerify, i)
+		}
+		if att.Timestamp < prevTime {
+			return fmt.Errorf("%w: finalization %d timestamp regressed", ErrVerify, i)
+		}
+		prevTime = att.Timestamp
+		prevSeq = f.UpToSeq
+	}
+	return nil
+}
+
+// EntryLeafDigest exposes an entry's accumulator leaf so external
+// verifiers (and the bench harness) can run incremental inclusion checks
+// against an already-verified finalization root.
+func EntryLeafDigest(e *Entry) hashutil.Digest { return e.digest() }
+
+// EntryBySubmission finds the latest entry for a ledger URI with the
+// given digest (common ledgers resolve their anchored time journals back
+// to T-Ledger entries this way).
+func (t *TLedger) EntryBySubmission(uri string, digest hashutil.Digest) (*Entry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		e := t.entries[i]
+		if e.LedgerURI == uri && e.Digest == digest {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no entry for %s / %s", ErrNotFound, uri, digest.Short())
+}

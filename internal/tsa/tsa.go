@@ -1,0 +1,161 @@
+// Package tsa implements the Time Stamp Authority of the threat model
+// (§II-B): the one third party LedgerDB trusts, which attaches a credible,
+// signed timestamp to a submitted digest (Protocol 3, step 1).
+//
+// A Pool aggregates several independent authorities ("we utilize a pool
+// of independent TSA services from different authorized entities to
+// further enhance system availability", §III-B1): stamping rotates
+// through healthy members and fails over on error.
+package tsa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/sig"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnavailable = errors.New("tsa: no authority available")
+)
+
+// Authority is a single TSA service.
+type Authority struct {
+	name  string
+	key   *sig.KeyPair
+	clock func() int64
+	// latency simulates the round-trip cost of a real TSA interaction
+	// ("directly interacting with TSA is inherently costly", §VI-A). Zero
+	// means no artificial delay.
+	latency time.Duration
+
+	mu     sync.Mutex
+	down   bool
+	issued uint64
+}
+
+// Options configures an Authority.
+type Options struct {
+	// Clock supplies the universal timestamp; nil means wall clock.
+	Clock func() int64
+	// Latency is the simulated per-stamp round trip.
+	Latency time.Duration
+}
+
+// New creates a TSA with a deterministic key derived from its name (test
+// and benchmark identities; production would load CA-certified keys).
+func New(name string, opts Options) *Authority {
+	clock := opts.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Authority{
+		name:    name,
+		key:     sig.GenerateDeterministic("tsa/" + name),
+		clock:   clock,
+		latency: opts.Latency,
+	}
+}
+
+// Name returns the authority's display name.
+func (a *Authority) Name() string { return a.name }
+
+// Public returns the authority's public key, to be certified by a CA and
+// pinned by verifiers (Prerequisite 3).
+func (a *Authority) Public() sig.PublicKey { return a.key.Public() }
+
+// Issued returns the number of attestations granted.
+func (a *Authority) Issued() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.issued
+}
+
+// SetDown marks the authority unavailable (availability testing).
+func (a *Authority) SetDown(down bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.down = down
+}
+
+// Stamp assigns the current timestamp to a digest and signs the pair.
+func (a *Authority) Stamp(digest hashutil.Digest) (*journal.TimeAttestation, error) {
+	a.mu.Lock()
+	if a.down {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is down", ErrUnavailable, a.name)
+	}
+	a.issued++
+	a.mu.Unlock()
+	if a.latency > 0 {
+		time.Sleep(a.latency)
+	}
+	ta := &journal.TimeAttestation{
+		Digest:    digest,
+		Timestamp: a.clock(),
+		TSAPK:     a.key.Public(),
+	}
+	s, err := a.key.Sign(ta.SignedDigest())
+	if err != nil {
+		return nil, err
+	}
+	ta.TSASig = s
+	return ta, nil
+}
+
+// Pool is a set of independent authorities with failover.
+type Pool struct {
+	mu      sync.Mutex
+	members []*Authority
+	next    int
+}
+
+// NewPool builds a pool over the given authorities.
+func NewPool(members ...*Authority) *Pool {
+	return &Pool{members: members}
+}
+
+// Members returns the pool's authorities.
+func (p *Pool) Members() []*Authority {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Authority(nil), p.members...)
+}
+
+// Keys returns every member's public key (for CA certification).
+func (p *Pool) Keys() []sig.PublicKey {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]sig.PublicKey, len(p.members))
+	for i, m := range p.members {
+		out[i] = m.Public()
+	}
+	return out
+}
+
+// Stamp tries pool members round-robin until one succeeds.
+func (p *Pool) Stamp(digest hashutil.Digest) (*journal.TimeAttestation, error) {
+	p.mu.Lock()
+	n := len(p.members)
+	start := p.next
+	p.next = (p.next + 1) % max(n, 1)
+	members := p.members
+	p.mu.Unlock()
+	if n == 0 {
+		return nil, ErrUnavailable
+	}
+	var lastErr error
+	for i := 0; i < n; i++ {
+		ta, err := members[(start+i)%n].Stamp(digest)
+		if err == nil {
+			return ta, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: all %d authorities failed: %v", ErrUnavailable, n, lastErr)
+}

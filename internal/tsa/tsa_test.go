@@ -1,0 +1,106 @@
+package tsa
+
+import (
+	"errors"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func fixedClock(t int64) func() int64 { return func() int64 { return t } }
+
+func TestStampAndVerify(t *testing.T) {
+	a := New("ntsc", Options{Clock: fixedClock(5000)})
+	d := hashutil.Leaf([]byte("ledger-root"))
+	ta, err := a.Stamp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Timestamp != 5000 || ta.Digest != d || ta.TSAPK != a.Public() {
+		t.Fatalf("attestation fields: %+v", ta)
+	}
+	if err := ta.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if a.Issued() != 1 {
+		t.Fatalf("Issued = %d", a.Issued())
+	}
+}
+
+func TestStampWhileDown(t *testing.T) {
+	a := New("x", Options{Clock: fixedClock(1)})
+	a.SetDown(true)
+	if _, err := a.Stamp(hashutil.Zero); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	a.SetDown(false)
+	if _, err := a.Stamp(hashutil.Zero); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicIdentity(t *testing.T) {
+	a := New("same", Options{Clock: fixedClock(1)})
+	b := New("same", Options{Clock: fixedClock(1)})
+	c := New("other", Options{Clock: fixedClock(1)})
+	if a.Public() != b.Public() {
+		t.Fatal("same name produced different keys")
+	}
+	if a.Public() == c.Public() {
+		t.Fatal("different names produced the same key")
+	}
+}
+
+func TestPoolFailover(t *testing.T) {
+	a := New("a", Options{Clock: fixedClock(1)})
+	b := New("b", Options{Clock: fixedClock(2)})
+	p := NewPool(a, b)
+	if len(p.Keys()) != 2 {
+		t.Fatal("pool keys")
+	}
+	a.SetDown(true)
+	// Every stamp must succeed via b.
+	for i := 0; i < 4; i++ {
+		ta, err := p.Stamp(hashutil.Leaf([]byte{byte(i)}))
+		if err != nil {
+			t.Fatalf("stamp %d: %v", i, err)
+		}
+		if ta.TSAPK != b.Public() {
+			t.Fatalf("stamp %d signed by wrong authority", i)
+		}
+	}
+	// All down: unavailable.
+	b.SetDown(true)
+	if _, err := p.Stamp(hashutil.Zero); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolRoundRobin(t *testing.T) {
+	a := New("a", Options{Clock: fixedClock(1)})
+	b := New("b", Options{Clock: fixedClock(1)})
+	p := NewPool(a, b)
+	for i := 0; i < 6; i++ {
+		if _, err := p.Stamp(hashutil.Zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Issued() != 3 || b.Issued() != 3 {
+		t.Fatalf("distribution: a=%d b=%d", a.Issued(), b.Issued())
+	}
+}
+
+func TestEmptyPool(t *testing.T) {
+	if _, err := NewPool().Stamp(hashutil.Zero); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	a := New("a", Options{Clock: fixedClock(1)})
+	p := NewPool(a)
+	m := p.Members()
+	if len(m) != 1 || m[0].Name() != "a" {
+		t.Fatalf("members = %v", m)
+	}
+}

@@ -1,0 +1,236 @@
+// Package wire implements the deterministic binary encoding used for every
+// persisted or hashed object in the repository.
+//
+// Ledger digests must be reproducible across processes and years, so the
+// encoding is fully specified and has no map iteration, floating point, or
+// reflection anywhere: writers append big-endian fixed integers, unsigned
+// varints, and length-prefixed byte strings; readers consume the same and
+// fail loudly on truncation or trailing garbage.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// Encoding errors.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrOverflow  = errors.New("wire: length overflows limit")
+	ErrTrailing  = errors.New("wire: trailing bytes after decode")
+)
+
+// MaxBytesLen bounds a single length-prefixed byte string (64 MiB). It
+// protects decoders from hostile length prefixes.
+const MaxBytesLen = 64 << 20
+
+// Writer accumulates a deterministic encoding. The zero value is ready to
+// use. Writers never fail; all validation happens on the read side.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity pre-allocated for n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded bytes. The slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uint8 appends a single byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends 0x01 or 0x00.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Uint16 appends a big-endian 16-bit integer.
+func (w *Writer) Uint16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// Uint32 appends a big-endian 32-bit integer.
+func (w *Writer) Uint32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// Uint64 appends a big-endian 64-bit integer.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Int64 appends a big-endian two's-complement 64-bit integer.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Bytes appends a uvarint length prefix followed by the raw bytes.
+func (w *Writer) WriteBytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Digest appends a fixed 32-byte digest.
+func (w *Writer) Digest(d hashutil.Digest) { w.buf = append(w.buf, d[:]...) }
+
+// Raw appends bytes verbatim with no prefix. Use only for fixed-width
+// fields whose length is part of the format.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader consumes a deterministic encoding produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain unread.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Uint8 reads a single byte.
+func (r *Reader) Uint8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean; any nonzero byte is true.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Uint16 reads a big-endian 16-bit integer.
+func (r *Reader) Uint16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// Uint32 reads a big-endian 32-bit integer.
+func (r *Reader) Uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian 64-bit integer.
+func (r *Reader) Uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian two's-complement 64-bit integer.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// ReadBytes reads a length-prefixed byte string. The returned slice
+// aliases the reader's buffer; callers that retain it must copy.
+func (r *Reader) ReadBytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytesLen || n > math.MaxInt32 {
+		r.fail(fmt.Errorf("%w: byte string of %d", ErrOverflow, n))
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// BytesCopy reads a length-prefixed byte string into fresh storage.
+func (r *Reader) BytesCopy() []byte {
+	b := r.ReadBytes()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed UTF-8 string.
+func (r *Reader) String() string { return string(r.ReadBytes()) }
+
+// Digest reads a fixed 32-byte digest.
+func (r *Reader) Digest() hashutil.Digest {
+	var d hashutil.Digest
+	b := r.take(hashutil.Size)
+	if b != nil {
+		copy(d[:], b)
+	}
+	return d
+}
+
+// Raw reads n bytes verbatim.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	d := hashutil.Leaf([]byte("digest"))
+	w := NewWriter(0)
+	w.Uint8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(math.MaxUint64)
+	w.Int64(-42)
+	w.Uvarint(300)
+	w.WriteBytes([]byte("payload"))
+	w.String("string")
+	w.Digest(d)
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Fatalf("Uint8 = %x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Fatalf("Uint16 = %x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Fatalf("Uint64 = %x", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := r.ReadBytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+	if got := r.String(); got != "string" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Digest(); got != d {
+		t.Fatalf("Digest = %s", got)
+	}
+	if got := r.Raw(3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Raw = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint64(7)
+	w.WriteBytes([]byte("abcdef"))
+	enc := w.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		r := NewReader(enc[:cut])
+		r.Uint64()
+		r.ReadBytes()
+		if r.Err() == nil {
+			t.Fatalf("cut at %d: no error", cut)
+		}
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, r.Err())
+		}
+	}
+}
+
+func TestTrailingDetected(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint8(1)
+	w.Uint8(2)
+	r := NewReader(w.Bytes())
+	r.Uint8()
+	err := r.Finish()
+	if err == nil || !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Finish = %v, want ErrTrailing", err)
+	}
+}
+
+func TestHostileLengthPrefix(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(uint64(MaxBytesLen) + 1)
+	r := NewReader(w.Bytes())
+	if b := r.ReadBytes(); b != nil {
+		t.Fatal("ReadBytes returned data for hostile length")
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", r.Err())
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint64() // fails
+	first := r.Err()
+	r.Uint8()
+	r.ReadBytes()
+	if r.Err() != first {
+		t.Fatal("first error was not sticky")
+	}
+}
+
+func TestBytesCopyIndependence(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBytes([]byte("mutable"))
+	enc := append([]byte(nil), w.Bytes()...)
+	r := NewReader(enc)
+	got := r.BytesCopy()
+	enc[len(enc)-1] ^= 0xFF
+	if string(got) != "mutable" {
+		t.Fatalf("BytesCopy aliased the input buffer: %q", got)
+	}
+}
+
+func TestQuickUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		w := NewWriter(0)
+		w.WriteBytes(b)
+		r := NewReader(w.Bytes())
+		got := r.ReadBytes()
+		return bytes.Equal(got, b) && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint64(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	w.Uint8(9)
+	if len(w.Bytes()) != 1 || w.Bytes()[0] != 9 {
+		t.Fatal("write after reset failed")
+	}
+}

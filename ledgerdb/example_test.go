@@ -1,0 +1,85 @@
+package ledgerdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"ledgerdb/ledgerdb"
+)
+
+// Example shows the core loop: append signed journals, verify existence
+// and lineage client-side, anchor time, and run the Dasein-complete
+// audit.
+func Example() {
+	stack, err := ledgerdb.NewStack(ledgerdb.StackOptions{URI: "ledger://example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+
+	receipt, err := alice.Append([]byte("order shipped"), "order-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := alice.VerifyExistence(receipt.JSN); err != nil {
+		log.Fatal(err)
+	}
+	lineage, err := alice.VerifyClue("order-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := stack.AnchorTime(); err != nil {
+		log.Fatal(err)
+	}
+	if err := stack.FinalizeTime(); err != nil {
+		log.Fatal(err)
+	}
+	report, err := stack.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineage=%d timeJournals=%d auditOK=%v\n",
+		len(lineage), report.TimeJournals, err == nil)
+	// Output: lineage=1 timeJournals=1 auditOK=true
+}
+
+// ExampleStack_Occult hides a journal's payload under DBA + regulator
+// signatures while the ledger stays verifiable (Protocol 2).
+func ExampleStack_Occult() {
+	stack, err := ledgerdb.NewStack(ledgerdb.StackOptions{URI: "ledger://example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	regulator := stack.NewRegulator("watchdog")
+	receipt, err := alice.Append([]byte("illegal PII"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := stack.Occult(&ledgerdb.OccultDescriptor{URI: stack.URI(), JSN: receipt.JSN}, regulator); err != nil {
+		log.Fatal(err)
+	}
+	_, payloadErr := stack.Ledger.GetPayload(receipt.JSN)
+	_, _, verifyErr := alice.VerifyExistence(receipt.JSN)
+	fmt.Printf("payloadGone=%v stillVerifiable=%v\n", payloadErr != nil, verifyErr == nil)
+	// Output: payloadGone=true stillVerifiable=true
+}
+
+// ExampleMember_VerifyState performs a verifiable world-state read.
+func ExampleMember_VerifyState() {
+	stack, err := ledgerdb.NewStack(ledgerdb.StackOptions{URI: "ledger://example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	receipt, err := alice.AppendState([]byte("acct/alice"), []byte("balance=100"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	jsn, _, err := alice.VerifyState([]byte("acct/alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stateSetBy=%v\n", jsn == receipt.JSN)
+	// Output: stateSetBy=true
+}

@@ -1,0 +1,445 @@
+// Package ledgerdb is the public API of this repository: a from-scratch
+// reproduction of LedgerDB's ubiquitous verification (ICDE 2022) — a
+// centralized ledger database with Dasein-complete (what-when-who)
+// auditability, the fam fractal accumulator, the CM-Tree clue index,
+// verifiable purge/occult mutations, and the T-Ledger time notary.
+//
+// The package re-exports the internal building blocks under stable names
+// and adds Stack, a batteries-included single-process deployment used by
+// the examples and the quickstart:
+//
+//	stack, _ := ledgerdb.NewStack(ledgerdb.StackOptions{URI: "ledger://demo"})
+//	alice := stack.NewMember("alice")
+//	receipt, _ := alice.Append([]byte("hello"), "my-clue")
+//	rec, _, _ := alice.VerifyExistence(receipt.JSN)
+//	report, _ := stack.Audit()
+package ledgerdb
+
+import (
+	"errors"
+	"time"
+
+	"ledgerdb/internal/audit"
+	"ledgerdb/internal/ca"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/tsa"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Request is a client-signed transaction submission (π_c).
+	Request = journal.Request
+	// Receipt is the LSP-signed commitment confirmation (π_s).
+	Receipt = journal.Receipt
+	// Record is a committed journal entry.
+	Record = journal.Record
+	// TimeAttestation is a TSA endorsement (π_t).
+	TimeAttestation = journal.TimeAttestation
+	// SignedState is the live LSP-signed LedgerInfo.
+	SignedState = ledger.SignedState
+	// BlockHeader is a per-block LedgerInfo snapshot.
+	BlockHeader = ledger.BlockHeader
+	// ExistenceProof is a client-verifiable what proof.
+	ExistenceProof = ledger.ExistenceProof
+	// ClueProofBundle is a client-verifiable lineage proof.
+	ClueProofBundle = ledger.ClueProofBundle
+	// PurgeDescriptor describes a verifiable purge (§III-A2).
+	PurgeDescriptor = ledger.PurgeDescriptor
+	// OccultDescriptor describes a verifiable occult (§III-A3).
+	OccultDescriptor = ledger.OccultDescriptor
+	// AuditConfig configures a Dasein-complete audit (§V).
+	AuditConfig = audit.Config
+	// AuditReport summarizes a successful audit.
+	AuditReport = audit.Report
+	// KeyPair is an ECDSA P-256 identity.
+	KeyPair = sig.KeyPair
+	// PublicKey is a compact public key.
+	PublicKey = sig.PublicKey
+	// MultiSig collects mutation signatures.
+	MultiSig = sig.MultiSig
+	// Ledger is the engine itself, for advanced embedding.
+	Ledger = ledger.Ledger
+	// Config is the engine configuration.
+	Config = ledger.Config
+	// TLedger is the public time notary.
+	TLedger = tledger.TLedger
+	// TSAPool is a pool of time-stamp authorities.
+	TSAPool = tsa.Pool
+)
+
+// Journal types.
+const (
+	TypeNormal = journal.TypeNormal
+	TypePurge  = journal.TypePurge
+	TypeOccult = journal.TypeOccult
+	TypeTime   = journal.TypeTime
+)
+
+// Re-exported constructors and pure verification functions.
+var (
+	// OpenLedger opens or recovers a ledger engine.
+	OpenLedger = ledger.Open
+	// VerifyExistence is the client-side what(+who) verification.
+	VerifyExistence = ledger.VerifyExistence
+	// VerifyClue is the client-side lineage verification (§IV-C).
+	VerifyClue = ledger.VerifyClue
+	// Audit runs the Dasein-complete audit (§V).
+	Audit = audit.Audit
+	// GenerateKey creates a fresh identity.
+	GenerateKey = sig.Generate
+	// NewMultiSig starts a mutation signature collection.
+	NewMultiSig = sig.NewMultiSig
+	// NewMemoryStore / NewMemoryBlobs build in-memory storage.
+	NewMemoryStore = streamfs.NewMemory
+	NewMemoryBlobs = streamfs.NewMemoryBlobs
+	// OpenDiskStore / OpenDiskBlobs build persistent storage.
+	OpenDiskStore = streamfs.OpenDisk
+	OpenDiskBlobs = streamfs.OpenDiskBlobs
+)
+
+// StackOptions configures a single-process deployment.
+type StackOptions struct {
+	// URI identifies the ledger; empty means "ledger://local".
+	URI string
+	// Dir persists the ledger under a directory; empty means in-memory.
+	Dir string
+	// FractalHeight is fam's δ (0 = 15). Small values exercise many
+	// epochs; see DESIGN.md.
+	FractalHeight uint8
+	// BlockSize is journals per block (0 = 128).
+	BlockSize int
+	// DeltaTau is the T-Ledger finalization period (0 = 1s).
+	DeltaTau time.Duration
+	// Clock overrides wall time (tests, deterministic demos).
+	Clock func() int64
+}
+
+// Stack is a complete local deployment: one ledger, its LSP and DBA
+// identities, a CA with a member registry, a TSA pool, and a T-Ledger.
+type Stack struct {
+	Ledger   *ledger.Ledger
+	TLedger  *tledger.TLedger
+	TSAs     *tsa.Pool
+	CA       *ca.Authority
+	Registry *ca.Registry
+	LSP      *sig.KeyPair
+	DBA      *sig.KeyPair
+
+	uri   string
+	clock func() int64
+}
+
+// NewStack builds and starts a deployment.
+func NewStack(opts StackOptions) (*Stack, error) {
+	if opts.URI == "" {
+		opts.URI = "ledger://local"
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	deltaTau := opts.DeltaTau
+	if deltaTau <= 0 {
+		deltaTau = time.Second
+	}
+
+	lsp, err := sig.Generate()
+	if err != nil {
+		return nil, err
+	}
+	dba, err := sig.Generate()
+	if err != nil {
+		return nil, err
+	}
+	authority, err := ca.NewAuthority("root-ca")
+	if err != nil {
+		return nil, err
+	}
+	registry := ca.NewRegistry(authority.Public())
+
+	pool := tsa.NewPool(
+		tsa.New("tsa-1", tsa.Options{Clock: clock}),
+		tsa.New("tsa-2", tsa.Options{Clock: clock}),
+	)
+	tl, err := tledger.New(tledger.Config{
+		Clock:     clock,
+		Tolerance: int64(deltaTau),
+		TSA:       pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Certify the built-in parties.
+	for _, grant := range []struct {
+		pk   sig.PublicKey
+		role ca.Role
+		name string
+	}{
+		{lsp.Public(), ca.RoleLSP, "lsp"},
+		{dba.Public(), ca.RoleDBA, "dba"},
+		{tl.Public(), ca.RoleTSA, "t-ledger"},
+	} {
+		cert, err := authority.Issue(grant.pk, grant.role, grant.name)
+		if err != nil {
+			return nil, err
+		}
+		if err := registry.Admit(cert); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range pool.Members() {
+		cert, err := authority.Issue(a.Public(), ca.RoleTSA, a.Name())
+		if err != nil {
+			return nil, err
+		}
+		if err := registry.Admit(cert); err != nil {
+			return nil, err
+		}
+	}
+
+	store := streamfs.NewMemory()
+	blobs := streamfs.NewMemoryBlobs()
+	if opts.Dir != "" {
+		store, err = streamfs.OpenDisk(opts.Dir+"/streams", streamfs.DiskOptions{})
+		if err != nil {
+			return nil, err
+		}
+		blobs, err = streamfs.OpenDiskBlobs(opts.Dir + "/blobs")
+		if err != nil {
+			return nil, err
+		}
+	}
+	l, err := ledger.Open(ledger.Config{
+		URI:           opts.URI,
+		FractalHeight: opts.FractalHeight,
+		BlockSize:     opts.BlockSize,
+		Clock:         clock,
+		LSP:           lsp,
+		Registry:      registry,
+		DBA:           dba.Public(),
+		Store:         store,
+		Blobs:         blobs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{
+		Ledger:   l,
+		TLedger:  tl,
+		TSAs:     pool,
+		CA:       authority,
+		Registry: registry,
+		LSP:      lsp,
+		DBA:      dba,
+		uri:      opts.URI,
+		clock:    clock,
+	}, nil
+}
+
+// Member is a certified ledger user bound to a stack.
+type Member struct {
+	Name  string
+	Key   *sig.KeyPair
+	stack *Stack
+	nonce uint64
+}
+
+// NewMember creates, certifies, and admits a new user identity. It
+// panics only on entropy failure (key generation).
+func (s *Stack) NewMember(name string) *Member {
+	key, err := sig.Generate()
+	if err != nil {
+		panic(err)
+	}
+	cert, err := s.CA.Issue(key.Public(), ca.RoleUser, name)
+	if err != nil {
+		panic(err)
+	}
+	if err := s.Registry.Admit(cert); err != nil {
+		panic(err)
+	}
+	return &Member{Name: name, Key: key, stack: s}
+}
+
+// NewRegulator creates and certifies a regulator identity (occult
+// approvals).
+func (s *Stack) NewRegulator(name string) *Member {
+	key, err := sig.Generate()
+	if err != nil {
+		panic(err)
+	}
+	cert, err := s.CA.Issue(key.Public(), ca.RoleRegulator, name)
+	if err != nil {
+		panic(err)
+	}
+	if err := s.Registry.Admit(cert); err != nil {
+		panic(err)
+	}
+	return &Member{Name: name, Key: key, stack: s}
+}
+
+// NewRequest builds a signed request ready for Append; callers may add
+// co-signers before submitting.
+func (m *Member) NewRequest(payload []byte, clues ...string) (*Request, error) {
+	m.nonce++
+	req := &journal.Request{
+		LedgerURI: m.stack.uri,
+		Type:      journal.TypeNormal,
+		Clues:     clues,
+		Payload:   payload,
+		Nonce:     m.nonce,
+	}
+	if err := req.Sign(m.Key); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// Append signs and commits a journal with optional clues.
+func (m *Member) Append(payload []byte, clues ...string) (*Receipt, error) {
+	req, err := m.NewRequest(payload, clues...)
+	if err != nil {
+		return nil, err
+	}
+	return m.stack.Ledger.Append(req)
+}
+
+// VerifyExistence fetches and client-verifies an existence proof.
+func (m *Member) VerifyExistence(jsn uint64) (*Record, []byte, error) {
+	p, err := m.stack.Ledger.ProveExistence(jsn, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := ledger.VerifyExistence(p, m.stack.LSP.Public())
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, p.Payload, nil
+}
+
+// VerifyClue fetches and client-verifies a clue's full lineage.
+func (m *Member) VerifyClue(clue string) ([]*Record, error) {
+	b, err := m.stack.Ledger.ProveClue(clue, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ledger.VerifyClue(b, m.stack.LSP.Public())
+}
+
+// AppendBatch signs and commits several payloads under one batch receipt
+// (the amortized write path). payloads[i] gets clues[i] when clues is
+// non-nil.
+func (m *Member) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.BatchReceipt, error) {
+	reqs := make([]*journal.Request, len(payloads))
+	for i, p := range payloads {
+		var cs []string
+		if clues != nil {
+			cs = clues[i]
+		}
+		req, err := m.NewRequest(p, cs...)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = req
+	}
+	br, _, err := m.stack.Ledger.AppendBatch(reqs)
+	return br, err
+}
+
+// AppendState signs and commits a journal that also updates the
+// world-state entry for key.
+func (m *Member) AppendState(key, payload []byte, clues ...string) (*Receipt, error) {
+	req, err := m.NewRequest(payload, clues...)
+	if err != nil {
+		return nil, err
+	}
+	req.StateKey = key
+	if err := req.Sign(m.Key); err != nil {
+		return nil, err
+	}
+	return m.stack.Ledger.Append(req)
+}
+
+// VerifyState runs a verifiable world-state read for key, returning the
+// jsn and payload digest of the journal holding the current value.
+func (m *Member) VerifyState(key []byte) (uint64, hashutil.Digest, error) {
+	p, err := m.stack.Ledger.ProveState(key)
+	if err != nil {
+		return 0, hashutil.Zero, err
+	}
+	return ledger.VerifyState(p, m.stack.LSP.Public())
+}
+
+// VerifyClueByTime verifies the clue versions committed in [t1, t2).
+func (m *Member) VerifyClueByTime(clue string, t1, t2 int64) ([]*Record, error) {
+	b, err := m.stack.Ledger.ProveClueByTime(clue, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	return ledger.VerifyClue(b, m.stack.LSP.Public())
+}
+
+// AnchorTime runs one Protocol 3/4 round through the stack's T-Ledger.
+func (s *Stack) AnchorTime() (*Receipt, error) {
+	return s.Ledger.AnchorTimeWith(s.TLedger.StampFunc(s.uri, s.clock))
+}
+
+// FinalizeTime runs one T-Ledger → TSA finalization (call every Δτ).
+func (s *Stack) FinalizeTime() error {
+	_, err := s.TLedger.Finalize()
+	return err
+}
+
+// Audit runs the Dasein-complete audit over the stack's ledger with its
+// built-in trust anchors.
+func (s *Stack) Audit() (*AuditReport, error) {
+	trusted := []sig.PublicKey{s.TLedger.Public()}
+	for _, a := range s.TSAs.Members() {
+		trusted = append(trusted, a.Public())
+	}
+	return audit.Audit(s.Ledger, nil, audit.Config{
+		LSP:        s.LSP.Public(),
+		DBA:        s.DBA.Public(),
+		TrustedTSA: trusted,
+		Registry:   s.Registry,
+	})
+}
+
+// Purge executes a verifiable purge: the stack gathers the DBA signature
+// and the caller supplies the remaining member signatures.
+func (s *Stack) Purge(desc *PurgeDescriptor, signers ...*Member) (*Receipt, error) {
+	ms := sig.NewMultiSig(desc.Digest())
+	if err := ms.SignWith(s.DBA); err != nil {
+		return nil, err
+	}
+	for _, m := range signers {
+		if err := ms.SignWith(m.Key); err != nil {
+			return nil, err
+		}
+	}
+	return s.Ledger.Purge(desc, ms)
+}
+
+// Occult executes a verifiable occult with DBA + regulator signatures.
+func (s *Stack) Occult(desc *OccultDescriptor, regulator *Member) (*Receipt, error) {
+	if regulator == nil {
+		return nil, errors.New("ledgerdb: occult requires a regulator signer")
+	}
+	ms := sig.NewMultiSig(desc.Digest())
+	if err := ms.SignWith(s.DBA); err != nil {
+		return nil, err
+	}
+	if err := ms.SignWith(regulator.Key); err != nil {
+		return nil, err
+	}
+	return s.Ledger.Occult(desc, ms)
+}
+
+// URI returns the stack's ledger identifier.
+func (s *Stack) URI() string { return s.uri }

@@ -1,0 +1,121 @@
+package ledgerdb
+
+import (
+	"testing"
+)
+
+func TestStackLifecycle(t *testing.T) {
+	stack, err := NewStack(StackOptions{URI: "ledger://facade", FractalHeight: 4, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	bob := stack.NewMember("bob")
+
+	r1, err := alice.Append([]byte("alice-doc"), "trail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Append([]byte("bob-doc"), "trail"); err != nil {
+		t.Fatal(err)
+	}
+	rec, payload, err := alice.VerifyExistence(r1.JSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "alice-doc" || rec.JSN != r1.JSN {
+		t.Fatalf("verified %d %q", rec.JSN, payload)
+	}
+	recs, err := bob.VerifyClue("trail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("lineage = %d", len(recs))
+	}
+	if _, err := stack.AnchorTime(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.FinalizeTime(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := stack.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if report.TimeJournals != 1 {
+		t.Fatalf("report: %+v", report)
+	}
+}
+
+func TestStackMutations(t *testing.T) {
+	stack, err := NewStack(StackOptions{URI: "ledger://facade", FractalHeight: 4, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	reg := stack.NewRegulator("watchdog")
+	var last *Receipt
+	for i := 0; i < 6; i++ {
+		last, err = alice.Append([]byte{byte('a' + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Occult the latest journal.
+	if _, err := stack.Occult(&OccultDescriptor{URI: stack.URI(), JSN: last.JSN}, reg); err != nil {
+		t.Fatalf("Occult: %v", err)
+	}
+	// Purge the first half (alice must co-sign: she owns journals there).
+	desc := &PurgeDescriptor{URI: stack.URI(), Point: 3, ErasePayloads: true}
+	if _, err := stack.Purge(desc, alice); err != nil {
+		t.Fatalf("Purge: %v", err)
+	}
+	if stack.Ledger.Base() != 3 {
+		t.Fatalf("base = %d", stack.Ledger.Base())
+	}
+	// The mutated ledger still audits clean.
+	if _, err := stack.Audit(); err != nil {
+		t.Fatalf("post-mutation audit: %v", err)
+	}
+}
+
+func TestStackBatchAppend(t *testing.T) {
+	stack, err := NewStack(StackOptions{URI: "ledger://facade", FractalHeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := stack.NewMember("alice")
+	payloads := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	clues := [][]string{{"k"}, {"k"}, {"k"}}
+	br, err := alice.AppendBatch(payloads, clues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 3 {
+		t.Fatalf("count = %d", br.Count)
+	}
+	lineage, err := alice.VerifyClue("k")
+	if err != nil || len(lineage) != 3 {
+		t.Fatalf("lineage: %d, %v", len(lineage), err)
+	}
+	if _, err := stack.Audit(); err != nil {
+		t.Fatalf("audit after batch: %v", err)
+	}
+}
+
+func TestStackOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	stack, err := NewStack(StackOptions{URI: "ledger://disk", Dir: dir, FractalHeight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stack.NewMember("m")
+	r, err := m.Append([]byte("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.VerifyExistence(r.JSN); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full verification pass: build, vet, tests (with race), every example,
+# and a quick pass of every experiment harness. This is what CI would
+# run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== tests (race) =="
+go test -race ./...
+
+echo "== examples =="
+for ex in examples/*/; do
+    echo "-- $ex"
+    go run "./$ex" > /dev/null
+done
+
+echo "== cli smoke =="
+go build -o /tmp/ldbsrv-check ./cmd/ledgerdb-server
+go build -o /tmp/ldb-check ./cmd/ledgerdb
+/tmp/ldbsrv-check -addr 127.0.0.1:18421 -uri ledger://check &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT
+sleep 1
+/tmp/ldb-check -server http://127.0.0.1:18421 -key-seed check append "hello" trail 2>/dev/null
+/tmp/ldb-check -server http://127.0.0.1:18421 verify 1 2>/dev/null
+/tmp/ldb-check -server http://127.0.0.1:18421 verify-anchored 1 2>/dev/null
+/tmp/ldb-check -server http://127.0.0.1:18421 verify-clue trail 2>/dev/null
+kill $SRV
+
+echo "== experiments (quick) =="
+go run ./cmd/bench all > /dev/null
+
+echo "ALL CHECKS PASSED"
