@@ -18,6 +18,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"ledgerdb/internal/audit"
@@ -468,6 +469,75 @@ func BenchmarkAppendSingleVsBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ------------------------------------------- staged commit pipeline
+
+// benchParallelAppend drives par goroutines of pre-signed appends at
+// one engine. depth 0 is the serial path (every append fully under the
+// global lock); depth > 0 enables the staged commit pipeline, where
+// admission (π_c verification, hashing, blob writes) and receipt
+// signing run concurrently and index updates group-commit.
+func benchParallelAppend(b *testing.B, depth, par int) {
+	b.Helper()
+	var (
+		tl  *benchkit.TestLedger
+		err error
+	)
+	if depth > 0 {
+		tl, err = benchkit.NewTestLedgerPipelined("ledger://pipe-bench", 15, 1024, depth)
+	} else {
+		tl, err = benchkit.NewTestLedger("ledger://pipe-bench", 15, 1024)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pool = 512
+	reqs := make([]*journal.Request, pool)
+	for i := range reqs {
+		req, err := tl.Request(benchkit.Payload("pp", i, 256), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = req
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		n := b.N / par
+		if w < b.N%par {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for k := 0; k < n; k++ {
+				if _, err := tl.L.Append(reqs[(w*131+k)%pool]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := tl.L.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAppendSerialVsPipelined compares the serial write path
+// against the staged commit pipeline at client parallelism 1/4/16
+// (EXPERIMENTS.md records the measured ratios next to Fig. 7).
+func BenchmarkAppendSerialVsPipelined(b *testing.B) {
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("serial/par=%d", par), func(b *testing.B) {
+			benchParallelAppend(b, 0, par)
+		})
+		b.Run(fmt.Sprintf("pipelined/par=%d", par), func(b *testing.B) {
+			benchParallelAppend(b, 256, par)
+		})
+	}
 }
 
 // ------------------------------------------------------------ §V audit

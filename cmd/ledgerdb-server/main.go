@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ledgerdb-server [-addr :8420] [-uri ledger://demo] [-dir ./data]
-//	                [-height 15] [-block 128] [-dtau 1s]
+//	                [-height 15] [-block 128] [-dtau 1s] [-pipeline 256]
 //
 // On startup it prints the LSP public key fingerprint clients must pin.
 package main
@@ -33,6 +33,7 @@ func main() {
 	height := flag.Uint("height", 15, "fam fractal height δ")
 	block := flag.Int("block", 128, "journals per block")
 	dtau := flag.Duration("dtau", time.Second, "T-Ledger finalization period Δτ")
+	pipeline := flag.Int("pipeline", 256, "staged commit pipeline depth (0 = synchronous commits)")
 	flag.Parse()
 
 	clock := func() int64 { return time.Now().UnixNano() }
@@ -79,6 +80,7 @@ func main() {
 		Store:         store,
 		Blobs:         blobs,
 		Clock:         clock,
+		PipelineDepth: *pipeline,
 	})
 	if err != nil {
 		log.Fatalf("open ledger: %v", err)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ledgerdb/internal/hashutil"
@@ -144,8 +145,20 @@ type TestLedger struct {
 	clock  int64
 }
 
-// NewTestLedger opens a bench engine (fractal height δ, block size b).
+// NewTestLedger opens a bench engine (fractal height δ, block size b)
+// with synchronous commits.
 func NewTestLedger(uri string, height uint8, blockSize int) (*TestLedger, error) {
+	return newTestLedger(uri, height, blockSize, 0)
+}
+
+// NewTestLedgerPipelined opens a bench engine with the staged commit
+// pipeline enabled at the given queue depth. Callers must Close the
+// ledger to drain the pipeline.
+func NewTestLedgerPipelined(uri string, height uint8, blockSize, depth int) (*TestLedger, error) {
+	return newTestLedger(uri, height, blockSize, depth)
+}
+
+func newTestLedger(uri string, height uint8, blockSize, depth int) (*TestLedger, error) {
 	tl := &TestLedger{
 		LSP:    sig.GenerateDeterministic("bench/lsp"),
 		DBA:    sig.GenerateDeterministic("bench/dba"),
@@ -161,10 +174,12 @@ func NewTestLedger(uri string, height uint8, blockSize int) (*TestLedger, error)
 		DBA:           tl.DBA.Public(),
 		Store:         streamfs.NewMemory(),
 		Blobs:         streamfs.NewMemoryBlobs(),
+		// The pipelined sequencer calls Clock concurrently; the serial
+		// path inherits the same atomic counter.
 		Clock: func() int64 {
-			tl.clock++
-			return tl.clock
+			return atomic.AddInt64(&tl.clock, 1)
 		},
+		PipelineDepth: depth,
 	})
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"ledgerdb/internal/hashutil"
 	"ledgerdb/internal/journal"
@@ -39,6 +40,16 @@ type Client struct {
 	LSP sig.PublicKey
 	// URI is the target ledger identifier.
 	URI string
+	// Retries re-attempts a call after a retryable failure: any 503 (the
+	// server refused before committing — e.g. a draining commit
+	// pipeline), and transport errors on GETs. POSTs are never
+	// transport-retried: an append whose response was lost may have
+	// committed, and resubmitting would double-append. Zero means no
+	// retries.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent attempt. Zero means 50ms.
+	RetryBackoff time.Duration
 
 	nonce uint64
 }
@@ -66,34 +77,74 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) call(method, path string, body any) (*envelope, error) {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return nil, err
 		}
-		rd = bytes.NewReader(buf)
+		payload = buf
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		env, code, status, err := c.doOnce(method, path, payload)
+		switch {
+		case err == nil && code == http.StatusOK:
+			return env, nil
+		case err == nil:
+			lastErr = fmt.Errorf("%w: %s: %s", ErrHTTP, status, env.Error)
+			// 503 means the server refused before committing anything
+			// (e.g. its commit pipeline is draining) — safe to retry even
+			// for appends. Every other status is a definitive answer.
+			if code != http.StatusServiceUnavailable {
+				return nil, lastErr
+			}
+		default:
+			lastErr = err
+			if method != http.MethodGet {
+				// A lost response does not mean a lost commit; only
+				// idempotent reads are transport-retried.
+				return nil, lastErr
+			}
+		}
+		if attempt >= c.Retries {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func (c *Client) doOnce(method, path string, payload []byte) (*envelope, int, string, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrHTTP, err)
+		return nil, 0, "", fmt.Errorf("%w: %v", ErrHTTP, err)
 	}
 	defer resp.Body.Close()
 	var env envelope
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return nil, fmt.Errorf("%w: decode: %v", ErrHTTP, err)
+		if resp.StatusCode != http.StatusOK {
+			// Error statuses may carry non-JSON bodies (proxies, caps).
+			return &env, resp.StatusCode, resp.Status, nil
+		}
+		return nil, 0, "", fmt.Errorf("%w: decode: %v", ErrHTTP, err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%w: %s: %s", ErrHTTP, resp.Status, env.Error)
-	}
-	return &env, nil
+	return &env, resp.StatusCode, resp.Status, nil
 }
 
 func unb64(s string) ([]byte, error) {

@@ -118,8 +118,18 @@ func (r *Request) VerifySig() error {
 }
 
 // Validate performs structural checks before the ledger accepts the
-// request.
+// request, then verifies π_c.
 func (r *Request) Validate() error {
+	if err := r.ValidateShape(); err != nil {
+		return err
+	}
+	return r.VerifySig()
+}
+
+// ValidateShape runs Validate's structural checks without the trailing
+// signature verification. The ledger's pipelined admission uses it so
+// that π_c is verified exactly once (by VerifyAllSigs).
+func (r *Request) ValidateShape() error {
 	if r.LedgerURI == "" {
 		return fmt.Errorf("%w: empty ledger URI", ErrBadRequest)
 	}
@@ -134,7 +144,7 @@ func (r *Request) Validate() error {
 			return fmt.Errorf("%w: empty clue", ErrBadRequest)
 		}
 	}
-	return r.VerifySig()
+	return nil
 }
 
 // Encode serializes the full request (including signatures) for
@@ -304,9 +314,30 @@ type Receipt struct {
 	Timestamp   int64
 	LSPPK       sig.PublicKey
 	LSPSig      sig.Signature
+
+	// Group commit: when GroupHashes is non-empty the receipt comes from
+	// the staged pipeline and π_s covers the whole jsn-dense commit group
+	// at once — the signed digest binds the group's first jsn and every
+	// tx-hash in it, and TxHash must equal GroupHashes[GroupIndex]. The
+	// journal's own jsn, request hash, and timestamp stay bound through
+	// TxHash; BlockHeight/BlockHash are advisory here and are pinned
+	// during audit, not by π_s.
+	GroupHashes []hashutil.Digest
+	GroupIndex  uint64
 }
 
 func (rc *Receipt) signedDigest() hashutil.Digest {
+	if len(rc.GroupHashes) > 0 {
+		w := wire.NewWriter(64 + hashutil.Size*len(rc.GroupHashes))
+		w.String("ledgerdb/receipt/group/v1")
+		w.Uvarint(rc.JSN - rc.GroupIndex) // first jsn of the commit group
+		w.Uvarint(uint64(len(rc.GroupHashes)))
+		for _, h := range rc.GroupHashes {
+			w.Digest(h)
+		}
+		sig.EncodePublicKey(w, rc.LSPPK)
+		return hashutil.Sum(w.Bytes())
+	}
 	w := wire.NewWriter(160)
 	w.String("ledgerdb/receipt/v1")
 	w.Uvarint(rc.JSN)
@@ -330,10 +361,25 @@ func (rc *Receipt) Sign(kp *sig.KeyPair) error {
 	return nil
 }
 
-// Verify checks π_s against the expected LSP key.
+// Verify checks π_s against the expected LSP key. For a group-commit
+// receipt it additionally checks the journal's membership in the signed
+// group: TxHash must sit at GroupIndex of GroupHashes, and the group's
+// first jsn (JSN - GroupIndex) is part of the signed digest, so moving
+// the receipt to another position or jsn breaks the signature.
 func (rc *Receipt) Verify(lsp sig.PublicKey) error {
 	if rc.LSPPK != lsp {
 		return fmt.Errorf("%w: receipt signed by %s, want LSP %s", ErrBadSignature, rc.LSPPK, lsp)
+	}
+	if len(rc.GroupHashes) > 0 {
+		if rc.GroupIndex >= uint64(len(rc.GroupHashes)) {
+			return fmt.Errorf("%w: group index %d outside group of %d", ErrBadSignature, rc.GroupIndex, len(rc.GroupHashes))
+		}
+		if rc.GroupIndex > rc.JSN {
+			return fmt.Errorf("%w: group index %d exceeds jsn %d", ErrBadSignature, rc.GroupIndex, rc.JSN)
+		}
+		if rc.TxHash != rc.GroupHashes[rc.GroupIndex] {
+			return fmt.Errorf("%w: tx-hash not at position %d of the signed group", ErrBadSignature, rc.GroupIndex)
+		}
 	}
 	if err := sig.Verify(rc.LSPPK, rc.signedDigest(), rc.LSPSig); err != nil {
 		return fmt.Errorf("%w: π_s: %v", ErrBadSignature, err)
@@ -351,6 +397,11 @@ func (rc *Receipt) Encode(w *wire.Writer) {
 	w.Int64(rc.Timestamp)
 	sig.EncodePublicKey(w, rc.LSPPK)
 	sig.EncodeSignature(w, rc.LSPSig)
+	w.Uvarint(uint64(len(rc.GroupHashes)))
+	for _, h := range rc.GroupHashes {
+		w.Digest(h)
+	}
+	w.Uvarint(rc.GroupIndex)
 }
 
 // DecodeReceipt parses a receipt.
@@ -365,6 +416,16 @@ func DecodeReceipt(r *wire.Reader) (*Receipt, error) {
 		LSPPK:       sig.DecodePublicKey(r),
 		LSPSig:      sig.DecodeSignature(r),
 	}
+	if n := r.Uvarint(); n > 0 {
+		if n > uint64(r.Remaining())/hashutil.Size {
+			return nil, fmt.Errorf("%w: group of %d hashes exceeds payload", ErrDecode, n)
+		}
+		rc.GroupHashes = make([]hashutil.Digest, n)
+		for i := range rc.GroupHashes {
+			rc.GroupHashes[i] = r.Digest()
+		}
+	}
+	rc.GroupIndex = r.Uvarint()
 	return rc, r.Err()
 }
 

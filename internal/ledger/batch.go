@@ -2,8 +2,6 @@ package ledger
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"ledgerdb/internal/ca"
 	"ledgerdb/internal/hashutil"
@@ -89,58 +87,47 @@ func (l *Ledger) AppendBatch(reqs []*journal.Request) (*BatchReceipt, []hashutil
 	if len(reqs) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty batch", journal.ErrBadRequest)
 	}
+	if l.comm != nil {
+		// Pipelined mode: stage 1 fans admission (checks, digesting,
+		// blob writes) across CPUs, then the whole batch rides the
+		// pipeline as one unit and the caller signs the batch receipt.
+		adms, err := l.admitBatch(reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		unit, err := l.sequence(adms, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		<-unit.done
+		if unit.err != nil {
+			return nil, nil, unit.err
+		}
+		if err := unit.br.sign(l.cfg.LSP); err != nil {
+			return nil, nil, err
+		}
+		return unit.br, unit.txHashes, nil
+	}
+	// Synchronous mode: the historical two-phase path.
 	// Phase 1: validation, parallel and lock-free.
 	if err := l.validateBatch(reqs); err != nil {
 		return nil, nil, err
 	}
 	// Phase 2: commit under one lock acquisition.
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	txHashes := make([]hashutil.Digest, 0, len(reqs))
 	first := l.nextJSN
 	ts := l.cfg.Clock()
 	for _, req := range reqs {
-		rec := &journal.Record{
-			JSN:           l.nextJSN,
-			Type:          req.Type,
-			Timestamp:     ts,
-			RequestHash:   req.Hash(),
-			PayloadDigest: hashutil.Sum(req.Payload),
-			PayloadSize:   uint64(len(req.Payload)),
-			Clues:         req.Clues,
-			StateKey:      req.StateKey,
-			ClientPK:      req.ClientPK,
-			ClientSig:     req.ClientSig,
-			CoSigners:     req.CoSigners,
+		adm, err := l.admitChecked(req, nil)
+		if err != nil {
+			return nil, nil, err
 		}
+		rec := buildRecord(&adm, l.nextJSN, ts)
 		txHash := rec.TxHash()
-		if err := l.cfg.Blobs.Put(rec.PayloadDigest, req.Payload); err != nil {
-			return nil, nil, fmt.Errorf("ledger: store payload: %w", err)
-		}
-		l.payloadRefs[rec.PayloadDigest]++
-		if _, err := l.journals.Append(rec.EncodeBytes()); err != nil {
+		if err := l.applyRecordLocked(rec, txHash); err != nil {
 			return nil, nil, err
-		}
-		if _, err := l.digests.Append(txHash[:]); err != nil {
-			return nil, nil, err
-		}
-		l.fam.Append(txHash)
-		for _, c := range rec.Clues {
-			l.clues.Insert(c, rec.JSN, txHash)
-		}
-		if len(rec.StateKey) > 0 {
-			l.state = l.state.Put(rec.StateKey, encodeStateValue(rec.JSN, rec.PayloadDigest))
-			l.stateIndex[string(rec.StateKey)] = stateIndexEntry{jsn: rec.JSN, digest: rec.PayloadDigest}
-		}
-		if _, ok := l.firstSeen[rec.ClientPK]; !ok {
-			l.firstSeen[rec.ClientPK] = rec.JSN
-		}
-		l.nextJSN++
-		l.pendingCount++
-		if l.pendingCount >= uint64(l.cfg.BlockSize) {
-			if err := l.cutBlockLocked(); err != nil {
-				return nil, nil, err
-			}
 		}
 		txHashes = append(txHashes, txHash)
 	}
@@ -160,43 +147,14 @@ func (l *Ledger) AppendBatch(reqs []*journal.Request) (*BatchReceipt, []hashutil
 // every request, fanned out across CPUs (π_c verification is the
 // dominant per-journal cost).
 func (l *Ledger) validateBatch(reqs []*journal.Request) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, workers)
-	chunk := (len(reqs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(reqs) {
-			hi = len(reqs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(part []*journal.Request) {
-			defer wg.Done()
-			for _, req := range part {
-				if err := l.validateOne(req); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
+	return forEachChunk(reqs, func(_ int, part []*journal.Request) error {
+		for _, req := range part {
+			if err := l.validateOne(req); err != nil {
+				return err
 			}
-		}(reqs[lo:hi])
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
+		}
 		return nil
-	}
+	})
 }
 
 func (l *Ledger) validateOne(req *journal.Request) error {

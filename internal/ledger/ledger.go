@@ -46,6 +46,7 @@ var (
 	ErrBadConfig    = errors.New("ledger: invalid configuration")
 	ErrNotPermitted = errors.New("ledger: operation not permitted")
 	ErrVerify       = errors.New("ledger: verification failed")
+	ErrClosed       = errors.New("ledger: closed")
 )
 
 // Config configures a Ledger.
@@ -73,6 +74,13 @@ type Config struct {
 	Store streamfs.Store
 	// Blobs holds raw payloads. Required.
 	Blobs streamfs.BlobStore
+	// PipelineDepth selects the write-path mode. Zero (the default) is
+	// the synchronous path: each Append admits, sequences, and commits
+	// inline under the ledger lock — fully deterministic, what tests,
+	// recovery, and audit flows rely on. A positive value enables the
+	// staged commit pipeline (pipeline.go) with that many units of
+	// committer-queue backpressure; Close must be called to drain it.
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -122,6 +130,18 @@ type Ledger struct {
 	pendingCount uint64
 	nextJSN      uint64
 	base         uint64 // first unpurged jsn
+
+	// Staged commit pipeline (pipeline.go). seqMu orders stage 2: jsn
+	// and timestamp assignment plus queue submission. seqNext is the
+	// next jsn to assign; it runs ahead of nextJSN by however many
+	// records sit in the committer queue. comm is nil in synchronous
+	// mode. failed (guarded by mu) latches a half-applied commit: the
+	// engine then refuses further writes rather than let the dense jsn
+	// space grow a hole.
+	seqMu   sync.Mutex
+	seqNext uint64
+	comm    *committer
+	failed  error
 }
 
 // Open creates or recovers a ledger over the given stores.
@@ -159,10 +179,16 @@ func Open(cfg Config) (*Ledger, error) {
 		if err := l.recover(); err != nil {
 			return nil, fmt.Errorf("ledger: recover %s: %w", cfg.URI, err)
 		}
-		return l, nil
-	}
-	if err := l.writeGenesis(); err != nil {
+	} else if err := l.writeGenesis(); err != nil {
 		return nil, err
+	}
+	l.seqNext = l.nextJSN
+	if cfg.PipelineDepth > 0 {
+		l.comm = &committer{
+			queue:   make(chan *commitUnit, cfg.PipelineDepth),
+			stopped: make(chan struct{}),
+		}
+		go l.runCommitter()
 	}
 	return l, nil
 }
@@ -210,8 +236,19 @@ func (l *Ledger) Base() uint64 {
 
 // Append validates a signed client request (π_c and any co-signatures,
 // plus member certification when a registry is configured — the threat-A
-// check) and commits it, returning the LSP-signed receipt π_s.
+// check) and commits it, returning the LSP-signed receipt π_s. In
+// pipelined mode all of that admission work runs lock-free on the
+// caller's goroutine (stage 1), and the commit rides the staged
+// pipeline.
 func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
+	if l.comm != nil {
+		adm, err := l.admitOne(req, false)
+		if err != nil {
+			return nil, err
+		}
+		return l.appendPipelined(adm)
+	}
+	// Synchronous mode: the historical write path.
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,39 +268,58 @@ func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
 			return nil, fmt.Errorf("%w: %v", ErrNotPermitted, err)
 		}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	return l.appendLocked(req, nil)
 }
 
-// appendLocked commits a request as the next journal. extra carries
-// type-specific payloads (mutation descriptors, time attestations).
+// appendLocked commits a request as the next journal, synchronously
+// under the apply lock (the serial path, and every privileged write —
+// genesis, mutations, time anchoring — which runs under lockExclusive).
+// extra carries type-specific payloads (mutation descriptors, time
+// attestations).
 func (l *Ledger) appendLocked(req *journal.Request, extra []byte) (*journal.Receipt, error) {
-	rec := &journal.Record{
-		JSN:           l.nextJSN,
-		Type:          req.Type,
-		Timestamp:     l.cfg.Clock(),
-		RequestHash:   req.Hash(),
-		PayloadDigest: hashutil.Sum(req.Payload),
-		PayloadSize:   uint64(len(req.Payload)),
-		Clues:         req.Clues,
-		StateKey:      req.StateKey,
-		ClientPK:      req.ClientPK,
-		ClientSig:     req.ClientSig,
-		CoSigners:     req.CoSigners,
-		Extra:         extra,
+	adm, err := l.admitChecked(req, extra)
+	if err != nil {
+		return nil, err
 	}
+	rec := buildRecord(&adm, l.nextJSN, l.cfg.Clock())
 	txHash := rec.TxHash()
-	if err := l.cfg.Blobs.Put(rec.PayloadDigest, req.Payload); err != nil {
-		return nil, fmt.Errorf("ledger: store payload: %w", err)
+	if err := l.applyRecordLocked(rec, txHash); err != nil {
+		return nil, err
 	}
-	l.payloadRefs[rec.PayloadDigest]++
+	receipt := l.receiptLocked(rec, txHash)
+	if err := receipt.Sign(l.cfg.LSP); err != nil {
+		return nil, err
+	}
+	return receipt, nil
+}
+
+// applyRecordLocked applies one sequenced record to every persistent
+// structure: journal and digest streams, the fam accumulator, the
+// CM-Tree clue index, the world-state MPT, and the block cutter. The
+// record's jsn must extend the applied prefix densely; any failure
+// after the journal stream write latches l.failed, because the streams
+// and indexes have diverged and further writes would compound the
+// damage.
+func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if rec.JSN != l.nextJSN {
+		l.failed = fmt.Errorf("ledger: sequenced jsn %d does not extend applied prefix %d", rec.JSN, l.nextJSN)
+		return l.failed
+	}
 	if _, err := l.journals.Append(rec.EncodeBytes()); err != nil {
-		return nil, fmt.Errorf("ledger: journal stream: %w", err)
+		// Nothing was applied; the engine can keep going (in pipelined
+		// mode the next unit's jsn check latches the failure instead).
+		return fmt.Errorf("ledger: journal stream: %w", err)
 	}
 	if _, err := l.digests.Append(txHash[:]); err != nil {
-		return nil, fmt.Errorf("ledger: digest stream: %w", err)
+		l.failed = fmt.Errorf("ledger: digest stream: %w", err)
+		return l.failed
 	}
+	l.payloadRefs[rec.PayloadDigest]++
 	l.fam.Append(txHash)
 	for _, c := range rec.Clues {
 		l.clues.Insert(c, rec.JSN, txHash)
@@ -279,24 +335,29 @@ func (l *Ledger) appendLocked(req *journal.Request, extra []byte) (*journal.Rece
 	l.pendingCount++
 	if l.pendingCount >= uint64(l.cfg.BlockSize) {
 		if err := l.cutBlockLocked(); err != nil {
-			return nil, err
+			l.failed = err
+			return err
 		}
 	}
+	return nil
+}
+
+// receiptLocked fixes the receipt fields for a just-applied record. The
+// block height is "the block that will contain it" — unless applying
+// the record itself cut a block that already contains it.
+func (l *Ledger) receiptLocked(rec *journal.Record, txHash hashutil.Digest) *journal.Receipt {
 	receipt := &journal.Receipt{
 		JSN:         rec.JSN,
 		RequestHash: rec.RequestHash,
 		TxHash:      txHash,
-		BlockHeight: uint64(len(l.headers)), // the block that will contain it
+		BlockHeight: uint64(len(l.headers)),
 		Timestamp:   rec.Timestamp,
 	}
 	if n := len(l.headers); n > 0 && l.headers[n-1].FirstJSN+l.headers[n-1].Count > rec.JSN {
 		receipt.BlockHeight = l.headers[n-1].Height
 		receipt.BlockHash = l.headers[n-1].Hash()
 	}
-	if err := receipt.Sign(l.cfg.LSP); err != nil {
-		return nil, err
-	}
-	return receipt, nil
+	return receipt
 }
 
 // stateIndexEntry mirrors the latest world-state write per key so that
@@ -326,8 +387,8 @@ func decodeStateValue(b []byte) (uint64, hashutil.Digest, error) {
 // CutBlock seals any pending journals into a block immediately (normally
 // blocks cut automatically every BlockSize journals).
 func (l *Ledger) CutBlock() (*BlockHeader, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	if l.pendingCount == 0 {
 		if n := len(l.headers); n > 0 {
 			return l.headers[n-1], nil
@@ -519,8 +580,8 @@ func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, erro
 	if err := req.Sign(l.cfg.LSP); err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	return l.appendLocked(req, ta.EncodeBytes())
 }
 
@@ -532,8 +593,8 @@ func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, erro
 // precede the time journal — which is what lets an auditor re-derive and
 // check it (§V step 2).
 func (l *Ledger) AnchorTimeWith(stamp func(hashutil.Digest) (*journal.TimeAttestation, error)) (*journal.Receipt, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	root, err := l.fam.Root()
 	if err != nil {
 		return nil, err

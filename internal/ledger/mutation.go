@@ -241,8 +241,8 @@ func (l *Ledger) Purge(desc *PurgeDescriptor, ms *sig.MultiSig) (*journal.Receip
 	if desc.URI != l.cfg.URI {
 		return nil, fmt.Errorf("%w: descriptor for %q", ErrNotPermitted, desc.URI)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	if desc.Point <= l.base {
 		return nil, fmt.Errorf("%w: purge point %d at or below base %d", ErrNotPermitted, desc.Point, l.base)
 	}
@@ -335,8 +335,8 @@ func (l *Ledger) Occult(desc *OccultDescriptor, ms *sig.MultiSig) (*journal.Rece
 	if desc.URI != l.cfg.URI {
 		return nil, fmt.Errorf("%w: descriptor for %q", ErrNotPermitted, desc.URI)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	rec, err := l.getJournalLocked(desc.JSN)
 	if err != nil {
 		return nil, err
@@ -411,8 +411,8 @@ func (l *Ledger) erasePayloadLocked(jsn uint64) error {
 // other operators may still hold references) and performed by
 // Reorganize. It returns the jsns occulted.
 func (l *Ledger) OccultClue(clue string, ms *sig.MultiSig) ([]uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockExclusive()
+	defer l.unlockExclusive()
 	jsns, err := l.clues.JSNs(clue)
 	if err != nil {
 		return nil, fmt.Errorf("%w: clue %q", ErrNotFound, clue)

@@ -1,0 +1,90 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jsonBlob builds a syntactically valid JSON body {"<field>":"AAA..."}
+// of roughly n bytes, so the decoder keeps reading until the byte cap
+// trips (a garbage body would fail JSON parsing first, yielding 400).
+func jsonBlob(field string, n int) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"%s":"`, field)
+	buf.Write(bytes.Repeat([]byte("A"), n))
+	buf.WriteString(`"}`)
+	return buf.Bytes()
+}
+
+// TestAppendBodyCapped verifies the append handler rejects oversized
+// request bodies with 413 instead of buffering them.
+func TestAppendBodyCapped(t *testing.T) {
+	s := newStack(t)
+	big := jsonBlob("request", 25<<20)
+	resp, err := http.Post(s.srv.URL+"/v1/append", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestAdminBodyCapped verifies the (much smaller) admin body ceiling.
+func TestAdminBodyCapped(t *testing.T) {
+	s := newStack(t)
+	big := jsonBlob("descriptor", 5<<20)
+	resp, err := http.Post(s.srv.URL+"/v1/admin/occult", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestClientRetriesServiceUnavailable checks the client SDK's retry
+// policy: 503s are retried (with backoff) until the server recovers.
+func TestClientRetriesServiceUnavailable(t *testing.T) {
+	s := newStack(t)
+	var failures atomic.Int64
+	failures.Store(2)
+	inner := s.srv.Config.Handler
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(-1) >= 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"ledger: closed"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	cli := *s.cli
+	cli.BaseURL = flaky.URL
+	cli.Retries = 3
+	cli.RetryBackoff = time.Millisecond
+	receipt, err := cli.Append([]byte("retried"), "retry-clue")
+	if err != nil {
+		t.Fatalf("append through flaky server: %v", err)
+	}
+	if receipt.JSN == 0 {
+		t.Fatalf("unexpected genesis jsn")
+	}
+
+	// With retries exhausted the 503 surfaces to the caller.
+	failures.Store(100)
+	cli.Retries = 1
+	if _, err := cli.Append([]byte("doomed")); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("expected surfaced 503, got %v", err)
+	}
+}

@@ -91,12 +91,44 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ledger.ErrNotPermitted), errors.Is(err, journal.ErrBadSignature):
 		status = http.StatusForbidden
+	case errors.Is(err, errBodyTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, journal.ErrBadRequest), errors.Is(err, journal.ErrDecode):
 		status = http.StatusBadRequest
 	case errors.Is(err, tledger.ErrStale), errors.Is(err, tledger.ErrFuture):
 		status = http.StatusConflict
+	case errors.Is(err, ledger.ErrClosed):
+		// The commit pipeline is draining (shutdown); clients may retry
+		// against a replacement instance.
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, &Envelope{Error: err.Error()})
+}
+
+// Request-body ceilings. Payloads travel base64 inside JSON, so the
+// append cap allows a full 16 MiB payload plus encoding overhead;
+// batches get a larger allowance; admin and proof bodies are tiny.
+const (
+	maxAppendBody = 24 << 20
+	maxBatchBody  = 64 << 20
+	maxAdminBody  = 4 << 20
+)
+
+var errBodyTooLarge = errors.New("server: request body too large")
+
+// decodeJSONBody decodes a JSON request body bounded by limit, so a
+// hostile or misconfigured client cannot make the server buffer an
+// unbounded payload. Oversized bodies map to 413 via errBodyTooLarge.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errBodyTooLarge, tooBig.Limit)
+		}
+		return fmt.Errorf("%w: %v", journal.ErrBadRequest, err)
+	}
+	return nil
 }
 
 func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
@@ -114,8 +146,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Request string `json:"request"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+	if err := decodeJSONBody(w, r, maxAppendBody, &body); err != nil {
+		writeErr(w, err)
 		return
 	}
 	raw, err := base64.StdEncoding.DecodeString(body.Request)
@@ -145,8 +177,8 @@ func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Requests []string `json:"requests"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+	if err := decodeJSONBody(w, r, maxBatchBody, &body); err != nil {
+		writeErr(w, err)
 		return
 	}
 	reqs := make([]*journal.Request, 0, len(body.Requests))
@@ -256,8 +288,8 @@ func (s *Server) handleProofAnchored(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Anchor string `json:"anchor"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+	if err := decodeJSONBody(w, r, maxAdminBody, &body); err != nil {
+		writeErr(w, err)
 		return
 	}
 	raw, err := base64.StdEncoding.DecodeString(body.Anchor)
@@ -346,10 +378,10 @@ type mutationBody struct {
 	Sigs       string `json:"sigs"`
 }
 
-func decodeMutation(r *http.Request) ([]byte, *sig.MultiSig, error) {
+func decodeMutation(w http.ResponseWriter, r *http.Request) ([]byte, *sig.MultiSig, error) {
 	var body mutationBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", journal.ErrBadRequest, err)
+	if err := decodeJSONBody(w, r, maxAdminBody, &body); err != nil {
+		return nil, nil, err
 	}
 	desc, err := base64.StdEncoding.DecodeString(body.Descriptor)
 	if err != nil {
@@ -367,7 +399,7 @@ func decodeMutation(r *http.Request) ([]byte, *sig.MultiSig, error) {
 }
 
 func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
-	rawDesc, ms, err := decodeMutation(r)
+	rawDesc, ms, err := decodeMutation(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -388,7 +420,7 @@ func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOccult(w http.ResponseWriter, r *http.Request) {
-	rawDesc, ms, err := decodeMutation(r)
+	rawDesc, ms, err := decodeMutation(w, r)
 	if err != nil {
 		writeErr(w, err)
 		return

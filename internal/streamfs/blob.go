@@ -97,11 +97,32 @@ func (s *diskBlobStore) Put(key hashutil.Digest, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Concurrent same-digest puts race here (the pipelined ledger admits
+	// appends in parallel), so each writer stages into its own unique
+	// temp file; the final renames are atomic and, being content
+	// addressed, all write identical bytes — last one wins harmlessly.
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func (s *diskBlobStore) Get(key hashutil.Digest) ([]byte, error) {

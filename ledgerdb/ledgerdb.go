@@ -118,6 +118,10 @@ type StackOptions struct {
 	DeltaTau time.Duration
 	// Clock overrides wall time (tests, deterministic demos).
 	Clock func() int64
+	// PipelineDepth enables the staged commit pipeline with that many
+	// units of committer-queue backpressure (0 = synchronous commits).
+	// Pipelined stacks must call Close to drain the pipeline.
+	PipelineDepth int
 }
 
 // Stack is a complete local deployment: one ledger, its LSP and DBA
@@ -225,6 +229,7 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		DBA:           dba.Public(),
 		Store:         store,
 		Blobs:         blobs,
+		PipelineDepth: opts.PipelineDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -443,3 +448,7 @@ func (s *Stack) Occult(desc *OccultDescriptor, regulator *Member) (*Receipt, err
 
 // URI returns the stack's ledger identifier.
 func (s *Stack) URI() string { return s.uri }
+
+// Close drains the ledger's commit pipeline (when enabled) and flushes
+// its streams. Reads keep working; further appends fail.
+func (s *Stack) Close() error { return s.Ledger.Close() }

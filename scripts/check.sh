@@ -15,7 +15,10 @@ echo "== tests =="
 go test ./...
 
 echo "== tests (race) =="
-go test -race ./...
+go test -race -timeout 600s ./...
+
+echo "== pipeline bench smoke =="
+go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
 
 echo "== examples =="
 for ex in examples/*/; do
