@@ -38,7 +38,7 @@ func main() {
 	lspHex := flag.String("lsp", "", "pinned LSP public key (hex); empty = trust on first use")
 	keySeed := flag.String("key-seed", "", "deterministic client key seed (testing); empty = fresh key")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-anchored|verify-state|verify-clue|anchor-time|state> [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-batch|verify-anchored|verify-state|verify-clue|anchor-time|state> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -114,6 +114,23 @@ func main() {
 		}
 		fmt.Printf("VERIFIED jsn %d (what+who)\n  tx-hash %s\n  signer  %s\n  payload %dB present=%v\n",
 			rec.JSN, rec.TxHash().Short(), rec.ClientPK, rec.PayloadSize, payload != nil)
+	case "verify-batch":
+		if len(args) == 0 {
+			fail("verify-batch needs jsns")
+		}
+		jsns := make([]uint64, len(args))
+		for i := range args {
+			jsns[i] = argJSN(args[i : i+1])
+		}
+		recs, payloads, err := cli.VerifyExistenceBatch(jsns, true)
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		fmt.Printf("VERIFIED %d journals against ONE signed state\n", len(recs))
+		for i, rec := range recs {
+			fmt.Printf("  jsn %-6d tx-hash %s  payload %dB present=%v\n",
+				rec.JSN, rec.TxHash().Short(), rec.PayloadSize, payloads[i] != nil)
+		}
 	case "verify-anchored":
 		// The fam-aoa regime: fetch the service's current anchor, then
 		// verify with the near-constant-size anchored proof. A real

@@ -53,6 +53,13 @@ type Config struct {
 	// cannot be re-derived from records); ignored when a purge is
 	// present.
 	CheckClueRoots bool
+	// Workers fans out the per-journal replay work — record fetch,
+	// decode, tx-hash recompute, π_c/π_s signature checks, payload
+	// fetch — over this many goroutines (parallel.go), merged back in
+	// jsn order into the sequential shadow rebuild so the report and
+	// every failure mode match the serial replay. Values <= 1 run
+	// fully serial.
+	Workers int
 }
 
 // Report summarizes a successful audit.
@@ -121,38 +128,48 @@ func Audit(l *ledger.Ledger, latest *journal.Receipt, cfg Config) (*Report, erro
 	// roots are re-derivable from the retained digest stream.
 	var lastTimeJSN uint64
 
+	// The per-journal work — fetch, decode, tx-hash recompute, signature
+	// checks, payload fetch — comes from an item source: computed inline
+	// when Workers <= 1, prefetched by a worker pool over jsn ranges
+	// otherwise (parallel.go). Either way items arrive in jsn order and
+	// the checks below apply in the same sequence, so reports and
+	// failures are identical across modes.
+	src := newItemSource(l, base, size, cfg)
+	defer src.stop()
+
 	for jsn := uint64(0); jsn < size; jsn++ {
 		var tx hashutil.Digest
 		if jsn < base {
 			// Already appended to shadow above.
 			tx, _ = l.TxHash(jsn)
 		} else {
-			rec, err := l.GetJournal(jsn)
-			if err != nil {
-				return nil, fmt.Errorf("%w: journal %d: %v", ErrAuditFailed, jsn, err)
+			it := src.next(jsn)
+			if it.recErr != nil {
+				return nil, fmt.Errorf("%w: journal %d: %v", ErrAuditFailed, jsn, it.recErr)
 			}
+			rec := it.rec
 			if cfg.Before != 0 && rec.Timestamp > cfg.Before {
 				// Temporal predicate: stop replaying past the bound.
 				size = jsn
 				break
 			}
-			tx = rec.TxHash()
-			want, err := l.TxHash(jsn)
-			if err != nil {
-				return nil, fmt.Errorf("%w: digest stream jsn %d: %v", ErrAuditFailed, jsn, err)
+			tx = it.tx
+			if it.wantErr != nil {
+				return nil, fmt.Errorf("%w: digest stream jsn %d: %v", ErrAuditFailed, jsn, it.wantErr)
 			}
-			if tx != want {
+			if tx != it.want {
 				return nil, fmt.Errorf("%w: journal %d content does not match accumulated digest (what)", ErrAuditFailed, jsn)
 			}
 			// Who: re-verify π_c and co-signatures.
-			if err := journal.VerifyRecordSigs(rec); err != nil {
-				return nil, fmt.Errorf("%w: journal %d: %v (who)", ErrAuditFailed, jsn, err)
+			if it.sigErr != nil {
+				return nil, fmt.Errorf("%w: journal %d: %v (who)", ErrAuditFailed, jsn, it.sigErr)
 			}
 			rep.SignaturesChecked++
 			// The when check binds each time journal's attestation to the
 			// fam root over exactly the journals that precede it.
 			var prefixRoot hashutil.Digest
 			if rec.Type == journal.TypeTime {
+				var err error
 				prefixRoot, err = shadow.Root()
 				if err != nil {
 					return nil, fmt.Errorf("%w: %v", ErrAuditFailed, err)
@@ -169,12 +186,11 @@ func Audit(l *ledger.Ledger, latest *journal.Receipt, cfg Config) (*Report, erro
 			if err := auditRecord(l, rec, prefixRoot, cfg, rep, &lastTimeJSN); err != nil {
 				return nil, err
 			}
-			if cfg.CheckPayloads && rec.Type == journal.TypeNormal && !rec.Occulted {
-				payload, err := l.GetPayload(jsn)
-				if err != nil {
-					return nil, fmt.Errorf("%w: journal %d payload: %v", ErrAuditFailed, jsn, err)
+			if it.payloadWanted {
+				if it.payloadErr != nil {
+					return nil, fmt.Errorf("%w: journal %d payload: %v", ErrAuditFailed, jsn, it.payloadErr)
 				}
-				if hashutil.Sum(payload) != rec.PayloadDigest {
+				if hashutil.Sum(it.payload) != rec.PayloadDigest {
 					return nil, fmt.Errorf("%w: journal %d payload digest mismatch", ErrAuditFailed, jsn)
 				}
 			}

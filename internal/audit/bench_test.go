@@ -1,0 +1,30 @@
+package audit
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAudit measures the Dasein-complete replay, serial vs
+// worker-pool. The per-journal cost is dominated by π_c re-verification
+// (one signature check per record), which the workers absorb; the
+// sequential merge only folds precomputed digests into the shadow
+// trees.
+func BenchmarkAudit(b *testing.B) {
+	e := newEnv(b)
+	for i := 0; i < 512; i++ {
+		e.append(b, fmt.Sprintf("bench-doc-%04d", i), fmt.Sprintf("K%d", i%8))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := e.auditCfg()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Audit(e.l, nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

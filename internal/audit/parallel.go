@@ -1,0 +1,178 @@
+package audit
+
+import (
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+)
+
+// This file is the fan-out stage of the audit. The replay in Audit is
+// inherently sequential — the shadow fam and CM-Tree must grow in jsn
+// order — but everything feeding it is not: reading a record, decoding
+// it, recomputing its tx-hash, re-verifying its π_c/co-signatures, and
+// fetching its payload touch only that one journal. A worker pool
+// computes those per-journal results over jsn ranges and the merge
+// consumes them strictly in jsn order, so the sequential rebuild (and
+// every check's position in the failure order) is untouched.
+
+// auditChunk is the jsn range each worker claims at a time: large
+// enough to amortize channel traffic, small enough that the bounded
+// lookahead keeps memory flat on huge ledgers.
+const auditChunk = 64
+
+// liveItem carries the precomputed per-journal results for one jsn in
+// the live (unpurged) range. The merge applies them in exactly the
+// order the serial replay would have computed them, so eager
+// evaluation here never changes which error surfaces.
+type liveItem struct {
+	rec    *journal.Record
+	recErr error
+
+	tx      hashutil.Digest // recomputed from the record
+	want    hashutil.Digest // from the digest stream
+	wantErr error
+
+	sigErr error // π_c and co-signature re-verification
+
+	payloadWanted bool // CheckPayloads applies to this record
+	payload       []byte
+	payloadErr    error
+}
+
+// fetchItem computes every independent per-journal result for jsn.
+func fetchItem(l *ledger.Ledger, jsn uint64, cfg Config) liveItem {
+	var it liveItem
+	it.rec, it.recErr = l.GetJournal(jsn)
+	if it.recErr != nil {
+		return it
+	}
+	it.tx = it.rec.TxHash()
+	it.want, it.wantErr = l.TxHash(jsn)
+	it.sigErr = journal.VerifyRecordSigs(it.rec)
+	if cfg.CheckPayloads && it.rec.Type == journal.TypeNormal && !it.rec.Occulted {
+		it.payloadWanted = true
+		it.payload, it.payloadErr = l.GetPayload(jsn)
+	}
+	return it
+}
+
+// itemSource yields the live-range replay items in jsn order. stop
+// releases any prefetch machinery; it must be safe to call after the
+// source is exhausted and more than once.
+type itemSource interface {
+	next(jsn uint64) liveItem
+	stop()
+}
+
+// newItemSource picks the replay mode: inline computation for
+// Workers <= 1 (the deterministic serial path), a prefetching worker
+// pool otherwise.
+func newItemSource(l *ledger.Ledger, base, size uint64, cfg Config) itemSource {
+	if cfg.Workers > 1 && size > base {
+		return newParallelSource(l, base, size, cfg)
+	}
+	return &serialSource{l: l, cfg: cfg}
+}
+
+// serialSource computes each item on demand, on the caller's
+// goroutine.
+type serialSource struct {
+	l   *ledger.Ledger
+	cfg Config
+}
+
+func (s *serialSource) next(jsn uint64) liveItem { return fetchItem(s.l, jsn, s.cfg) }
+func (s *serialSource) stop()                    {}
+
+// auditChunkJob is one contiguous jsn range claimed by a worker. done
+// closes when items is fully populated.
+type auditChunkJob struct {
+	first uint64
+	items []liveItem
+	done  chan struct{}
+}
+
+// parallelSource prefetches items with cfg.Workers goroutines. A
+// producer cuts [base, size) into chunks and feeds them, in order, to
+// both the ordered merge queue and the worker job queue; the queues'
+// capacity bounds the lookahead, so at most a few chunks of records
+// and payloads are resident beyond the merge cursor. Closing stopC
+// (early merge exit: first error, temporal bound) unblocks the
+// producer and lets the workers drain without leaking.
+type parallelSource struct {
+	order chan *auditChunkJob
+	stopC chan struct{}
+	once  sync.Once
+
+	cur *auditChunkJob
+	idx int
+}
+
+func newParallelSource(l *ledger.Ledger, base, size uint64, cfg Config) *parallelSource {
+	lookahead := cfg.Workers * 2
+	s := &parallelSource{
+		order: make(chan *auditChunkJob, lookahead),
+		stopC: make(chan struct{}),
+	}
+	jobs := make(chan *auditChunkJob, lookahead)
+	go func() {
+		defer close(s.order)
+		defer close(jobs)
+		for first := base; first < size; first += auditChunk {
+			n := uint64(auditChunk)
+			if first+n > size {
+				n = size - first
+			}
+			c := &auditChunkJob{first: first, items: make([]liveItem, n), done: make(chan struct{})}
+			select {
+			case s.order <- c:
+			case <-s.stopC:
+				return
+			}
+			select {
+			case jobs <- c:
+			case <-s.stopC:
+				return
+			}
+		}
+	}()
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for c := range jobs {
+				select {
+				case <-s.stopC:
+					// The merge already returned; skip the work but
+					// still mark the chunk complete.
+					close(c.done)
+					continue
+				default:
+				}
+				for i := range c.items {
+					c.items[i] = fetchItem(l, c.first+uint64(i), cfg)
+				}
+				close(c.done)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *parallelSource) next(jsn uint64) liveItem {
+	if s.cur == nil || s.idx >= len(s.cur.items) {
+		c, ok := <-s.order
+		if !ok {
+			// Unreachable by construction: the merge never asks for
+			// more jsns than the producer cut into chunks.
+			return liveItem{recErr: ledger.ErrNotFound}
+		}
+		<-c.done
+		s.cur, s.idx = c, 0
+	}
+	it := s.cur.items[s.idx]
+	s.idx++
+	return it
+}
+
+func (s *parallelSource) stop() { s.once.Do(func() { close(s.stopC) }) }

@@ -1,0 +1,224 @@
+package audit
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ledgerdb/internal/ca"
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/sig"
+)
+
+// auditScenario builds a ledger (possibly tampered) plus the audit
+// inputs; the parity test then runs the identical audit serially and
+// with a worker pool and demands byte-identical outcomes.
+type auditScenario struct {
+	name  string
+	build func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config)
+}
+
+func parityScenarios() []auditScenario {
+	return []auditScenario{
+		{
+			// Several blocks, clues, time journals, payload and clue-root
+			// checks on: the full happy path.
+			name: "clean",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				var latest *journal.Receipt
+				for w := 0; w < 3; w++ {
+					for i := 0; i < 7; i++ {
+						latest = e.append(t, fmt.Sprintf("doc-%d-%d", w, i), fmt.Sprintf("K%d", i%2))
+					}
+					e.clock.Advance(100)
+					e.anchor(t)
+				}
+				cfg := e.auditCfg()
+				cfg.CheckPayloads = true
+				cfg.CheckClueRoots = true
+				return e.l, latest, cfg
+			},
+		},
+		{
+			// More journals than several worker chunks, so the chunk
+			// pipeline cycles.
+			name: "many-chunks",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				var latest *journal.Receipt
+				for i := 0; i < 3*auditChunk+5; i++ {
+					latest = e.append(t, fmt.Sprintf("doc-%d", i))
+				}
+				return e.l, latest, e.auditCfg()
+			},
+		},
+		{
+			// Occult + purge with correct prerequisites, then a time
+			// anchor: the mutated-but-honest ledger.
+			name: "mutated",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				for i := 0; i < 10; i++ {
+					e.append(t, fmt.Sprintf("doc-%d", i), "K")
+				}
+				odesc := &ledger.OccultDescriptor{URI: "ledger://audit", JSN: 4}
+				oms := sig.NewMultiSig(odesc.Digest())
+				if err := oms.SignWith(e.dba); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.l.Occult(odesc, oms); err != nil {
+					t.Fatal(err)
+				}
+				pdesc := &ledger.PurgeDescriptor{URI: "ledger://audit", Point: 3, ErasePayloads: true}
+				pms := sig.NewMultiSig(pdesc.Digest())
+				for _, kp := range []*sig.KeyPair{e.dba, e.client} {
+					if err := pms.SignWith(kp); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := e.l.Purge(pdesc, pms); err != nil {
+					t.Fatal(err)
+				}
+				e.clock.Advance(50)
+				e.anchor(t)
+				latest := e.append(t, "after-everything")
+				return e.l, latest, e.auditCfg()
+			},
+		},
+		{
+			name: "untrusted-tsa",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				e.append(t, "doc")
+				e.anchor(t)
+				cfg := e.auditCfg()
+				cfg.TrustedTSA = nil
+				return e.l, nil, cfg
+			},
+		},
+		{
+			name: "lsp-repudiation",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				r := e.append(t, "the committed payload")
+				forged := *r
+				forged.TxHash = r.RequestHash
+				if err := forged.Sign(e.lsp); err != nil {
+					t.Fatal(err)
+				}
+				return e.l, &forged, e.auditCfg()
+			},
+		},
+		{
+			name: "temporal-bound",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				for i := 0; i < 2*auditChunk; i++ {
+					e.append(t, fmt.Sprintf("early-%d", i))
+				}
+				cutoff := e.clock.Now()
+				e.clock.Advance(1000)
+				for i := 0; i < auditChunk; i++ {
+					e.append(t, fmt.Sprintf("late-%d", i))
+				}
+				cfg := e.auditCfg()
+				cfg.Before = cutoff
+				return e.l, nil, cfg
+			},
+		},
+		{
+			name: "missing-regulator",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				e.append(t, "pii")
+				desc := &ledger.OccultDescriptor{URI: "ledger://audit", JSN: 1}
+				ms := sig.NewMultiSig(desc.Digest())
+				if err := ms.SignWith(e.dba); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.l.Occult(desc, ms); err != nil {
+					t.Fatal(err)
+				}
+				auth := ca.NewTestAuthority("root")
+				cfg := e.auditCfg()
+				cfg.Registry = ca.NewRegistry(auth.Public())
+				return e.l, nil, cfg
+			},
+		},
+		{
+			// A payload blob vanished from the store: CheckPayloads must
+			// report the exact journal, serial and parallel alike.
+			name: "missing-payload",
+			build: func(t *testing.T) (*ledger.Ledger, *journal.Receipt, Config) {
+				e := newEnv(t)
+				for i := 0; i < 6; i++ {
+					e.append(t, fmt.Sprintf("doc-%d", i))
+				}
+				if err := e.cfg.Blobs.Delete(hashutil.Sum([]byte("doc-3"))); err != nil {
+					t.Fatal(err)
+				}
+				cfg := e.auditCfg()
+				cfg.CheckPayloads = true
+				return e.l, nil, cfg
+			},
+		},
+	}
+}
+
+// TestAuditParallelMatchesSerial is the fan-out contract: for every
+// scenario — clean, mutated, and each tamper case — the worker-pool
+// audit must produce the identical Report and the identical error
+// string as the serial replay.
+func TestAuditParallelMatchesSerial(t *testing.T) {
+	for _, sc := range parityScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			l, latest, cfg := sc.build(t)
+			serialRep, serialErr := Audit(l, latest, cfg)
+			for _, workers := range []int{2, 4} {
+				pcfg := cfg
+				pcfg.Workers = workers
+				rep, err := Audit(l, latest, pcfg)
+				if (err == nil) != (serialErr == nil) {
+					t.Fatalf("workers=%d: err = %v, serial err = %v", workers, err, serialErr)
+				}
+				if err != nil {
+					if err.Error() != serialErr.Error() {
+						t.Fatalf("workers=%d:\n parallel: %v\n serial:   %v", workers, err, serialErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(rep, serialRep) {
+					t.Fatalf("workers=%d:\n parallel: %+v\n serial:   %+v", workers, rep, serialRep)
+				}
+			}
+		})
+	}
+}
+
+// TestAuditParallelRepeatable runs the same parallel audit several
+// times: the chunk pipeline must not introduce any run-to-run
+// nondeterminism.
+func TestAuditParallelRepeatable(t *testing.T) {
+	e := newEnv(t)
+	for i := 0; i < 2*auditChunk+7; i++ {
+		e.append(t, fmt.Sprintf("doc-%d", i), "K")
+	}
+	cfg := e.auditCfg()
+	cfg.Workers = 4
+	first, err := Audit(e.l, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rep, err := Audit(e.l, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, first) {
+			t.Fatalf("run %d: %+v != %+v", i, rep, first)
+		}
+	}
+}

@@ -318,6 +318,44 @@ func (c *Client) VerifyExistence(jsn uint64, withPayload bool) (*journal.Record,
 	return rec, proof.Payload, nil
 }
 
+// VerifyExistenceBatch fetches one batched proof for jsns and runs the
+// client-side verification with the LSP state signature checked once:
+// each journal still folds through its own fam path to the shared
+// signed root. Returns the verified records (in jsns order) and their
+// payloads (nil entries for digest-only or occulted journals).
+func (c *Client) VerifyExistenceBatch(jsns []uint64, withPayload bool) ([]*journal.Record, [][]byte, error) {
+	env, err := c.call("POST", "/v1/proofs", map[string]any{
+		"jsns":    jsns,
+		"payload": withPayload,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := unb64(env.Proof)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch, err := ledger.DecodeExistenceProofBatch(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(batch.Items) != len(jsns) {
+		return nil, nil, fmt.Errorf("%w: %d proofs for %d jsns", ledger.ErrVerify, len(batch.Items), len(jsns))
+	}
+	recs, err := ledger.VerifyExistenceBatch(batch, c.LSP)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if rec.JSN != jsns[i] {
+			return nil, nil, fmt.Errorf("%w: proof %d is for jsn %d, want %d", ledger.ErrVerify, i, rec.JSN, jsns[i])
+		}
+		payloads[i] = batch.Items[i].Payload
+	}
+	return recs, payloads, nil
+}
+
 // FetchAnchor downloads the service's current fam-aoa anchor. The
 // caller must audit the ledger up to the anchor before trusting it;
 // after that, VerifyExistenceAnchored uses near-constant-size proofs.

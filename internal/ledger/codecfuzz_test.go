@@ -1,0 +1,244 @@
+package ledger
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/wire"
+)
+
+func newTestWriter() *wire.Writer { return wire.NewWriter(256) }
+
+// proofCodec abstracts one proof wire format for the exhaustive
+// truncation/corruption sweep: encode the server-built object, decode
+// transported bytes, and run the client-side verification.
+type proofCodec struct {
+	name   string
+	enc    []byte
+	decode func([]byte) (any, error)
+	// reencode re-serializes a decoded object; round-trip bytes must be
+	// identical (the format is deterministic).
+	reencode func(any) []byte
+	// verify runs the pure client-side check on a decoded object.
+	verify func(any) error
+	// claims extracts the authenticated content — what a relying party
+	// acts on after verification succeeds. Corruption may only survive
+	// decode+verify when it left the claims untouched (i.e., it hit
+	// pure path metadata that every check re-derives).
+	claims func(any) []byte
+}
+
+// buildProofCodecs makes one ledger with clues, state keys, and an
+// occulted journal, then captures every proof codec over it.
+func buildProofCodecs(t *testing.T) []proofCodec {
+	t.Helper()
+	e := newEnv(t, nil)
+	for i := 0; i < 7; i++ {
+		e.nonce++
+		req := e.request(t, fmt.Sprintf("doc-%d", i), "K", fmt.Sprintf("solo-%d", i))
+		req.StateKey = []byte(fmt.Sprintf("acct-%d", i%3))
+		if err := req.Sign(e.client); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ledger.Append(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsp := e.lsp.Public()
+
+	ep, err := e.ledger.ProveExistence(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := e.ledger.ProveClue("K", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := e.ledger.ProveState([]byte("acct-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := e.ledger.ProveExistenceBatch([]uint64{1, 3, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []proofCodec{
+		{
+			name:     "existence",
+			enc:      ep.EncodeBytes(),
+			decode:   func(b []byte) (any, error) { return DecodeExistenceProof(b) },
+			reencode: func(v any) []byte { return v.(*ExistenceProof).EncodeBytes() },
+			verify: func(v any) error {
+				_, err := VerifyExistence(v.(*ExistenceProof), lsp)
+				return err
+			},
+			claims: func(v any) []byte {
+				p := v.(*ExistenceProof)
+				return claimBytes(recordClaims(t, p.RecordBytes), p.Payload, stateBytes(p.State))
+			},
+		},
+		{
+			name:     "clue-bundle",
+			enc:      cb.EncodeBytes(),
+			decode:   func(b []byte) (any, error) { return DecodeClueProofBundle(b) },
+			reencode: func(v any) []byte { return v.(*ClueProofBundle).EncodeBytes() },
+			verify: func(v any) error {
+				_, err := VerifyClue(v.(*ClueProofBundle), lsp)
+				return err
+			},
+			claims: func(v any) []byte {
+				b := v.(*ClueProofBundle)
+				parts := [][]byte{[]byte(b.Clue), stateBytes(b.State)}
+				for _, raw := range b.Records {
+					parts = append(parts, recordClaims(t, raw))
+				}
+				return claimBytes(parts...)
+			},
+		},
+		{
+			name:     "state",
+			enc:      sp.EncodeBytes(),
+			decode:   func(b []byte) (any, error) { return DecodeStateProof(b) },
+			reencode: func(v any) []byte { return v.(*StateProof).EncodeBytes() },
+			verify: func(v any) error {
+				_, _, err := VerifyState(v.(*StateProof), lsp)
+				return err
+			},
+			claims: func(v any) []byte {
+				p := v.(*StateProof)
+				return claimBytes(p.Key, p.Value, stateBytes(p.State))
+			},
+		},
+		{
+			name:     "existence-batch",
+			enc:      batch.EncodeBytes(),
+			decode:   func(b []byte) (any, error) { return DecodeExistenceProofBatch(b) },
+			reencode: func(v any) []byte { return v.(*ExistenceProofBatch).EncodeBytes() },
+			verify: func(v any) error {
+				_, err := VerifyExistenceBatch(v.(*ExistenceProofBatch), lsp)
+				return err
+			},
+			claims: func(v any) []byte {
+				b := v.(*ExistenceProofBatch)
+				parts := [][]byte{stateBytes(b.State)}
+				for i := range b.Items {
+					parts = append(parts, recordClaims(t, b.Items[i].RecordBytes), b.Items[i].Payload)
+				}
+				return claimBytes(parts...)
+			},
+		},
+	}
+}
+
+// recordClaims reduces a transported record to its authenticated
+// content: the tx-hash, which covers every field except the occult bit.
+// The occult bit is unauthenticated BY DESIGN (Protocol 2: occulting a
+// journal must not change its tx-hash, so the bitmap lives outside the
+// accumulator) — a relying party must not trust it from a proof, and
+// the corruption sweep accordingly treats it as re-derived metadata.
+func recordClaims(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	rec, err := journal.DecodeRecord(raw)
+	if err != nil {
+		t.Fatalf("verified proof carries undecodable record: %v", err)
+	}
+	d := rec.TxHash()
+	return d[:]
+}
+
+// claimBytes length-prefix-joins byte fields so adjacent claims cannot
+// alias under concatenation.
+func claimBytes(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, byte(len(p)), byte(len(p)>>8), byte(len(p)>>16))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func stateBytes(st *SignedState) []byte {
+	w := newTestWriter()
+	st.Encode(w)
+	return w.Bytes()
+}
+
+// TestProofCodecRoundTrip: decode(encode(p)) re-encodes to the exact
+// original bytes and still verifies.
+func TestProofCodecRoundTrip(t *testing.T) {
+	for _, c := range buildProofCodecs(t) {
+		t.Run(c.name, func(t *testing.T) {
+			v, err := c.decode(c.enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if err := c.verify(v); err != nil {
+				t.Fatalf("verify after round trip: %v", err)
+			}
+			if !bytes.Equal(c.reencode(v), c.enc) {
+				t.Fatal("re-encoded bytes differ from original")
+			}
+		})
+	}
+}
+
+// TestProofCodecTruncation: every strict prefix of a valid encoding
+// must fail to decode — cleanly, without panicking.
+func TestProofCodecTruncation(t *testing.T) {
+	for _, c := range buildProofCodecs(t) {
+		t.Run(c.name, func(t *testing.T) {
+			for i := 0; i < len(c.enc); i++ {
+				if _, err := c.decode(c.enc[:i]); err == nil {
+					t.Fatalf("decode accepted a %d/%d-byte prefix", i, len(c.enc))
+				}
+			}
+		})
+	}
+}
+
+// TestProofCodecCorruption flips each byte of each encoding in turn:
+// the decoder must never panic, and a corrupted proof must never both
+// decode AND verify — every semantic byte is covered by a digest or a
+// signature.
+func TestProofCodecCorruption(t *testing.T) {
+	for _, c := range buildProofCodecs(t) {
+		t.Run(c.name, func(t *testing.T) {
+			orig, err := c.decode(c.enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mut := make([]byte, len(c.enc))
+			for i := 0; i < len(c.enc); i++ {
+				copy(mut, c.enc)
+				mut[i] ^= 0xFF
+				v, err := c.decode(mut)
+				if err != nil {
+					continue
+				}
+				if err := c.verify(v); err == nil {
+					// Surviving both is only acceptable when the
+					// corruption left every authenticated claim intact
+					// (it hit re-derived path metadata).
+					if !bytes.Equal(c.claims(v), c.claims(orig)) {
+						t.Fatalf("byte %d: corrupted proof decoded AND verified with altered claims", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProofCodecTrailingGarbage: appended bytes must be rejected (the
+// readers demand full consumption).
+func TestProofCodecTrailingGarbage(t *testing.T) {
+	for _, c := range buildProofCodecs(t) {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := c.decode(append(append([]byte(nil), c.enc...), 0xAB)); err == nil {
+				t.Fatal("decode accepted trailing garbage")
+			}
+		})
+	}
+}

@@ -81,6 +81,12 @@ type Config struct {
 	// staged commit pipeline (pipeline.go) with that many units of
 	// committer-queue backpressure; Close must be called to drain it.
 	PipelineDepth int
+	// DisableStateCache forces every proof and State call to sign a
+	// fresh SignedState (the historical per-call behaviour). The default
+	// caches one signature per commit generation so concurrent reads
+	// amortize signing; this switch exists for benchmarks comparing the
+	// two and as an escape hatch.
+	DisableStateCache bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -142,6 +148,13 @@ type Ledger struct {
 	seqNext uint64
 	comm    *committer
 	failed  error
+
+	// stateGen counts commit generations: it is bumped under mu by every
+	// mutation that could change what a SignedState or proof reflects
+	// (record apply, block cut, purge, occult, reorganize). stateSigs
+	// caches one signed state per generation (statecache.go).
+	stateGen  uint64
+	stateSigs stateCache
 }
 
 // Open creates or recovers a ledger over the given stores.
@@ -332,6 +345,7 @@ func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) 
 		l.firstSeen[rec.ClientPK] = rec.JSN
 	}
 	l.nextJSN++
+	l.stateGen++
 	l.pendingCount++
 	if l.pendingCount >= uint64(l.cfg.BlockSize) {
 		if err := l.cutBlockLocked(); err != nil {
@@ -423,6 +437,7 @@ func (l *Ledger) cutBlockLocked() error {
 	}
 	l.headers = append(l.headers, h)
 	l.pendingCount = 0
+	l.stateGen++
 	return nil
 }
 
@@ -451,12 +466,23 @@ func (l *Ledger) State() (*SignedState, error) {
 	return l.stateLocked()
 }
 
+// stateLocked returns the LSP-signed state for the current commit
+// generation. Callers hold l.mu (read or write). Unless the cache is
+// disabled, one signature is produced per generation and shared by
+// every concurrent reader; a hit costs two mutex operations and no
+// crypto, no clock read.
 func (l *Ledger) stateLocked() (*SignedState, error) {
+	gen := l.stateGen
+	if !l.cfg.DisableStateCache {
+		if st := l.stateSigs.get(gen); st != nil {
+			return st, nil
+		}
+	}
 	jroot, err := l.fam.Root()
 	if err != nil {
 		return nil, err
 	}
-	s := &SignedState{
+	skel := SignedState{
 		URI:         l.cfg.URI,
 		JSN:         l.nextJSN,
 		JournalRoot: jroot,
@@ -464,18 +490,60 @@ func (l *Ledger) stateLocked() (*SignedState, error) {
 		StateRoot:   l.state.RootHash(),
 		Timestamp:   l.cfg.Clock(),
 	}
-	if err := s.sign(l.cfg.LSP); err != nil {
-		return nil, err
+	if l.cfg.DisableStateCache {
+		if err := skel.sign(l.cfg.LSP); err != nil {
+			return nil, err
+		}
+		return &skel, nil
 	}
-	return s, nil
+	return l.stateSigs.signAndStore(gen, skel, l.cfg.LSP)
 }
 
 // GetJournal returns the committed record at jsn. Occulted journals come
-// back with the Occulted bit set; purged ones fail with ErrPurged.
+// back with the Occulted bit set; purged ones fail with ErrPurged. The
+// ledger lock covers only the in-memory snapshot (bounds, occult bit);
+// the journal-stream read happens after it is dropped — committed
+// records are immutable, and the stream carries its own lock.
 func (l *Ledger) GetJournal(jsn uint64) (*journal.Record, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.getJournalLocked(jsn)
+	if jsn >= l.nextJSN {
+		defer l.mu.RUnlock()
+		return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, l.nextJSN)
+	}
+	if jsn < l.base {
+		defer l.mu.RUnlock()
+		return nil, fmt.Errorf("%w: jsn %d below pseudo genesis %d", ErrPurged, jsn, l.base)
+	}
+	occ := l.occulted[jsn]
+	l.mu.RUnlock()
+	raw, err := l.readJournalBytes(jsn)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := journal.DecodeRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	rec.Occulted = occ
+	return rec, nil
+}
+
+// readJournalBytes reads a committed record's raw bytes without holding
+// the ledger lock. The caller has already bounds-checked jsn; if a
+// concurrent purge truncated the prefix between that check and this
+// read, the stream miss is reported as ErrPurged.
+func (l *Ledger) readJournalBytes(jsn uint64) ([]byte, error) {
+	raw, err := l.journals.Read(jsn)
+	if err != nil {
+		l.mu.RLock()
+		base := l.base
+		l.mu.RUnlock()
+		if jsn < base {
+			return nil, fmt.Errorf("%w: jsn %d below pseudo genesis %d", ErrPurged, jsn, base)
+		}
+		return nil, fmt.Errorf("ledger: read journal %d: %w", jsn, err)
+	}
+	return raw, nil
 }
 
 func (l *Ledger) getJournalLocked(jsn uint64) (*journal.Record, error) {

@@ -323,6 +323,7 @@ func (l *Ledger) Purge(desc *PurgeDescriptor, ms *sig.MultiSig) (*journal.Receip
 	if desc.EraseFamNodes {
 		l.fam.PruneBelow(desc.Point)
 	}
+	l.stateGen++ // the truncated prefix changes what proofs may reflect
 	return receipt, nil
 }
 
@@ -359,6 +360,7 @@ func (l *Ledger) Occult(desc *OccultDescriptor, ms *sig.MultiSig) (*journal.Rece
 		return nil, err
 	}
 	l.occulted[desc.JSN] = true
+	l.stateGen++ // the occult bitmap changes what served records carry
 	if desc.Async {
 		l.eraseQueue = append(l.eraseQueue, desc.JSN)
 	} else if err := l.erasePayloadLocked(desc.JSN); err != nil {
@@ -465,6 +467,7 @@ func (l *Ledger) OccultClue(clue string, ms *sig.MultiSig) ([]uint64, error) {
 		l.occulted[jsn] = true
 		l.eraseQueue = append(l.eraseQueue, jsn)
 	}
+	l.stateGen++
 	return hidden, nil
 }
 
@@ -541,6 +544,7 @@ func (l *Ledger) Reorganize() (int, error) {
 		n++
 	}
 	l.eraseQueue = l.eraseQueue[:0]
+	l.stateGen++
 	return n, nil
 }
 

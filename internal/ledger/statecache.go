@@ -1,0 +1,52 @@
+package ledger
+
+import (
+	"sync"
+
+	"ledgerdb/internal/sig"
+)
+
+// stateCache amortizes SignedState signatures across concurrent proof
+// requests. The engine bumps a commit generation counter on every
+// mutation applied under the write lock (append, block cut, purge,
+// occult, time anchor); a cached state signed at generation g stays
+// valid for every read at generation g, so a burst of proof requests
+// between two commits shares ONE signature instead of paying one sign
+// per call. The cache has its own mutex (acquired after l.mu in lock
+// order, never the reverse), which doubles as a single-flight gate:
+// concurrent misses at the same generation serialize on it, the first
+// signs, the rest return the freshly cached state.
+type stateCache struct {
+	mu  sync.Mutex
+	gen uint64       // generation st was signed at
+	st  *SignedState // nil until the first sign
+}
+
+// get returns the cached state when it was signed at exactly gen.
+func (c *stateCache) get(gen uint64) *SignedState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st != nil && c.gen == gen {
+		return c.st
+	}
+	return nil
+}
+
+// signAndStore signs skel for generation gen, unless a racing caller
+// already cached that generation, and retains the newest generation
+// seen. skel is taken by value: the cached state is immutable from the
+// moment it is published.
+func (c *stateCache) signAndStore(gen uint64, skel SignedState, lsp *sig.KeyPair) (*SignedState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st != nil && c.gen == gen {
+		return c.st, nil
+	}
+	if err := skel.sign(lsp); err != nil {
+		return nil, err
+	}
+	if c.st == nil || gen >= c.gen {
+		c.gen, c.st = gen, &skel
+	}
+	return &skel, nil
+}

@@ -31,29 +31,58 @@ type ExistenceProof struct {
 
 // ProveExistence builds an existence proof for jsn against the live
 // state. withPayload controls whether the raw payload ships along.
+//
+// The ledger lock covers only the in-memory snapshot: bounds, the fam
+// path (copied out by Prove), the occult bit, and the signed state.
+// The journal-stream and blob reads happen after the lock is dropped —
+// committed records and content-addressed payloads are immutable, and
+// both stores carry their own locks.
 func (l *Ledger) ProveExistence(jsn uint64, withPayload bool) (*ExistenceProof, error) {
+	return l.proveExistence(jsn, nil, withPayload)
+}
+
+// ProveExistenceAnchored is ProveExistence using a verifier-held fam-aoa
+// trusted anchor, producing the short proof of Figure 4(a). The anchored
+// fam path and the signed state are taken under one read-lock section,
+// so the hop chain ends at exactly the signed JournalRoot even while
+// concurrent appends land.
+func (l *Ledger) ProveExistenceAnchored(jsn uint64, a *fam.Anchor, withPayload bool) (*ExistenceProof, error) {
+	return l.proveExistence(jsn, a, withPayload)
+}
+
+func (l *Ledger) proveExistence(jsn uint64, a *fam.Anchor, withPayload bool) (*ExistenceProof, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
 	if jsn >= l.nextJSN {
+		l.mu.RUnlock()
 		return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, l.nextJSN)
 	}
 	if jsn < l.base {
+		l.mu.RUnlock()
 		return nil, fmt.Errorf("%w: jsn %d", ErrPurged, jsn)
 	}
-	raw, err := l.journals.Read(jsn)
+	var fp *fam.Proof
+	var err error
+	if a != nil {
+		fp, err = l.fam.ProveAnchored(jsn, a)
+	} else {
+		fp, err = l.fam.Prove(jsn)
+	}
 	if err != nil {
+		l.mu.RUnlock()
 		return nil, err
 	}
-	fp, err := l.fam.Prove(jsn)
-	if err != nil {
-		return nil, err
+	occ := l.occulted[jsn]
+	st, stErr := l.stateLocked()
+	l.mu.RUnlock()
+	if stErr != nil {
+		return nil, stErr
 	}
-	st, err := l.stateLocked()
+	raw, err := l.readJournalBytes(jsn)
 	if err != nil {
 		return nil, err
 	}
 	p := &ExistenceProof{RecordBytes: raw, Fam: fp, State: st}
-	if withPayload && !l.occulted[jsn] {
+	if withPayload && !occ {
 		rec, err := journal.DecodeRecord(raw)
 		if err != nil {
 			return nil, err
@@ -63,23 +92,6 @@ func (l *Ledger) ProveExistence(jsn uint64, withPayload bool) (*ExistenceProof, 
 			p.Payload = payload
 		}
 	}
-	return p, nil
-}
-
-// ProveExistenceAnchored is ProveExistence using a verifier-held fam-aoa
-// trusted anchor, producing the short proof of Figure 4(a).
-func (l *Ledger) ProveExistenceAnchored(jsn uint64, a *fam.Anchor, withPayload bool) (*ExistenceProof, error) {
-	p, err := l.ProveExistence(jsn, withPayload)
-	if err != nil {
-		return nil, err
-	}
-	l.mu.RLock()
-	fp, err := l.fam.ProveAnchored(jsn, a)
-	l.mu.RUnlock()
-	if err != nil {
-		return nil, err
-	}
-	p.Fam = fp
 	return p, nil
 }
 
@@ -107,28 +119,7 @@ func verifyExistence(p *ExistenceProof, lsp sig.PublicKey, a *fam.Anchor) (*jour
 	if err := p.State.Verify(lsp); err != nil {
 		return nil, err
 	}
-	rec, err := journal.DecodeRecord(p.RecordBytes)
-	if err != nil {
-		return nil, err
-	}
-	txHash := rec.TxHash()
-	if a != nil {
-		err = fam.VerifyAnchored(txHash, p.Fam, a, p.State.JournalRoot)
-	} else {
-		err = fam.Verify(txHash, p.Fam, p.State.JournalRoot)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%w: what: %v", ErrVerify, err)
-	}
-	if err := journal.VerifyRecordSigs(rec); err != nil {
-		return nil, fmt.Errorf("%w: who: %v", ErrVerify, err)
-	}
-	if p.Payload != nil {
-		if hashutil.Sum(p.Payload) != rec.PayloadDigest {
-			return nil, fmt.Errorf("%w: payload does not match recorded digest", ErrVerify)
-		}
-	}
-	return rec, nil
+	return verifyExistenceItem(p.RecordBytes, p.Payload, p.Fam, a, p.State.JournalRoot)
 }
 
 // VerifyExistenceServer is the trusted-LSP fast path: the server checks
@@ -168,37 +159,41 @@ type ClueProofBundle struct {
 // ProveClue builds the bundle for versions [begin, end) of a clue
 // (steps 1–5 of the client-side algorithm, executed at the server).
 // Pass end = 0 for "the entire clue so far".
+// The read lock covers the clue's jsn list, the CM-Tree snapshot, and
+// the signed state; the proof walk over the snapshot (a copy) and the
+// journal-stream reads run after the lock is dropped.
 func (l *Ledger) ProveClue(clue string, begin, end uint64) (*ClueProofBundle, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
 	jsns, err := l.clues.JSNs(clue)
 	if err != nil {
+		l.mu.RUnlock()
 		return nil, fmt.Errorf("%w: clue %q", ErrNotFound, clue)
 	}
 	if end == 0 {
 		end = uint64(len(jsns))
 	}
 	if begin >= end || end > uint64(len(jsns)) {
+		l.mu.RUnlock()
 		return nil, fmt.Errorf("%w: range [%d,%d) of %d", cmtree.ErrBadRange, begin, end, len(jsns))
 	}
 	snap := l.clues.Snapshot()
+	st, stErr := l.stateLocked()
+	l.mu.RUnlock()
+	if stErr != nil {
+		return nil, stErr
+	}
 	cp, err := snap.ProveClue(clue, begin, end)
 	if err != nil {
 		return nil, err
 	}
-	b := &ClueProofBundle{Clue: clue, CM: cp}
+	b := &ClueProofBundle{Clue: clue, CM: cp, State: st}
 	for _, jsn := range jsns[begin:end] {
-		raw, err := l.journals.Read(jsn)
+		raw, err := l.readJournalBytes(jsn)
 		if err != nil {
 			return nil, fmt.Errorf("ledger: clue %q journal %d: %w", clue, jsn, err)
 		}
 		b.Records = append(b.Records, raw)
 	}
-	st, err := l.stateLocked()
-	if err != nil {
-		return nil, err
-	}
-	b.State = st
 	return b, nil
 }
 
@@ -245,6 +240,11 @@ func (l *Ledger) ProveClueByTime(clue string, t1, t2 int64) (*ClueProofBundle, e
 func VerifyClue(b *ClueProofBundle, lsp sig.PublicKey) ([]*journal.Record, error) {
 	if b == nil || b.CM == nil || b.State == nil {
 		return nil, fmt.Errorf("%w: incomplete clue bundle", ErrVerify)
+	}
+	// The CM proof's clue is what the MPT path below authenticates; the
+	// bundle's label must agree, or a server could relabel a lineage.
+	if b.Clue != b.CM.Clue {
+		return nil, fmt.Errorf("%w: bundle labeled %q but proves clue %q", ErrVerify, b.Clue, b.CM.Clue)
 	}
 	if err := b.State.Verify(lsp); err != nil {
 		return nil, err
@@ -355,18 +355,22 @@ type StateProof struct {
 }
 
 // ProveState builds a verifiable read of the world-state entry for key.
+// The read lock covers only the trie snapshot (the MPT is persistent,
+// so the pointer stays valid forever) and the signed state; the lookup
+// and path collection run lock-free on the snapshot.
 func (l *Ledger) ProveState(key []byte) (*StateProof, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
-	value, err := l.state.Get(key)
+	trie := l.state
+	st, stErr := l.stateLocked()
+	l.mu.RUnlock()
+	if stErr != nil {
+		return nil, stErr
+	}
+	value, err := trie.Get(key)
 	if err != nil {
 		return nil, fmt.Errorf("%w: state key %q", ErrNotFound, key)
 	}
-	proof, err := l.state.Prove(key)
-	if err != nil {
-		return nil, err
-	}
-	st, err := l.stateLocked()
+	proof, err := trie.Prove(key)
 	if err != nil {
 		return nil, err
 	}

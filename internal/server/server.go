@@ -40,6 +40,7 @@ func New(l *ledger.Ledger, tl *tledger.TLedger) *Server {
 	s.mux.HandleFunc("GET /v1/journal/{jsn}", s.handleJournal)
 	s.mux.HandleFunc("GET /v1/payload/{jsn}", s.handlePayload)
 	s.mux.HandleFunc("GET /v1/proof/{jsn}", s.handleProof)
+	s.mux.HandleFunc("POST /v1/proofs", s.handleProofBatch)
 	s.mux.HandleFunc("GET /v1/anchor", s.handleAnchor)
 	s.mux.HandleFunc("POST /v1/proof-anchored/{jsn}", s.handleProofAnchored)
 	s.mux.HandleFunc("GET /v1/clue/{name}/proof", s.handleClueProof)
@@ -265,6 +266,26 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+// handleProofBatch serves N existence proofs sharing one SignedState
+// (the amortized read path mirroring append-batch on the write side).
+// The ledger enforces the per-batch item ceiling.
+func (s *Server) handleProofBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		JSNs    []uint64 `json:"jsns"`
+		Payload bool     `json:"payload"`
+	}
+	if err := decodeJSONBody(w, r, maxAdminBody, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	b, err := s.Ledger.ProveExistenceBatch(body.JSNs, body.Payload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(b.EncodeBytes())})
 }
 
 // handleAnchor hands out the current fam-aoa trusted anchor. A verifier

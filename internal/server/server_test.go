@@ -94,6 +94,57 @@ func TestEndToEndAppendAndVerify(t *testing.T) {
 	}
 }
 
+func TestEndToEndBatchedProofs(t *testing.T) {
+	s := newStack(t)
+	var jsns []uint64
+	var want []hashutil.Digest
+	for i := 0; i < 20; i++ {
+		r, err := s.cli.Append([]byte(fmt.Sprintf("doc-%d", i)), "batch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsns = append(jsns, r.JSN)
+		want = append(want, r.TxHash)
+	}
+	recs, payloads, err := s.cli.VerifyExistenceBatch(jsns, true)
+	if err != nil {
+		t.Fatalf("VerifyExistenceBatch: %v", err)
+	}
+	if len(recs) != len(jsns) {
+		t.Fatalf("verified %d of %d records", len(recs), len(jsns))
+	}
+	for i, rec := range recs {
+		if rec.TxHash() != want[i] {
+			t.Fatalf("record %d differs from its receipt", i)
+		}
+		if string(payloads[i]) != fmt.Sprintf("doc-%d", i) {
+			t.Fatalf("payload %d = %q", i, payloads[i])
+		}
+	}
+	// Digest-only form ships no payloads.
+	_, payloads, err = s.cli.VerifyExistenceBatch(jsns[:3], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if p != nil {
+			t.Fatalf("digest-only batch shipped payload %d", i)
+		}
+	}
+
+	// Request-shape violations surface as HTTP errors, not panics.
+	over := make([]uint64, ledger.MaxProofBatch+1)
+	if _, _, err := s.cli.VerifyExistenceBatch(over, false); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	if _, _, err := s.cli.VerifyExistenceBatch(nil, false); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if _, _, err := s.cli.VerifyExistenceBatch([]uint64{1, 999}, false); !errors.Is(err, client.ErrHTTP) {
+		t.Fatalf("out-of-range batch: %v", err)
+	}
+}
+
 func TestEndToEndClueVerification(t *testing.T) {
 	s := newStack(t)
 	for i := 0; i < 9; i++ {

@@ -14,11 +14,18 @@ go vet ./...
 echo "== tests =="
 go test ./...
 
+echo "== tests (race: parallel verification path) =="
+go test -race -timeout 600s ./internal/ledger ./internal/audit
+
 echo "== tests (race) =="
 go test -race -timeout 600s ./...
 
 echo "== pipeline bench smoke =="
 go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
+
+echo "== audit/proof bench smoke =="
+go test -run xxx -bench BenchmarkAudit -benchtime 1x ./internal/audit > /dev/null
+go test -run xxx -bench 'BenchmarkProveExistence|BenchmarkExistenceBatch' -benchtime 1x ./internal/ledger > /dev/null
 
 echo "== examples =="
 for ex in examples/*/; do
