@@ -105,7 +105,9 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		os.Stdout.Write(p)
+		if _, err := os.Stdout.Write(p); err != nil {
+			fail("%v", err)
+		}
 		fmt.Println()
 	case "verify":
 		rec, payload, err := cli.VerifyExistence(argJSN(args), true)

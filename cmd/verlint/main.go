@@ -1,0 +1,63 @@
+// Command verlint runs the ledger-invariant static analyzer over the
+// module (see internal/lint and DESIGN.md §4.3). It is stdlib-only and
+// runs from source, so it works in the same offline environment as the
+// rest of the repository:
+//
+//	go run ./cmd/verlint ./...
+//	go run ./cmd/verlint ./internal/ledger ./internal/audit
+//	go run ./cmd/verlint -rules            # describe the rule set
+//
+// Findings print one per line as file:line: [rule] message, and the
+// process exits 1 when there are any — wired between `go vet` and the
+// tests in scripts/check.sh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ledgerdb/internal/lint"
+)
+
+func main() {
+	showRules := flag.Bool("rules", false, "print the rule set and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: verlint [-rules] [packages]\n\npackages are ./...-style patterns or directories (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *showRules {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%s  %s\n", r.Name(), r.Doc())
+		}
+		fmt.Printf("SUP suppression hygiene: //lint:ignore L<n> reason; reason-less or stale directives are findings\n")
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(lint.Options{Dir: ".", Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verlint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "verlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

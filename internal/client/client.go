@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"ledgerdb/internal/hashutil"
@@ -29,6 +30,8 @@ var (
 )
 
 // Client talks to one ledger service endpoint on behalf of one member.
+// A Client is safe for concurrent use once configured: the only mutable
+// state is the request nonce, which is drawn atomically.
 type Client struct {
 	BaseURL string
 	// HTTP is the transport; nil means http.DefaultClient.
@@ -51,7 +54,25 @@ type Client struct {
 	// subsequent attempt. Zero means 50ms.
 	RetryBackoff time.Duration
 
-	nonce uint64
+	nonce atomic.Uint64
+}
+
+// Clone returns a new Client with the same configuration, continuing
+// from the current nonce. Client values must not be copied directly
+// (the nonce counter is atomic and copy-protected); use Clone to derive
+// a variant, e.g. one pointed at a different BaseURL.
+func (c *Client) Clone() *Client {
+	n := &Client{
+		BaseURL:      c.BaseURL,
+		HTTP:         c.HTTP,
+		Key:          c.Key,
+		LSP:          c.LSP,
+		URI:          c.URI,
+		Retries:      c.Retries,
+		RetryBackoff: c.RetryBackoff,
+	}
+	n.nonce.Store(c.nonce.Load())
+	return n
 }
 
 type envelope struct {
@@ -158,13 +179,12 @@ func unb64(s string) ([]byte, error) {
 // Append signs and submits a normal journal, verifying the returned
 // receipt (π_s) against the pinned LSP key and the submitted hashes.
 func (c *Client) Append(payload []byte, clues ...string) (*journal.Receipt, error) {
-	c.nonce++
 	req := &journal.Request{
 		LedgerURI: c.URI,
 		Type:      journal.TypeNormal,
 		Clues:     clues,
 		Payload:   payload,
-		Nonce:     c.nonce,
+		Nonce:     c.nonce.Add(1),
 	}
 	if err := req.Sign(c.Key); err != nil {
 		return nil, err
@@ -202,12 +222,11 @@ func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 	}
 	encoded := make([]string, len(payloads))
 	for i, p := range payloads {
-		c.nonce++
 		req := &journal.Request{
 			LedgerURI: c.URI,
 			Type:      journal.TypeNormal,
 			Payload:   p,
-			Nonce:     c.nonce,
+			Nonce:     c.nonce.Add(1),
 		}
 		if clues != nil {
 			req.Clues = clues[i]

@@ -1,0 +1,153 @@
+package client
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/server"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/tledger"
+	"ledgerdb/internal/tsa"
+)
+
+// livePipelinedClient is liveClient with a staged commit pipeline behind
+// the server, so concurrent SDK calls land on a ledger that is itself
+// committing concurrently.
+func livePipelinedClient(t *testing.T, depth int) (*Client, *ledger.Ledger) {
+	t.Helper()
+	clock := logicalclock.New(900_000)
+	lsp := sig.GenerateDeterministic("cli-race-lsp")
+	authority := tsa.New("cli-race", tsa.Options{Clock: clock.Now})
+	tl, err := tledger.New(tledger.Config{Clock: clock.Now, Tolerance: 1_000, TSA: tsa.NewPool(authority)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ledger.Open(ledger.Config{
+		URI:           "ledger://cli-race",
+		FractalHeight: 6,
+		BlockSize:     8,
+		LSP:           lsp,
+		DBA:           sig.GenerateDeterministic("cli-race-dba").Public(),
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+		Clock:         clock.Tick,
+		PipelineDepth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(l, tl))
+	t.Cleanup(srv.Close)
+	return &Client{
+		BaseURL: srv.URL,
+		Key:     sig.GenerateDeterministic("cli-race-client"),
+		LSP:     lsp.Public(),
+		URI:     "ledger://cli-race",
+	}, l
+}
+
+// TestClientConcurrentUse shares ONE *Client across goroutines mixing
+// appends, batches, and verifying reads. The Client's only mutable
+// state is its atomically-drawn nonce, so under -race this pins down
+// the SDK's documented concurrency contract end to end: every receipt
+// must verify, and the final size must account for every acknowledged
+// request (a duplicated nonce would surface as a lost or rejected
+// append).
+func TestClientConcurrentUse(t *testing.T) {
+	const (
+		goroutines = 4
+		opsEach    = 12 // every 6th op is a 2-payload batch
+		batchEvery = 6
+		hotClue    = "hot"
+	)
+	c, _ := livePipelinedClient(t, 8)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		appended int
+		hot      int
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			myClue := fmt.Sprintf("g%d", g)
+			for i := 0; i < opsEach; i++ {
+				if i%batchEvery == batchEvery-1 {
+					payloads := [][]byte{
+						[]byte(fmt.Sprintf("batch/g%d/%d/a", g, i)),
+						[]byte(fmt.Sprintf("batch/g%d/%d/b", g, i)),
+					}
+					br, _, err := c.AppendBatch(payloads, [][]string{{myClue}, {hotClue}})
+					if err != nil {
+						t.Errorf("g%d batch %d: %v", g, i, err)
+						return
+					}
+					for _, jsn := range []uint64{br.FirstJSN, br.FirstJSN + 1} {
+						if _, _, err := c.VerifyExistence(jsn, true); err != nil {
+							t.Errorf("g%d verify batch jsn %d: %v", g, jsn, err)
+						}
+					}
+					mu.Lock()
+					appended += 2
+					hot++
+					mu.Unlock()
+					continue
+				}
+				r, err := c.Append([]byte(fmt.Sprintf("doc/g%d/%d", g, i)), myClue, hotClue)
+				if err != nil {
+					t.Errorf("g%d append %d: %v", g, i, err)
+					return
+				}
+				if _, _, err := c.VerifyExistence(r.JSN, true); err != nil {
+					t.Errorf("g%d verify jsn %d: %v", g, r.JSN, err)
+				}
+				mu.Lock()
+				appended++
+				hot++
+				mu.Unlock()
+				switch i % 4 {
+				case 1:
+					if _, err := c.State(); err != nil {
+						t.Errorf("g%d state: %v", g, err)
+					}
+				case 2:
+					if recs, err := c.VerifyClue(myClue, 0, 0); err != nil {
+						t.Errorf("g%d verify clue: %v", g, err)
+					} else if len(recs) == 0 {
+						t.Errorf("g%d verify clue: empty lineage after append", g)
+					}
+				case 3:
+					if _, err := c.ClueJSNs(hotClue); err != nil {
+						t.Errorf("g%d clue jsns: %v", g, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	_, size, _, _, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1 + appended); size != want {
+		t.Fatalf("size = %d, want %d (an atomic-nonce regression loses appends)", size, want)
+	}
+	recs, err := c.VerifyClue(hotClue, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != hot {
+		t.Fatalf("hot clue lineage has %d records, want %d", len(recs), hot)
+	}
+}

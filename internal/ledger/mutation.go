@@ -559,10 +559,17 @@ func (l *Ledger) PendingErasures() int {
 // first. These remain retrievable and verifiable after purges ("keep
 // historical block trades only").
 func (l *Ledger) Survivors() ([]*journal.Record, error) {
+	// The survival stream is append-only and internally synchronized, so
+	// the ledger lock only pins the endpoint: decode runs outside mu and
+	// an in-flight purge's survivors surface on the next call.
 	l.mu.RLock()
-	defer l.mu.RUnlock()
+	end := l.survival.Len()
+	l.mu.RUnlock()
 	var out []*journal.Record
-	err := l.survival.Iterate(0, func(_ uint64, raw []byte) error {
+	err := l.survival.Iterate(0, func(seq uint64, raw []byte) error {
+		if seq >= end {
+			return errStopIterate
+		}
 		rec, err := journal.DecodeRecord(raw)
 		if err != nil {
 			return err
@@ -570,5 +577,8 @@ func (l *Ledger) Survivors() ([]*journal.Record, error) {
 		out = append(out, rec)
 		return nil
 	})
+	if err == errStopIterate {
+		err = nil
+	}
 	return out, err
 }

@@ -443,6 +443,7 @@ func (l *Ledger) VerifyClueServer(clue string) error {
 	}
 	digests := make([]hashutil.Digest, 0, len(jsns))
 	for _, jsn := range jsns {
+		//lint:ignore L1 the clue index and digest prefix must be read under one lock epoch or a concurrent same-clue append fails the frontier check
 		raw, err := l.digests.Read(jsn)
 		if err != nil {
 			return err

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness: every fixture package under testdata/src carries
+// // want "regex" comments on the lines where findings must appear; the
+// regex is matched against "RULE: message". A finding with no matching
+// want, or a want with no matching finding, fails the test.
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// loadWants scans one fixture file for want comments, keyed by line.
+func loadWants(t *testing.T, path string) map[int][]*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]*expectation)
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, "// want ")
+		if idx < 0 {
+			continue
+		}
+		ms := wantQuoted.FindAllStringSubmatch(line[idx:], -1)
+		if len(ms) == 0 {
+			t.Fatalf("%s:%d: malformed want comment", path, i+1)
+		}
+		for _, m := range ms {
+			pat, err := strconv.Unquote(`"` + m[1] + `"`)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string: %v", path, i+1, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex: %v", path, i+1, err)
+			}
+			wants[i+1] = append(wants[i+1], &expectation{re: re})
+		}
+	}
+	return wants
+}
+
+// TestGolden runs the full rule set over the annotated fixture packages
+// (one per rule, each with positive and negative cases) in a single
+// analyzer pass and diffs findings against the want annotations.
+func TestGolden(t *testing.T) {
+	fixtures := []string{"l1", "l2", "l3", "l4", "l5"}
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "testdata/src/" + f
+	}
+	findings, err := Run(Options{Dir: ".", Patterns: patterns})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := make(map[string]map[int][]*expectation)
+	for _, f := range fixtures {
+		dir := filepath.Join("testdata", "src", f)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path, err := filepath.Abs(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants[path] = loadWants(t, path)
+		}
+	}
+
+	seenRule := make(map[string]bool)
+	for _, f := range findings {
+		seenRule[f.Rule] = true
+		text := f.Rule + ": " + f.Msg
+		matched := false
+		for _, e := range wants[f.Pos.Filename][f.Pos.Line] {
+			if !e.matched && e.re.MatchString(text) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, text)
+		}
+	}
+	for path, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no finding matched %q", path, line, e.re)
+				}
+			}
+		}
+	}
+	// Belt and braces: every rule must have fired at least once, so a
+	// rule that silently stops matching cannot pass on empty fixtures.
+	for _, r := range AllRules() {
+		if !seenRule[r.Name()] {
+			t.Errorf("rule %s produced no findings over its fixture", r.Name())
+		}
+	}
+}
+
+// lineOf returns the 1-based line of the nth (1-based) occurrence of
+// substr in the file.
+func lineOf(t *testing.T, path, substr string, nth int) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			nth--
+			if nth == 0 {
+				return i + 1
+			}
+		}
+	}
+	t.Fatalf("%s: occurrence %d of %q not found", path, nth, substr)
+	return 0
+}
+
+// TestSuppressions checks the //lint:ignore contract on its own fixture:
+// a reasoned directive suppresses, a reason-less one both fails to
+// suppress and is a finding, a stale one is a finding, and SUP is not a
+// suppressible rule.
+func TestSuppressions(t *testing.T) {
+	findings, err := Run(Options{Dir: ".", Patterns: []string{"testdata/src/sup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := filepath.Abs(filepath.Join("testdata", "src", "sup", "sup.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRule := make(map[string][]Finding)
+	for _, f := range findings {
+		if f.Pos.Filename != path {
+			t.Fatalf("finding outside fixture: %s", f)
+		}
+		byRule[f.Rule] = append(byRule[f.Rule], f)
+	}
+
+	// The reasoned suppression swallows the first clock read; the
+	// unreasoned one does not swallow the second.
+	if n := len(byRule["L3"]); n != 1 {
+		t.Fatalf("L3 findings = %d, want 1 (reasoned suppression must silence the first clock read): %v", n, byRule["L3"])
+	}
+	wantLine := lineOf(t, path, "time.Now().UnixNano()", 2)
+	if got := byRule["L3"][0].Pos.Line; got != wantLine {
+		t.Errorf("surviving L3 finding at line %d, want %d (the unreasoned directive's clock read)", got, wantLine)
+	}
+
+	var unreasoned, stale, malformed int
+	for _, f := range byRule["SUP"] {
+		switch {
+		case strings.Contains(f.Msg, "without a reason"):
+			unreasoned++
+			if want := lineOf(t, path, "//lint:ignore L3", 2); f.Pos.Line != want {
+				t.Errorf("reason-less SUP at line %d, want %d", f.Pos.Line, want)
+			}
+		case strings.Contains(f.Msg, "stale lint:ignore L4"):
+			stale++
+		case strings.Contains(f.Msg, "malformed lint:ignore"):
+			malformed++
+		default:
+			t.Errorf("unexpected SUP finding: %s", f)
+		}
+	}
+	if unreasoned != 1 || stale != 1 || malformed != 2 {
+		t.Errorf("SUP findings: unreasoned=%d stale=%d malformed=%d, want 1/1/2 (//lint:ignore SUP is itself malformed)", unreasoned, stale, malformed)
+	}
+	if len(findings) != len(byRule["L3"])+len(byRule["SUP"]) {
+		t.Errorf("unexpected non-L3/SUP findings: %v", findings)
+	}
+}
+
+// TestTreeClean is the acceptance gate in test form: the production tree
+// must lint clean, so `go test ./internal/lint` fails the moment a real
+// violation lands — not only when check.sh runs.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; covered by check.sh lint")
+	}
+	findings, err := Run(Options{Dir: "../..", Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestExpandPatterns pins the pattern grammar the CLI documents.
+func TestExpandPatterns(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ExpandPatterns(".", []string{"testdata/src/l1", "ledgerdb/internal/lint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ledgerdb/internal/lint/testdata/src/l1", "ledgerdb/internal/lint"}
+	if len(paths) != len(want) || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("ExpandPatterns = %v, want %v", paths, want)
+	}
+	if _, err := loader.ExpandPatterns(".", []string{"../../../outside"}); err == nil {
+		t.Fatal("pattern outside the module must be rejected")
+	}
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ruleL2 — unchecked errors on the verification path.
+//
+// Every Dasein check (§V) folds into an error return; a dropped error
+// silently converts "proof failed" into "proof passed". Two tiers:
+//
+//   - Calls whose name matches Verify*/Prove*/Check* must have every
+//     result consumed, module-wide — even an explicit blank assignment
+//     is a finding, because discarding a verification verdict is never a
+//     visible "decision", it is the bug (the PR 2 codec sweep holes were
+//     exactly this shape).
+//   - Any call returning an error must not appear as a bare statement
+//     (or go/defer) inside the proof-bearing packages listed in
+//     l2Scope. Explicit `_ =` is allowed there: it is at least visible
+//     in review.
+//
+// Exemptions: fmt (display, never load-bearing), methods of hash.Hash /
+// strings.Builder / bytes.Buffer (documented to never fail), and
+// deferred Close (the accepted teardown idiom).
+type ruleL2 struct{}
+
+func (ruleL2) Name() string { return "L2" }
+func (ruleL2) Doc() string {
+	return "errors from Verify*/Prove*/Check* and proof-path calls must be consumed"
+}
+
+// l2Scope lists the module-relative packages where ANY dropped error is
+// a finding (the paper-listed proof-bearing set, plus the bench and CLI
+// harnesses whose dropped errors have already hidden real failures).
+var l2Scope = []string{
+	"internal/ledger", "internal/audit", "internal/cmtree",
+	"internal/merkle", "internal/mpt", "internal/timepeg",
+	"internal/tledger", "internal/benchkit", "cmd",
+}
+
+// l2VerifyPrefix matches the verification-verdict naming convention.
+func l2VerifyName(name string) bool {
+	for _, p := range []string{"Verify", "Prove", "Check"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// l2Exempt reports whether a callee's error is conventionally ignorable.
+func l2Exempt(callee *types.Func) bool {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "fmt", "hash":
+		return true
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+func (ruleL2) Check(ctx *Context, pkg *Package) {
+	scoped := ctx.inScope(pkg.Path, l2Scope)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkL2Dropped(ctx, pkg, call, scoped, "")
+				}
+			case *ast.GoStmt:
+				checkL2Dropped(ctx, pkg, stmt.Call, scoped, "go ")
+			case *ast.DeferStmt:
+				if callee := calleeOf(pkg.Info, stmt.Call); callee != nil && callee.Name() == "Close" && !l2VerifyName(funcNameOf(stmt.Call)) {
+					return true // deferred Close: the accepted teardown idiom
+				}
+				checkL2Dropped(ctx, pkg, stmt.Call, scoped, "defer ")
+			case *ast.AssignStmt:
+				checkL2Blank(ctx, pkg, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// funcNameOf returns the syntactic name of the called function ("Verify",
+// "VerifyExistence"), or "" when the call target is not a simple name.
+func funcNameOf(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkL2Dropped handles a call whose results are entirely discarded.
+func checkL2Dropped(ctx *Context, pkg *Package, call *ast.CallExpr, scoped bool, how string) {
+	name := funcNameOf(call)
+	results := resultTypes(pkg.Info, call)
+	if results == nil {
+		return
+	}
+	if l2VerifyName(name) {
+		if results.Len() > 0 {
+			ctx.Report("L2", call.Pos(), "%sresult of %s dropped: a verification verdict must be checked", how, name)
+		}
+		return
+	}
+	if !scoped || len(errorIndexes(results)) == 0 {
+		return
+	}
+	callee := calleeOf(pkg.Info, call)
+	if callee != nil && l2Exempt(callee) {
+		return
+	}
+	// hash.Hash writers are documented never to fail; resolve through the
+	// receiver expression because Write arrives via the embedded io.Writer.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && tv.IsValue() && ctx.implementsHashHash(tv.Type) {
+			return
+		}
+	}
+	ctx.Report("L2", call.Pos(), "%serror from %s dropped on the floor", how, name)
+}
+
+// checkL2Blank flags blank-assigned verdicts of Verify*/Prove*/Check*
+// calls: `_ = VerifyX(...)` or `v, _ := ProveY(...)` where the blank
+// swallows an error or bool result.
+func checkL2Blank(ctx *Context, pkg *Package, stmt *ast.AssignStmt) {
+	// Tuple form: lhs... := f().
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok || !l2VerifyName(funcNameOf(call)) {
+			return
+		}
+		results := resultTypes(pkg.Info, call)
+		if results == nil || results.Len() != len(stmt.Lhs) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && isVerdictType(results.At(i).Type()) {
+				ctx.Report("L2", stmt.Pos(), "verdict of %s discarded with _", funcNameOf(call))
+				return
+			}
+		}
+		return
+	}
+	// Parallel form: a, b = f(), g().
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !l2VerifyName(funcNameOf(call)) {
+			continue
+		}
+		ctx.Report("L2", stmt.Pos(), "verdict of %s discarded with _", funcNameOf(call))
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isVerdictType reports whether a result type carries a verification
+// verdict: an error or a bool.
+func isVerdictType(t types.Type) bool {
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleL3 — hash determinism.
+//
+// Everything fed into the fam accumulator, the CM-Tree, the MPT, or a
+// wire encoding must be byte-deterministic, or replay/audit re-derives a
+// different root than commit produced (§III-A: the fam root is the
+// ledger's identity; §V: auditors recompute it from raw streams). Two
+// Go-specific hazards:
+//
+//   - Map iteration order is randomized per run. A `range m` whose body
+//     feeds a hash.Hash, a hashutil digest function, or a wire.Writer
+//     produces different bytes on every execution. (Collecting keys and
+//     sorting first is the fix — and is invisible to this rule, which
+//     only looks at direct feeds inside the loop body.)
+//   - time.Now() inside the commit/replay/audit packages: the paper's
+//     commit timestamp is part of the hashed record, so it must come
+//     from the injected Config.Clock — recovery replays records with
+//     their recorded timestamps, and audits must re-derive identical
+//     tx-hashes. A raw clock read anywhere on those paths is a latent
+//     divergence.
+type ruleL3 struct{}
+
+func (ruleL3) Name() string { return "L3" }
+func (ruleL3) Doc() string {
+	return "no map-iteration bytes into hashes/encoders; no time.Now() on commit/replay/audit paths"
+}
+
+// l3ClockScope is where raw clock reads are forbidden (module-relative).
+// benchkit and the CLIs read wall time legitimately (stopwatches, real
+// deployments); tsa IS a clock authority and injects its own.
+var l3ClockScope = []string{
+	"internal/ledger", "internal/audit", "internal/journal",
+	"internal/cmtree", "internal/mpt", "internal/merkle",
+	"internal/tledger", "internal/timepeg",
+}
+
+func (ruleL3) Check(ctx *Context, pkg *Package) {
+	clockScoped := ctx.inScope(pkg.Path, l3ClockScope)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.RangeStmt:
+				checkL3MapRange(ctx, pkg, node)
+			case *ast.CallExpr:
+				if clockScoped {
+					if callee := calleeOf(pkg.Info, node); callee != nil &&
+						callee.Pkg() != nil && callee.Pkg().Path() == "time" && callee.Name() == "Now" {
+						ctx.Report("L3", node.Pos(), "time.Now() on a commit/replay/audit path: inject the ledger Clock so replay and audit re-derive identical bytes")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkL3MapRange flags a range over a map whose body feeds a digest.
+func checkL3MapRange(ctx *Context, pkg *Package, rng *ast.RangeStmt) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	lits := funcLitRanges(rng.Body)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inRanges(call.Pos(), lits) {
+			return true
+		}
+		if what := l3HashFeed(ctx, pkg, call); what != "" {
+			ctx.Report("L3", rng.Pos(), "map iteration feeds %s: iteration order is randomized, so the digest differs across runs — sort the keys first", what)
+			return false
+		}
+		return true
+	})
+}
+
+// l3HashFeed classifies a call as writing into a digest or deterministic
+// encoding, returning a description or "".
+func l3HashFeed(ctx *Context, pkg *Package, call *ast.CallExpr) string {
+	callee := calleeOf(pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	path := callee.Pkg().Path()
+	switch {
+	case path == ctx.Loader.ModulePath+"/internal/hashutil":
+		return "hashutil." + callee.Name()
+	case path == ctx.Loader.ModulePath+"/internal/wire":
+		sig, _ := callee.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && isNamedType(sig.Recv().Type(), "wire", "Writer") {
+			return "a wire encoder (Writer." + callee.Name() + ")"
+		}
+	}
+	// Any method on a value implementing hash.Hash (sha256 digests etc.).
+	// The RECEIVER EXPRESSION's type is what matters: h.Write on a
+	// hash.Hash resolves to io.Writer's method through embedding, so the
+	// method's own receiver type would miss it.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && tv.IsValue() && ctx.implementsHashHash(tv.Type) {
+			return "a hash.Hash (" + shortFuncName(callee) + ")"
+		}
+	}
+	return ""
+}
+
+// implementsHashHash checks a receiver type against hash.Hash, importing
+// the interface through the same loader universe as the checked code so
+// type identity holds.
+func (ctx *Context) implementsHashHash(t types.Type) bool {
+	if ctx.hashIface == nil {
+		pkg, err := ctx.Loader.Import("hash")
+		if err != nil {
+			return false
+		}
+		obj := pkg.Scope().Lookup("Hash")
+		if obj == nil {
+			return false
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return false
+		}
+		ctx.hashIface = iface
+	}
+	if types.Implements(t, ctx.hashIface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), ctx.hashIface)
+}

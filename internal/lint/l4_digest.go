@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ruleL4 — digest and signature hygiene.
+//
+// Non-repudiation (§III-C) rests on two byte-level disciplines:
+//
+//   - A hashutil.Digest is an opaque 32-byte commitment. Slicing or
+//     truncating one (d[:8], d[4:]) silently weakens a 256-bit binding
+//     to a prefix collision; the only sanctioned projections are the
+//     full d[:] (transport) and the display helpers inside hashutil
+//     itself (Short for logs). L4 flags every partial slice of a Digest
+//     outside package hashutil.
+//   - ECDSA signatures are malleable and randomized: two valid
+//     signatures over the same digest differ byte-for-byte, and a
+//     byte-equal signature proves nothing a verification wouldn't. A
+//     ==/!= or bytes.Equal on sig.Signature outside package sig (whose
+//     IsZero is the sanctioned presence check) is either a broken
+//     dedupe or a fake verification; both have burned real systems.
+type ruleL4 struct{}
+
+func (ruleL4) Name() string { return "L4" }
+func (ruleL4) Doc() string {
+	return "no truncated digests; no ==/bytes.Equal on signatures outside package sig"
+}
+
+func (ruleL4) Check(ctx *Context, pkg *Package) {
+	rel := ctx.relPath(pkg.Path)
+	inHashutil := rel == "internal/hashutil"
+	inSig := rel == "internal/sig"
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SliceExpr:
+				if inHashutil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[node.X]
+				if !ok || !isNamedType(tv.Type, "hashutil", "Digest") {
+					return true
+				}
+				if node.Low != nil || node.High != nil {
+					ctx.Report("L4", node.Pos(), "truncated digest %s: a partial digest is a weakened commitment — transport the full d[:] or use Short() for display", exprText(node))
+				}
+			case *ast.BinaryExpr:
+				if inSig {
+					return true
+				}
+				if node.Op.String() != "==" && node.Op.String() != "!=" {
+					return true
+				}
+				if l4IsSignature(pkg, node.X) || l4IsSignature(pkg, node.Y) {
+					ctx.Report("L4", node.Pos(), "signature compared with %s: ECDSA signatures are malleable — verify with sig.Verify (or IsZero for presence)", node.Op)
+				}
+			case *ast.CallExpr:
+				if inSig {
+					return true
+				}
+				callee := calleeOf(pkg.Info, node)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "bytes" || callee.Name() != "Equal" {
+					return true
+				}
+				for _, arg := range node.Args {
+					if se, ok := ast.Unparen(arg).(*ast.SliceExpr); ok && l4IsSignature(pkg, se.X) {
+						ctx.Report("L4", node.Pos(), "signature compared with bytes.Equal: ECDSA signatures are malleable — verify with sig.Verify")
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func l4IsSignature(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && isNamedType(tv.Type, "sig", "Signature")
+}
+
+// exprText renders a short source form of an expression for messages.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.SliceExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleL5 — mutex-by-value.
+//
+// Copying a struct that (transitively) contains a sync.Mutex or RWMutex
+// forks the lock state: the copy's mutex starts unlocked regardless of
+// the original, so two goroutines can hold "the same" lock at once. The
+// Ledger, the committer, and the disk streams all embed mutexes; one
+// accidental value copy (a range over []Ledger, a value receiver, a
+// deref snapshot) silently voids every invariant L1 protects. This is
+// vet's copylocks with the net widened: named intermediates (type T S
+// where S embeds a mutex), arrays of lock-holding structs, and value
+// parameters/receivers at the declaration site are all flagged.
+//
+// A copy is only reported when the source is an EXISTING value (an
+// identifier, field, element, or dereference); composite literals and
+// call results are fresh values whose mutexes have never been locked.
+type ruleL5 struct{}
+
+func (ruleL5) Name() string { return "L5" }
+func (ruleL5) Doc() string {
+	return "no copying of structs containing sync.Mutex/RWMutex (incl. named intermediates)"
+}
+
+func (ruleL5) Check(ctx *Context, pkg *Package) {
+	c := &l5checker{ctx: ctx, pkg: pkg, cache: make(map[types.Type]bool)}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				c.checkSignature(node)
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					c.checkCopy(rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					c.checkCopy(v, "declaration copies")
+				}
+			case *ast.CallExpr:
+				for _, arg := range node.Args {
+					c.checkCopy(arg, "call passes by value")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range node.Results {
+					c.checkCopy(r, "return copies")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range node.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					c.checkCopy(elt, "composite literal copies")
+				}
+			case *ast.RangeStmt:
+				c.checkRange(node)
+			}
+			return true
+		})
+	}
+}
+
+type l5checker struct {
+	ctx   *Context
+	pkg   *Package
+	cache map[types.Type]bool
+}
+
+// containsLock reports whether t transitively embeds a sync mutex by
+// value (through named types, struct fields, and arrays; pointers stop
+// the walk).
+func (c *l5checker) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex") {
+		// A *Mutex is a reference, not a lock value.
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	if done, ok := c.cache[t]; ok {
+		return done
+	}
+	c.cache[t] = false // break recursion; overwritten below
+	var found bool
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields() && !found; i++ {
+			found = c.containsLock(u.Field(i).Type())
+		}
+	case *types.Array:
+		found = c.containsLock(u.Elem())
+	}
+	c.cache[t] = found
+	return found
+}
+
+// isExistingValue reports whether e denotes an already-live value whose
+// mutex may be held (vs a freshly constructed one).
+func isExistingValue(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (c *l5checker) checkCopy(e ast.Expr, how string) {
+	if !isExistingValue(e) {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[e]
+	if !ok || !tv.IsValue() || !c.containsLock(tv.Type) {
+		return
+	}
+	c.ctx.Report("L5", e.Pos(), "%s a value containing a sync mutex (%s): the copy's lock state diverges from the original", how, tv.Type.String())
+}
+
+// checkSignature flags value (non-pointer) parameters and receivers
+// whose type contains a mutex — every call would copy the lock.
+func (c *l5checker) checkSignature(fd *ast.FuncDecl) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			tv, ok := c.pkg.Info.Types[f.Type]
+			if !ok || !c.containsLock(tv.Type) {
+				continue
+			}
+			c.ctx.Report("L5", f.Type.Pos(), "%s of %s is a by-value mutex holder (%s): take a pointer", what, fd.Name.Name, tv.Type.String())
+		}
+	}
+	check(fd.Recv, "receiver")
+	if fd.Type != nil {
+		check(fd.Type.Params, "parameter")
+	}
+}
+
+// checkRange flags `for _, v := range xs` where the element copy holds a
+// mutex.
+func (c *l5checker) checkRange(rng *ast.RangeStmt) {
+	if rng.Value == nil || isBlank(rng.Value) {
+		return
+	}
+	// In the := form the value ident is a definition, so its type lives
+	// in Defs, not Types.
+	var t types.Type
+	if id, ok := rng.Value.(*ast.Ident); ok {
+		if obj := c.pkg.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		if tv, ok := c.pkg.Info.Types[rng.Value]; ok {
+			t = tv.Type
+		}
+	}
+	if t == nil || !c.containsLock(t) {
+		return
+	}
+	c.ctx.Report("L5", rng.Value.Pos(), "range copies a value containing a sync mutex (%s): iterate by index or over pointers", t.String())
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "L1".."L5", or "SUP" for suppression misuse
+	Msg  string
+}
+
+// String renders the finding in the canonical file:line: [rule] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// A Rule checks one ledger invariant over a type-checked package.
+type Rule interface {
+	// Name is the short identifier ("L1").
+	Name() string
+	// Doc is a one-line description shown by verlint -rules.
+	Doc() string
+	// Check walks pkg and reports findings through ctx.
+	Check(ctx *Context, pkg *Package)
+}
+
+// AllRules returns the full rule set in order.
+func AllRules() []Rule {
+	return []Rule{ruleL1{}, ruleL2{}, ruleL3{}, ruleL4{}, ruleL5{}}
+}
+
+// Context carries shared analysis state across rules: the loader (for
+// position and type information), the module-wide call graph, and the
+// accumulated findings.
+type Context struct {
+	Loader *Loader
+	graph  *callGraph
+
+	hashIface *types.Interface // lazily imported hash.Hash (L3)
+	findings  []Finding
+}
+
+// Report records a finding.
+func (ctx *Context) Report(rule string, pos token.Pos, format string, args ...any) {
+	ctx.findings = append(ctx.findings, Finding{
+		Pos:  ctx.Loader.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// relPath strips the module prefix from an import path, so rule scopes
+// read as "internal/ledger" regardless of the module name.
+func (ctx *Context) relPath(pkgPath string) string {
+	if pkgPath == ctx.Loader.ModulePath {
+		return "."
+	}
+	return strings.TrimPrefix(pkgPath, ctx.Loader.ModulePath+"/")
+}
+
+// isTestdata reports whether the package is one of the analyzer's own
+// golden-test fixtures. Testdata packages are always in scope for every
+// rule, so the fixtures can exercise scoped rules without living in the
+// production tree.
+func isTestdata(pkgPath string) bool {
+	return strings.Contains(pkgPath, "lint/testdata/")
+}
+
+// inScope reports whether a package (module-relative path) falls under
+// any of the given path prefixes.
+func (ctx *Context) inScope(pkgPath string, prefixes []string) bool {
+	if isTestdata(pkgPath) {
+		return true
+	}
+	rel := ctx.relPath(pkgPath)
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures a Run.
+type Options struct {
+	// Dir anchors module discovery and relative patterns ("." default).
+	Dir string
+	// Patterns are package patterns: ./..., relative dirs, import paths.
+	Patterns []string
+	// Rules overrides the rule set (nil means AllRules).
+	Rules []Rule
+}
+
+// Run loads the requested packages, applies every rule, then applies
+// //lint:ignore suppressions. Findings come back sorted by position.
+func Run(opts Options) ([]Finding, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.ExpandPatterns(dir, opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, p := range paths {
+		pkg, err := loader.LoadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	rules := opts.Rules
+	if rules == nil {
+		rules = AllRules()
+	}
+	ctx := &Context{Loader: loader}
+	// The call graph spans every module package loaded so far (targets
+	// plus their module dependencies), so L1 reachability sees through
+	// cross-package helpers.
+	ctx.graph = buildCallGraph(ctx, loader.Loaded())
+	for _, pkg := range targets {
+		for _, r := range rules {
+			r.Check(ctx, pkg)
+		}
+	}
+	findings := ctx.findings
+	for _, pkg := range targets {
+		findings = applySuppressions(loader.Fset, pkg, findings)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Rule < findings[j].Rule
+	})
+	return findings, nil
+}
+
+// ---- shared type helpers ----
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedInfo returns the declaring package path and type name of a
+// (possibly pointer-wrapped) named type.
+func namedInfo(t types.Type) (pkgPath, name string, ok bool) {
+	n, isNamed := deref(t).(*types.Named)
+	if !isNamed || n.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name(), true
+}
+
+// isNamedType reports whether t (or *t) is the named type pkgSuffix.name,
+// where pkgSuffix matches the end of the declaring package path (so both
+// "sync" and "ledgerdb/internal/sig" style packages resolve).
+func isNamedType(t types.Type, pkgSuffix, name string) bool {
+	p, n, ok := namedInfo(t)
+	if !ok || n != name {
+		return false
+	}
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// calleeOf resolves the called function or method object of a call
+// expression, when it is statically known.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// shortFuncName renders a callee as pkg.Func or pkg.(Type).Method for
+// findings.
+func shortFuncName(f *types.Func) string {
+	name := f.Name()
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if _, tn, ok := namedInfo(sig.Recv().Type()); ok {
+			name = tn + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// resultTypes returns the result tuple of a call's callee type.
+func resultTypes(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// errorIndexes returns the positions of error-typed results.
+func errorIndexes(results *types.Tuple) []int {
+	var out []int
+	for i := 0; i < results.Len(); i++ {
+		if types.Identical(results.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// funcLitRanges collects the position ranges of every function literal
+// under root. Rules that reason about "code that runs here" (lock
+// regions, map-range bodies) skip closure bodies: a literal defined in a
+// region may run later, on another goroutine, outside the lock.
+func funcLitRanges(root ast.Node) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func inRanges(pos token.Pos, ranges [][2]token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+// Package lint is verlint's engine: a from-scratch static analyzer for
+// the ledger-specific invariants that PRs 1–2 left implicit. It is built
+// only on the standard library (go/ast, go/parser, go/types) so the
+// module stays offline and dependency-free; cmd/verlint is the CLI and
+// DESIGN.md §4.3 maps every rule to the paper section it protects.
+//
+// The analyzer loads packages from source: module-local imports resolve
+// recursively through the same loader, standard-library imports through
+// the stdlib source importer. Each rule (l1_locks.go … l5_copylocks.go)
+// walks the typed ASTs and reports Findings; //lint:ignore suppressions
+// (suppress.go) are applied afterwards so that unused or reason-less
+// suppressions are themselves findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("ledgerdb/internal/ledger")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages from source. It
+// implements types.Importer so that module-local imports resolve through
+// itself (memoized); everything else is delegated to the stdlib source
+// importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package // by import path, fully loaded
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader finds the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The stdlib source importer honours build.Default. Cgo-flavoured
+	// files cannot be type-checked without running the cgo tool, so force
+	// the pure-Go variants (net's Go resolver etc.).
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+// Import implements types.Importer: module paths load through the
+// loader, all others through the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.isModulePath(path) {
+		p, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) isModulePath(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// DirToPath converts an absolute directory under the module root to its
+// import path.
+func (l *Loader) DirToPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadPath loads (or returns the memoized) package for a module import
+// path.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.ModuleRoot
+	if path != l.ModulePath {
+		dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	}
+	p, err := l.loadDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loadDir parses every non-test .go file in dir and type-checks the
+// result. Test files are excluded: verlint checks production invariants,
+// and external-test packages would need a second type-check pass.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Loaded returns every module package loaded so far (targets and their
+// module dependencies); rules that need a whole-module view (the L1 call
+// graph) consume this.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ExpandPatterns turns command-line package patterns into module import
+// paths. Supported: "./..." style recursive patterns, "./x/y" relative
+// directories, and bare import paths. Directories named "testdata" and
+// hidden directories are skipped by recursive patterns, matching the go
+// tool's behaviour.
+func (l *Loader) ExpandPatterns(cwd string, patterns []string) ([]string, error) {
+	cwd, err := filepath.Abs(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "..." || strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if base == "" || base == "." {
+				base = cwd
+			} else if !filepath.IsAbs(base) {
+				base = filepath.Join(cwd, base)
+			}
+			paths, err := l.walkPackages(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				if l.isModulePath(pat) {
+					// A bare import path like ledgerdb/internal/ledger.
+					p := pat
+					add(p)
+					continue
+				}
+				dir = filepath.Join(cwd, dir)
+			}
+			p, err := l.DirToPath(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// walkPackages finds every directory under base containing non-test .go
+// files.
+func (l *Loader) walkPackages(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			p, err := l.DirToPath(filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			if len(out) == 0 || out[len(out)-1] != p {
+				out = append(out, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

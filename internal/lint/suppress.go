@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppressions: a source line of the form
+//
+//	//lint:ignore L3 the Config.Clock default is the injection point
+//
+// silences findings of that one rule on the directive's own line or the
+// line immediately below (so it works both as a trailing comment and on
+// its own line above the statement). Two misuses are themselves
+// findings, reported under the SUP pseudo-rule:
+//
+//   - a directive with no reason (the reason is the audit trail — F*
+//     lemmas don't get admitted without a justification either), and
+//   - a stale directive that suppresses nothing (the code it excused has
+//     been fixed or moved; leaving it invites silent rot).
+//
+// SUP findings cannot themselves be suppressed.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\b\s*(.*)$`)
+
+type directive struct {
+	pos    token.Position
+	rule   string
+	reason string
+}
+
+// applySuppressions filters pkg's findings through its //lint:ignore
+// directives and appends SUP findings for reason-less or stale ones.
+func applySuppressions(fset *token.FileSet, pkg *Package, findings []Finding) []Finding {
+	var directives []directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := directive{pos: fset.Position(c.Pos())}
+				fields := strings.Fields(m[1])
+				if len(fields) > 0 {
+					d.rule = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				directives = append(directives, d)
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return findings
+	}
+	validRule := regexp.MustCompile(`^L[1-5]$`)
+	suppressed := make([]bool, len(findings))
+	for _, d := range directives {
+		switch {
+		case d.rule == "" || !validRule.MatchString(d.rule):
+			findings = append(findings, Finding{Pos: d.pos, Rule: "SUP",
+				Msg: "malformed lint:ignore: want //lint:ignore L<n> reason"})
+			continue
+		case d.reason == "":
+			// An unreasoned directive does not suppress: the reason is
+			// the contract.
+			findings = append(findings, Finding{Pos: d.pos, Rule: "SUP",
+				Msg: "lint:ignore " + d.rule + " without a reason: every suppression must say why"})
+			continue
+		}
+		matched := false
+		for i, f := range findings {
+			if f.Rule != d.rule || f.Pos.Filename != d.pos.Filename {
+				continue
+			}
+			if f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1 {
+				suppressed[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			findings = append(findings, Finding{Pos: d.pos, Rule: "SUP",
+				Msg: "stale lint:ignore " + d.rule + ": nothing fires here anymore — delete the directive"})
+		}
+	}
+	out := findings[:0]
+	for i, f := range findings {
+		if i < len(suppressed) && suppressed[i] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Package l3 is the golden fixture for rule L3 (hash determinism): map
+// iteration feeding digests/encoders, and raw clock reads.
+package l3
+
+import (
+	"crypto/sha256"
+	"sort"
+	"time"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+func famOverMap(m map[string][]byte) hashutil.Digest {
+	acc := hashutil.Zero
+	for _, v := range m { // want "L3: map iteration feeds hashutil"
+		acc = hashutil.Concat(acc, hashutil.Leaf(v))
+	}
+	return acc
+}
+
+func encodeMap(m map[string]uint64) []byte {
+	w := wire.NewWriter(0)
+	for _, v := range m { // want "L3: map iteration feeds a wire encoder"
+		w.Uvarint(v)
+	}
+	return w.Bytes()
+}
+
+func hashMap(m map[string][]byte) []byte {
+	h := sha256.New()
+	for _, v := range m { // want "L3: map iteration feeds a hash.Hash"
+		h.Write(v)
+	}
+	return h.Sum(nil)
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "L3: time.Now"
+}
+
+// Negative: collect, sort, then hash — the canonical fix.
+func hashSorted(m map[string][]byte) hashutil.Digest {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	acc := hashutil.Zero
+	for _, k := range keys {
+		acc = hashutil.Concat(acc, hashutil.Leaf(m[k]))
+	}
+	return acc
+}

@@ -1,0 +1,40 @@
+// Package l4 is the golden fixture for rule L4 (digest and signature
+// hygiene): truncated digests, byte-compared signatures.
+package l4
+
+import (
+	"bytes"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/sig"
+)
+
+func truncate(d hashutil.Digest) []byte {
+	return d[:8] // want "L4: truncated digest d"
+}
+
+func tail(d hashutil.Digest) []byte {
+	return d[4:] // want "L4: truncated digest d"
+}
+
+// Negative: the full projection is the sanctioned transport form.
+func full(d hashutil.Digest) []byte {
+	return d[:]
+}
+
+func sameSig(a, b sig.Signature) bool {
+	return a == b // want "L4: signature compared with =="
+}
+
+func diffSig(a, b sig.Signature) bool {
+	return a != b // want "L4: signature compared with !="
+}
+
+func sameSigBytes(a, b sig.Signature) bool {
+	return bytes.Equal(a[:], b[:]) // want "L4: signature compared with bytes.Equal"
+}
+
+// Negative: digests are commitments — byte equality is the point.
+func sameDigest(a, b hashutil.Digest) bool {
+	return a == b
+}

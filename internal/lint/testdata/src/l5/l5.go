@@ -1,0 +1,65 @@
+// Package l5 is the golden fixture for rule L5 (mutex-by-value copies),
+// including the named-intermediate case vet's copylocks misses.
+package l5
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapped is a named intermediate: no literal sync.Mutex field in sight,
+// but the lock still travels with every copy.
+type wrapped counter
+
+type box struct {
+	inner counter
+}
+
+var shared counter
+
+func byValueParam(c counter) int { // want "L5: parameter of byValueParam is a by-value mutex holder"
+	return c.n
+}
+
+func namedIntermediateParam(w wrapped) {} // want "L5: parameter of namedIntermediateParam is a by-value mutex holder"
+
+func (c counter) bump() int { // want "L5: receiver of bump is a by-value mutex holder"
+	return c.n + 1
+}
+
+func copies() {
+	var w wrapped
+	x := w // want "L5: assignment copies a value containing a sync mutex"
+	_ = x.n
+
+	b := box{inner: shared} // want "L5: composite literal copies a value containing a sync mutex"
+	_ = b.inner.n
+
+	byValueParam(shared) // want "L5: call passes by value"
+}
+
+func rangeCopies(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "L5: range copies a value containing a sync mutex"
+		total += c.n
+	}
+	return total
+}
+
+func snapshot() counter {
+	return shared // want "L5: return copies a value containing a sync mutex"
+}
+
+// Negative: pointers share the lock instead of forking it.
+func pointerIsFine() *counter {
+	p := &shared
+	p.n++
+	return p
+}
+
+// Negative: a fresh literal's mutex has never been locked.
+func freshValueIsFine() counter {
+	return counter{}
+}

@@ -1,0 +1,34 @@
+// Package sup is the golden fixture for suppression hygiene (the SUP
+// pseudo-rule). Expectations live in TestSuppressions rather than in
+// want comments, because a trailing comment on a directive line would
+// become part of the directive's reason.
+package sup
+
+import "time"
+
+// A reasoned suppression silences the finding entirely.
+func suppressedClock() int64 {
+	//lint:ignore L3 fixture: this clock read is the thing being suppressed
+	return time.Now().UnixNano()
+}
+
+// A reason-less directive does not suppress: both the original finding
+// and the SUP violation surface.
+func unreasonedClock() int64 {
+	//lint:ignore L3
+	return time.Now().UnixNano()
+}
+
+// A directive over code that violates nothing is stale.
+func staleIgnore() int {
+	//lint:ignore L4 fixture: nothing below truncates a digest
+	return 42
+}
+
+// SUP itself is not a suppressible rule.
+//
+//lint:ignore SUP be quiet
+func notARule() {}
+
+//lint:ignore
+func malformed() {}

@@ -69,7 +69,7 @@ func TestClientRetriesServiceUnavailable(t *testing.T) {
 	}))
 	defer flaky.Close()
 
-	cli := *s.cli
+	cli := s.cli.Clone()
 	cli.BaseURL = flaky.URL
 	cli.Retries = 3
 	cli.RetryBackoff = time.Millisecond

@@ -137,12 +137,13 @@ func (t *TLedger) Finalizations() int {
 // submitting ledger anchors it back as its time journal).
 func (t *TLedger) Submit(uri string, digest hashutil.Digest, clientTime int64) (*Entry, *journal.TimeAttestation, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	now := t.cfg.Clock()
 	if now >= clientTime+t.cfg.Tolerance {
+		t.mu.Unlock()
 		return nil, nil, fmt.Errorf("%w: τ_t=%d, τ_c=%d, τ_Δ=%d", ErrStale, now, clientTime, t.cfg.Tolerance)
 	}
 	if clientTime > now+t.cfg.Tolerance {
+		t.mu.Unlock()
 		return nil, nil, fmt.Errorf("%w: τ_c=%d, τ_t=%d", ErrFuture, clientTime, now)
 	}
 	e := &Entry{
@@ -154,6 +155,11 @@ func (t *TLedger) Submit(uri string, digest hashutil.Digest, clientTime int64) (
 	}
 	t.entries = append(t.entries, e)
 	t.acc.Append(e.digest())
+	t.mu.Unlock()
+	// The notary signature covers only (digest, now, key) — none of the
+	// shared state — so the T-Ledger's lock is released before the ECDSA
+	// work: concurrent submitters serialize on the entry append, not on
+	// each other's signing (verlint L1).
 	ta := &journal.TimeAttestation{Digest: digest, Timestamp: now, TSAPK: t.key.Public()}
 	s, err := t.key.Sign(ta.SignedDigest())
 	if err != nil {

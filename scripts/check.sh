@@ -1,52 +1,114 @@
 #!/usr/bin/env bash
-# Full verification pass: build, vet, tests (with race), every example,
-# and a quick pass of every experiment harness. This is what CI would
-# run.
+# Full verification pass: build, vet, verlint, tests (with race), fuzz
+# seed smoke, every example, and a quick pass of every experiment
+# harness. This is what CI would run.
+#
+# Stages are individually invocable:
+#
+#   scripts/check.sh          # everything (same as `all`)
+#   scripts/check.sh lint     # build + vet + verlint only
+#   scripts/check.sh fuzz     # 10s native fuzz smoke per wire decoder
+#   scripts/check.sh race     # the -race suites only
+#   scripts/check.sh all      # everything
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build =="
-go build ./...
+stage_build() {
+    echo "== build =="
+    go build ./...
+}
 
-echo "== vet =="
-go vet ./...
+stage_lint() {
+    echo "== vet =="
+    go vet ./...
 
-echo "== tests =="
-go test ./...
+    echo "== verlint (L1-L5 verification invariants) =="
+    go run ./cmd/verlint ./...
+}
 
-echo "== tests (race: parallel verification path) =="
-go test -race -timeout 600s ./internal/ledger ./internal/audit
+stage_tests() {
+    echo "== tests =="
+    go test ./...
+}
 
-echo "== tests (race) =="
-go test -race -timeout 600s ./...
+stage_fuzz() {
+    echo "== fuzz smoke (10s per wire decoder) =="
+    go test -run xxx -fuzz FuzzDecodeExistenceProof -fuzztime 10s ./internal/ledger > /dev/null
+    go test -run xxx -fuzz FuzzDecodeClueBundle -fuzztime 10s ./internal/ledger > /dev/null
+    go test -run xxx -fuzz FuzzDecodeReceipt -fuzztime 10s ./internal/ledger > /dev/null
+}
 
-echo "== pipeline bench smoke =="
-go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
+stage_race() {
+    echo "== tests (race: parallel verification path) =="
+    go test -race -timeout 600s ./internal/ledger ./internal/audit
 
-echo "== audit/proof bench smoke =="
-go test -run xxx -bench BenchmarkAudit -benchtime 1x ./internal/audit > /dev/null
-go test -run xxx -bench 'BenchmarkProveExistence|BenchmarkExistenceBatch' -benchtime 1x ./internal/ledger > /dev/null
+    echo "== tests (race: service e2e, shared-client SDK) =="
+    go test -race -timeout 600s ./internal/server ./internal/client
 
-echo "== examples =="
-for ex in examples/*/; do
-    echo "-- $ex"
-    go run "./$ex" > /dev/null
-done
+    echo "== tests (race: depth-16 staged pipeline read stress) =="
+    go test -race -timeout 600s -run 'TestPipelineDepth16ReadStress|TestPipelineStress' -count 2 ./internal/ledger
 
-echo "== cli smoke =="
-go build -o /tmp/ldbsrv-check ./cmd/ledgerdb-server
-go build -o /tmp/ldb-check ./cmd/ledgerdb
-/tmp/ldbsrv-check -addr 127.0.0.1:18421 -uri ledger://check &
-SRV=$!
-trap 'kill $SRV 2>/dev/null || true' EXIT
-sleep 1
-/tmp/ldb-check -server http://127.0.0.1:18421 -key-seed check append "hello" trail 2>/dev/null
-/tmp/ldb-check -server http://127.0.0.1:18421 verify 1 2>/dev/null
-/tmp/ldb-check -server http://127.0.0.1:18421 verify-anchored 1 2>/dev/null
-/tmp/ldb-check -server http://127.0.0.1:18421 verify-clue trail 2>/dev/null
-kill $SRV
+    echo "== tests (race) =="
+    go test -race -timeout 600s ./...
+}
 
-echo "== experiments (quick) =="
-go run ./cmd/bench all > /dev/null
+stage_bench() {
+    echo "== pipeline bench smoke =="
+    go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
 
-echo "ALL CHECKS PASSED"
+    echo "== audit/proof bench smoke =="
+    go test -run xxx -bench BenchmarkAudit -benchtime 1x ./internal/audit > /dev/null
+    go test -run xxx -bench 'BenchmarkProveExistence|BenchmarkExistenceBatch' -benchtime 1x ./internal/ledger > /dev/null
+}
+
+stage_examples() {
+    echo "== examples =="
+    for ex in examples/*/; do
+        echo "-- $ex"
+        go run "./$ex" > /dev/null
+    done
+}
+
+stage_cli() {
+    echo "== cli smoke =="
+    go build -o /tmp/ldbsrv-check ./cmd/ledgerdb-server
+    go build -o /tmp/ldb-check ./cmd/ledgerdb
+    /tmp/ldbsrv-check -addr 127.0.0.1:18421 -uri ledger://check &
+    SRV=$!
+    trap 'kill $SRV 2>/dev/null || true' EXIT
+    sleep 1
+    /tmp/ldb-check -server http://127.0.0.1:18421 -key-seed check append "hello" trail 2>/dev/null
+    /tmp/ldb-check -server http://127.0.0.1:18421 verify 1 2>/dev/null
+    /tmp/ldb-check -server http://127.0.0.1:18421 verify-anchored 1 2>/dev/null
+    /tmp/ldb-check -server http://127.0.0.1:18421 verify-clue trail 2>/dev/null
+    kill $SRV
+}
+
+stage_experiments() {
+    echo "== experiments (quick) =="
+    go run ./cmd/bench all > /dev/null
+}
+
+stage_all() {
+    stage_build
+    stage_lint
+    stage_tests
+    stage_fuzz
+    stage_race
+    stage_bench
+    stage_examples
+    stage_cli
+    stage_experiments
+    echo "ALL CHECKS PASSED"
+}
+
+case "${1:-all}" in
+    lint) stage_build; stage_lint ;;
+    fuzz) stage_fuzz ;;
+    race) stage_race ;;
+    all) stage_all ;;
+    *)
+        echo "usage: $0 [lint|fuzz|race|all]" >&2
+        exit 2
+        ;;
+esac
