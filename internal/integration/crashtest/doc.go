@@ -1,0 +1,15 @@
+// Package crashtest is the recovery torture harness: it drives a full
+// ledger workload (appends with clues and state, block cuts, time
+// anchors, purges, occults, reorganization) over a simulated disk image
+// (internal/streamfs/faultfs), freezes the image at randomized byte
+// offsets — mid-frame, mid-header, between a write and its fsync — then
+// reopens a fresh store from the frozen image and asserts that the
+// recovered ledger (a) retains every journal up to the last synced
+// commit point, (b) reproduces a byte-identical fam root and LedgerInfo
+// for that durable prefix, and (c) passes a full Dasein audit.
+//
+// Every failure prints a seeded-PRNG reproduction line; iterations are
+// deterministic given (seed, iteration). The package contains only
+// tests — this file exists so the package has a non-test compilation
+// unit.
+package crashtest

@@ -1,0 +1,191 @@
+package ledger
+
+import (
+	"fmt"
+
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/streamfs"
+)
+
+// This file implements the commit-point durability discipline (DESIGN.md
+// §4.4). The verification guarantees only hold for journals the ledger
+// can still produce after a crash, so every commit point — genesis,
+// block cut, purge decision, occult decision, time anchor — forces the
+// streams to stable storage before the operation is acknowledged or any
+// destructive step (truncation, payload erasure) runs.
+//
+// Sync order is part of the invariant:
+//
+//	survival → journals → digests → blocks
+//
+// Survivor copies become durable before the purge journal that retires
+// their originals; journal records before the digests that accumulate
+// them; and block headers last, so a durable header always covers
+// durable records. Recovery (recover.go) exploits the converse: any
+// stream suffix beyond the shortest of journals/digests is an
+// unacknowledged tail and is reconciled away.
+
+// syncCommitLocked flushes all four streams in commit order. A failed
+// flush latches l.failed: after a failed fsync nothing further can be
+// trusted to reach disk, so the engine refuses writes until reopened
+// (the reopen re-scans and the reconciliation trims the limbo suffix).
+func (l *Ledger) syncCommitLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	for _, s := range []streamfs.Stream{l.survival, l.journals, l.digests, l.blocks} {
+		if err := s.Sync(); err != nil {
+			l.failed = fmt.Errorf("ledger: commit-point sync: %w", err)
+			return l.failed
+		}
+	}
+	l.unsyncedApplied = 0
+	return nil
+}
+
+// syncAppliedLocked is the cheaper Config.SyncEvery flush between commit
+// points: journal and digest streams only (no block was cut, the other
+// streams did not move).
+func (l *Ledger) syncAppliedLocked() error {
+	for _, s := range []streamfs.Stream{l.journals, l.digests} {
+		if err := s.Sync(); err != nil {
+			l.failed = fmt.Errorf("ledger: record sync: %w", err)
+			return l.failed
+		}
+	}
+	l.unsyncedApplied = 0
+	return nil
+}
+
+// Sync forces everything committed so far to stable storage. It is the
+// durability hook for embedders (and the crash harness): after it
+// returns, a crash loses nothing acknowledged before the call.
+func (l *Ledger) Sync() error {
+	l.lockExclusive()
+	defer l.unlockExclusive()
+	return l.syncCommitLocked()
+}
+
+// reconcileStreams trims the journal, digest, and (if everything is
+// gone) block streams onto one durable prefix at open time, before the
+// recover-or-genesis decision. A crash between commit points may cut
+// the streams at different lengths — everything past the last flush is
+// unacknowledged, so the suffix beyond the shortest of journals/digests
+// is dropped. Headers past the prefix are trimmed during recover, where
+// they are decoded anyway.
+func (l *Ledger) reconcileStreams() error {
+	prefix := l.journals.Len()
+	if d := l.digests.Len(); d < prefix {
+		prefix = d
+	}
+	if err := l.journals.TruncateTail(prefix); err != nil {
+		return fmt.Errorf("ledger: reconcile journal stream: %w", err)
+	}
+	if err := l.digests.TruncateTail(prefix); err != nil {
+		return fmt.Errorf("ledger: reconcile digest stream: %w", err)
+	}
+	if prefix == 0 {
+		// Nothing survived: a fresh genesis will be written, so no block
+		// header may linger (none should — blocks sync last).
+		if err := l.blocks.TruncateTail(0); err != nil {
+			return fmt.Errorf("ledger: reconcile block stream: %w", err)
+		}
+	}
+	return nil
+}
+
+// completePurgeLocked performs the destructive half of a purge: payload
+// erasure and journal-prefix truncation. It runs only after the purge
+// journal and its pseudo genesis are durable (the purge "decision"), and
+// it is idempotent — recovery calls it again to roll an interrupted
+// purge forward. Blob deletes are no-ops for already-erased payloads,
+// and the refcounts it decrements were rebuilt by the same process
+// (Purge counts live records; recovery replay recounts them), so a
+// re-run converges on the same state.
+func (l *Ledger) completePurgeLocked(desc *PurgeDescriptor) error {
+	if desc.ErasePayloads {
+		survivors := make(map[uint64]bool, len(desc.Survivors))
+		for _, s := range desc.Survivors {
+			survivors[s] = true
+		}
+		for jsn := l.base; jsn < desc.Point; jsn++ {
+			if survivors[jsn] {
+				continue
+			}
+			raw, err := l.journals.Read(jsn)
+			if err != nil {
+				continue
+			}
+			rec, err := journal.DecodeRecord(raw)
+			if err != nil {
+				continue
+			}
+			// Content-addressed blobs may be shared with live journals;
+			// only unreferenced payloads are deleted.
+			if l.payloadRefs[rec.PayloadDigest] > 0 {
+				l.payloadRefs[rec.PayloadDigest]--
+			}
+			if l.payloadRefs[rec.PayloadDigest] == 0 {
+				if err := l.cfg.Blobs.Delete(rec.PayloadDigest); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := l.journals.Truncate(desc.Point); err != nil {
+		return err
+	}
+	l.base = desc.Point
+	if desc.EraseFamNodes {
+		l.fam.PruneBelow(desc.Point)
+	}
+	l.stateGen++ // the truncated prefix changes what proofs may reflect
+	return nil
+}
+
+// pendingPurgeLocked detects a purge that was decided — purge journal
+// and pseudo genesis both on the durable prefix — but whose destructive
+// half did not finish before a crash. A purge journal without its pseudo
+// genesis is NOT pending: the decision point is the durability of both
+// (they are synced together before any truncation), so a lone purge
+// journal from a torn tail stays inert on the ledger forever.
+func (l *Ledger) pendingPurgeLocked() (*PurgeDescriptor, error) {
+	var lastDesc *PurgeDescriptor
+	var lastJSN uint64
+	err := l.journals.Iterate(l.base, func(jsn uint64, raw []byte) error {
+		rec, err := journal.DecodeRecord(raw)
+		if err != nil {
+			return err
+		}
+		if rec.Type != journal.TypePurge {
+			return nil
+		}
+		extra, err := DecodePurgeExtra(rec.Extra)
+		if err != nil {
+			return err
+		}
+		lastDesc, lastJSN = extra.Desc, jsn
+		return nil
+	})
+	if err != nil || lastDesc == nil || lastDesc.Point <= l.base {
+		return nil, err
+	}
+	// The doubly-linked pseudo genesis sits immediately after the purge
+	// journal; its snapshot must name this purge back.
+	if lastJSN+1 >= l.nextJSN {
+		return nil, nil
+	}
+	raw, err := l.journals.Read(lastJSN + 1)
+	if err != nil {
+		return nil, nil // tail lost with the crash: purge not decided
+	}
+	rec, err := journal.DecodeRecord(raw)
+	if err != nil || rec.Type != journal.TypePseudoGenesis {
+		return nil, nil
+	}
+	info, err := DecodePseudoGenesis(rec.Extra)
+	if err != nil || info.PurgeJSN != lastJSN {
+		return nil, nil
+	}
+	return lastDesc, nil
+}

@@ -87,6 +87,14 @@ type Config struct {
 	// amortize signing; this switch exists for benchmarks comparing the
 	// two and as an escape hatch.
 	DisableStateCache bool
+	// SyncEvery mirrors streamfs.DiskOptions.SyncEvery at the engine
+	// level: in addition to the commit points that always flush (genesis,
+	// block cuts, purge/occult decisions, time anchors — DESIGN.md §4.4),
+	// a positive value also flushes the journal and digest streams after
+	// every N applied records, bounding how many acknowledged-but-unsynced
+	// appends a crash can lose between block cuts. Zero flushes at commit
+	// points only.
+	SyncEvery int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -150,6 +158,10 @@ type Ledger struct {
 	comm    *committer
 	failed  error
 
+	// unsyncedApplied counts records applied since the last stream flush,
+	// driving Config.SyncEvery. Guarded by mu.
+	unsyncedApplied int
+
 	// stateGen counts commit generations: it is bumped under mu by every
 	// mutation that could change what a SignedState or proof reflects
 	// (record apply, block cut, purge, occult, reorganize). stateSigs
@@ -189,6 +201,9 @@ func Open(cfg Config) (*Ledger, error) {
 		}
 		*open.dst = s
 	}
+	if err := l.reconcileStreams(); err != nil {
+		return nil, fmt.Errorf("ledger: open %s: %w", cfg.URI, err)
+	}
 	if l.digests.Len() > 0 {
 		if err := l.recover(); err != nil {
 			return nil, fmt.Errorf("ledger: recover %s: %w", cfg.URI, err)
@@ -219,8 +234,12 @@ func (l *Ledger) writeGenesis() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, err := l.appendLocked(req, nil)
-	return err
+	if _, err := l.appendLocked(req, nil); err != nil {
+		return err
+	}
+	// A ledger must never reopen without its genesis: flush before the
+	// first client request can be acknowledged.
+	return l.syncCommitLocked()
 }
 
 // URI returns the ledger identifier.
@@ -348,9 +367,14 @@ func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) 
 	l.nextJSN++
 	l.stateGen++
 	l.pendingCount++
+	l.unsyncedApplied++
 	if l.pendingCount >= uint64(l.cfg.BlockSize) {
 		if err := l.cutBlockLocked(); err != nil {
 			l.failed = err
+			return err
+		}
+	} else if l.cfg.SyncEvery > 0 && l.unsyncedApplied >= l.cfg.SyncEvery {
+		if err := l.syncAppliedLocked(); err != nil {
 			return err
 		}
 	}
@@ -439,7 +463,9 @@ func (l *Ledger) cutBlockLocked() error {
 	l.headers = append(l.headers, h)
 	l.pendingCount = 0
 	l.stateGen++
-	return nil
+	// A block cut is a commit point: the header and everything it covers
+	// must be durable before the cut is acknowledged (DESIGN.md §4.4).
+	return l.syncCommitLocked()
 }
 
 // Header returns the block header at height.
@@ -651,7 +677,16 @@ func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, erro
 	}
 	l.lockExclusive()
 	defer l.unlockExclusive()
-	return l.appendLocked(req, ta.EncodeBytes())
+	receipt, err := l.appendLocked(req, ta.EncodeBytes())
+	if err != nil {
+		return nil, err
+	}
+	// A time anchor is a commit point: the attested prefix and the time
+	// journal must survive a crash together (DESIGN.md §4.4).
+	if err := l.syncCommitLocked(); err != nil {
+		return nil, err
+	}
+	return receipt, nil
 }
 
 // AnchorTimeWith runs one two-way pegging round (Protocol 3) atomically:
@@ -688,7 +723,14 @@ func (l *Ledger) AnchorTimeWith(stamp func(hashutil.Digest) (*journal.TimeAttest
 	if err := req.Sign(l.cfg.LSP); err != nil {
 		return nil, err
 	}
-	return l.appendLocked(req, ta.EncodeBytes())
+	receipt, err := l.appendLocked(req, ta.EncodeBytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := l.syncCommitLocked(); err != nil {
+		return nil, err
+	}
+	return receipt, nil
 }
 
 // FamRootAt recomputes the fam root as it was when size journals had

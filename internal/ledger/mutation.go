@@ -286,44 +286,17 @@ func (l *Ledger) Purge(desc *PurgeDescriptor, ms *sig.MultiSig) (*journal.Receip
 	if _, err := l.appendLocked(greq, snap); err != nil {
 		return nil, err
 	}
-	// Physical erasure.
-	if desc.ErasePayloads {
-		survivors := make(map[uint64]bool, len(desc.Survivors))
-		for _, s := range desc.Survivors {
-			survivors[s] = true
-		}
-		for jsn := l.base; jsn < desc.Point; jsn++ {
-			if survivors[jsn] {
-				continue
-			}
-			raw, err := l.journals.Read(jsn)
-			if err != nil {
-				continue
-			}
-			rec, err := journal.DecodeRecord(raw)
-			if err != nil {
-				continue
-			}
-			// Content-addressed blobs may be shared with live journals;
-			// only unreferenced payloads are deleted.
-			if l.payloadRefs[rec.PayloadDigest] > 0 {
-				l.payloadRefs[rec.PayloadDigest]--
-			}
-			if l.payloadRefs[rec.PayloadDigest] == 0 {
-				if err := l.cfg.Blobs.Delete(rec.PayloadDigest); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if err := l.journals.Truncate(desc.Point); err != nil {
+	// The purge decision point: survivor copies, the purge journal, and
+	// the pseudo genesis must all be durable before anything is destroyed
+	// (DESIGN.md §4.4). A crash before this flush leaves the purge
+	// undecided (an inert purge journal at worst); a crash after it is
+	// rolled forward by recovery via the same completePurgeLocked.
+	if err := l.syncCommitLocked(); err != nil {
 		return nil, err
 	}
-	l.base = desc.Point
-	if desc.EraseFamNodes {
-		l.fam.PruneBelow(desc.Point)
+	if err := l.completePurgeLocked(desc); err != nil {
+		return nil, err
 	}
-	l.stateGen++ // the truncated prefix changes what proofs may reflect
 	return receipt, nil
 }
 
@@ -357,6 +330,12 @@ func (l *Ledger) Occult(desc *OccultDescriptor, ms *sig.MultiSig) (*journal.Rece
 	}
 	receipt, err := l.appendLocked(req, encodeWithSigs(desc.encode, ms))
 	if err != nil {
+		return nil, err
+	}
+	// The occult journal must be durable before its payload is erased:
+	// otherwise a crash could lose the authorization while the payload
+	// is already gone (DESIGN.md §4.4).
+	if err := l.syncCommitLocked(); err != nil {
 		return nil, err
 	}
 	l.occulted[desc.JSN] = true
@@ -463,6 +442,11 @@ func (l *Ledger) OccultClue(clue string, ms *sig.MultiSig) ([]uint64, error) {
 	if _, err := l.appendLocked(req, w.Bytes()); err != nil {
 		return nil, err
 	}
+	// Same decision-before-erasure ordering as Occult; the erasures are
+	// queued, but the queue only survives a crash through this journal.
+	if err := l.syncCommitLocked(); err != nil {
+		return nil, err
+	}
 	for _, jsn := range hidden {
 		l.occulted[jsn] = true
 		l.eraseQueue = append(l.eraseQueue, jsn)
@@ -538,6 +522,12 @@ func (l *Ledger) Reorganize() (int, error) {
 	defer l.mu.Unlock()
 	n := 0
 	for _, jsn := range l.eraseQueue {
+		// A purge may have truncated the journal out from under its
+		// queued erasure; the purge path already settled that payload's
+		// fate (erased or retained with the rest of the purged prefix).
+		if jsn < l.base {
+			continue
+		}
 		if err := l.erasePayloadLocked(jsn); err != nil {
 			return n, err
 		}

@@ -148,6 +148,9 @@ func DecodePseudoGenesis(b []byte) (*PseudoGenesisInfo, error) {
 }
 
 // recover rebuilds in-memory state from the streams after a restart.
+// Open has already reconciled the streams onto one durable prefix
+// (reconcileStreams); any block header covering trimmed records is
+// dropped here, where headers are decoded anyway.
 func (l *Ledger) recover() error {
 	// The digest stream is complete history: it sizes the fam tree and
 	// the jsn counter.
@@ -165,16 +168,30 @@ func (l *Ledger) recover() error {
 	l.nextJSN = l.digests.Len()
 	l.base = l.journals.Base()
 
-	// Rebuild block headers.
-	if err := l.blocks.Iterate(0, func(_ uint64, raw []byte) error {
+	// Rebuild block headers, dropping any header past the reconciled
+	// prefix. The sync order (blocks last) makes a durable header that
+	// covers undurable records impossible, but a trimmed journal tail can
+	// orphan headers that were themselves unsynced.
+	trim := false
+	var trimAt uint64
+	if err := l.blocks.Iterate(0, func(seq uint64, raw []byte) error {
 		h, err := DecodeBlockHeader(raw)
 		if err != nil {
 			return err
 		}
+		if h.FirstJSN+h.Count > l.nextJSN {
+			trim, trimAt = true, seq
+			return errStopIterate
+		}
 		l.headers = append(l.headers, h)
 		return nil
-	}); err != nil {
+	}); err != nil && err != errStopIterate {
 		return err
+	}
+	if trim {
+		if err := l.blocks.TruncateTail(trimAt); err != nil {
+			return fmt.Errorf("ledger: reconcile block stream: %w", err)
+		}
 	}
 	if n := len(l.headers); n > 0 {
 		l.pendingCount = l.nextJSN - (l.headers[n-1].FirstJSN + l.headers[n-1].Count)
@@ -196,14 +213,32 @@ func (l *Ledger) recover() error {
 		replayFrom = jsn + 1
 	}
 
-	return l.journals.Iterate(replayFrom, func(jsn uint64, raw []byte) error {
+	if err := l.journals.Iterate(replayFrom, func(jsn uint64, raw []byte) error {
 		rec, err := journal.DecodeRecord(raw)
 		if err != nil {
 			return fmt.Errorf("ledger: journal %d: %w", jsn, err)
 		}
 		l.replayRecord(rec)
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+
+	// Roll an interrupted purge forward: if the purge decision (purge
+	// journal + pseudo genesis) is on the durable prefix but the crash
+	// hit before truncation/erasure finished, complete it now. The
+	// replay above rebuilt payloadRefs over every live record, so the
+	// idempotent completePurgeLocked converges on the decided state.
+	desc, err := l.pendingPurgeLocked()
+	if err != nil {
+		return err
+	}
+	if desc != nil {
+		if err := l.completePurgeLocked(desc); err != nil {
+			return fmt.Errorf("ledger: roll purge forward: %w", err)
+		}
+	}
+	return nil
 }
 
 // clueNamesLocked lists clue names for snapshot building.

@@ -107,6 +107,17 @@ var l1Allowlist = map[string]string{
 	// The serial batch path admits, applies, and signs the whole batch in
 	// one exclusive section — that section is the batch commit (PR 1).
 	"internal/ledger.AppendBatch": "serial batch commit section",
+	// Commit-point durability (DESIGN.md §4.4): the fsyncs that make a
+	// commit point durable must run under the same lock section that
+	// created it, or a concurrent append could slip between commit and
+	// flush and be acknowledged without covering it.
+	"internal/ledger.syncCommitLocked":  "commit-point fsync is part of the commit section",
+	"internal/ledger.syncAppliedLocked": "SyncEvery flush is part of the apply section",
+	// The destructive half of a purge runs under the exclusive lock by
+	// the same stop-the-world argument as Purge itself; recovery reuses
+	// it pre-concurrency to roll a decided purge forward.
+	"internal/ledger.completePurgeLocked": "purge truncation/erasure is stop-the-world",
+	"internal/ledger.pendingPurgeLocked":  "recovery-time scan runs before any concurrency",
 }
 
 // l1SkipPackages are module-relative package prefixes L1 does not apply

@@ -2,11 +2,10 @@ package streamfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,11 +36,17 @@ type DiskOptions struct {
 	// SyncEvery forces an fsync after every N appends. Zero disables
 	// automatic syncing; callers then use Stream.Sync at commit points.
 	SyncEvery int
+	// FS is the backing file system. Nil means the operating system;
+	// crash tests inject a simulated disk image (faultfs).
+	FS FileSystem
 }
 
 func (o DiskOptions) withDefaults() DiskOptions {
 	if o.SegmentSize <= 0 {
 		o.SegmentSize = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -58,12 +63,14 @@ type diskStore struct {
 
 // OpenDisk opens (creating if needed) a disk store rooted at dir.
 // Existing streams are recovered: torn tails from a crash mid-append are
-// truncated away; interior corruption fails the open.
+// truncated away, a torn segment header from a crash mid-rollover drops
+// the empty tail segment; interior corruption fails the open.
 func OpenDisk(dir string, opts DiskOptions) (Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("streamfs: open %s: %w", dir, err)
 	}
-	return &diskStore{dir: dir, opts: opts.withDefaults(), streams: make(map[string]*diskStream)}, nil
+	return &diskStore{dir: dir, opts: opts, streams: make(map[string]*diskStream)}, nil
 }
 
 func (s *diskStore) Stream(name string) (Stream, error) {
@@ -92,13 +99,13 @@ func (s *diskStore) Streams() ([]string, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
-	ents, err := os.ReadDir(s.dir)
+	paths, err := s.opts.FS.Glob(pathJoin(s.dir, "*.seg.*"))
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[string]bool)
-	for _, e := range ents {
-		n := e.Name()
+	for _, p := range paths {
+		n := pathBase(p)
 		if i := strings.Index(n, ".seg."); i > 0 {
 			seen[n[:i]] = true
 		}
@@ -132,7 +139,7 @@ func (s *diskStore) Close() error {
 
 // segment describes one on-disk segment file.
 type segment struct {
-	index    int    // position in the file name, monotonically increasing
+	index    int // position in the file name, monotonically increasing
 	path     string
 	firstSeq uint64
 	offsets  []int64 // byte offset of each record frame
@@ -148,31 +155,56 @@ type diskStream struct {
 
 	mu       sync.RWMutex
 	segs     []*segment
-	active   *os.File // write handle on the last segment
-	base     uint64   // first readable sequence (advanced by Truncate)
-	next     uint64   // next sequence to assign
+	active   File   // write handle on the last segment
+	base     uint64 // first readable sequence (advanced by Truncate)
+	next     uint64 // next sequence to assign
 	unsynced int
+	// failed latches a write error whose on-disk damage could not be
+	// rolled back (a partial frame that would make in-memory offsets lie
+	// about the bytes that follow it). Every later Append refuses with
+	// it rather than compound the divergence; reads of the intact prefix
+	// keep working, and a reopen re-scans and repairs the tail.
+	failed error
 }
 
 func segPath(dir, name string, index int) string {
-	return filepath.Join(dir, fmt.Sprintf("%s.seg.%08d", name, index))
+	return pathJoin(dir, fmt.Sprintf("%s.seg.%08d", name, index))
 }
 
 func openDiskStream(dir, name string, opts DiskOptions) (*diskStream, error) {
-	pattern := filepath.Join(dir, name+".seg.*")
-	paths, err := filepath.Glob(pattern)
+	pattern := pathJoin(dir, name+".seg.*")
+	paths, err := opts.FS.Glob(pattern)
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(paths)
+	// A crash inside rollLocked's header write leaves a tail segment
+	// shorter than its fixed header. Such a segment holds no records —
+	// drop it (and repeat, defensively, should several empty tails have
+	// piled up) so the previous segment is scanned as the true tail
+	// instead of bricking the reopen with ErrCorrupt.
+	for len(paths) > 0 {
+		last := paths[len(paths)-1]
+		n, err := fileSize(opts.FS, last)
+		if err != nil {
+			return nil, err
+		}
+		if n >= segHeaderLen {
+			break
+		}
+		if err := opts.FS.Remove(last); err != nil {
+			return nil, err
+		}
+		paths = paths[:len(paths)-1]
+	}
 	st := &diskStream{dir: dir, name: name, opts: opts}
 	for i, p := range paths {
-		idx, err := strconv.Atoi(strings.TrimPrefix(filepath.Base(p), name+".seg."))
+		idx, err := strconv.Atoi(strings.TrimPrefix(pathBase(p), name+".seg."))
 		if err != nil {
 			return nil, fmt.Errorf("streamfs: stray segment file %s", p)
 		}
 		last := i == len(paths)-1
-		seg, err := scanSegment(p, idx, last)
+		seg, err := scanSegment(opts.FS, p, idx, last)
 		if err != nil {
 			return nil, err
 		}
@@ -181,13 +213,13 @@ func openDiskStream(dir, name string, opts DiskOptions) (*diskStream, error) {
 	if n := len(st.segs); n > 0 {
 		st.next = st.segs[n-1].lastSeq()
 		st.base = st.segs[0].firstSeq
-		f, err := os.OpenFile(st.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opts.FS.OpenAppend(st.segs[n-1].path)
 		if err != nil {
 			return nil, err
 		}
 		st.active = f
 	}
-	if b, err := readBaseMeta(dir, name); err != nil {
+	if b, err := readBaseMeta(opts.FS, dir, name); err != nil {
 		return nil, err
 	} else if b > st.base {
 		st.base = b
@@ -195,33 +227,46 @@ func openDiskStream(dir, name string, opts DiskOptions) (*diskStream, error) {
 	return st, nil
 }
 
+func fileSize(fsys FileSystem, path string) (int64, error) {
+	f, err := fsys.OpenRead(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.Size()
+}
+
 // scanSegment validates a segment file and builds its record index. When
 // tail is true, a torn final frame is repaired by truncation; otherwise
 // any damage is corruption.
-func scanSegment(path string, index int, tail bool) (*segment, error) {
-	f, err := os.Open(path)
+func scanSegment(fsys FileSystem, path string, index int, tail bool) (*segment, error) {
+	f, err := fsys.OpenRead(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	var hdr [segHeaderLen]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+	total, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if total < segHeaderLen {
+		// Interior segments always have full headers (the openDiskStream
+		// pre-pass removed header-torn tails before scanning).
+		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, path)
+	}
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, path)
 	}
 	if binary.BigEndian.Uint32(hdr[0:4]) != segMagic || binary.BigEndian.Uint32(hdr[4:8]) != segVersion {
 		return nil, fmt.Errorf("%w: %s: bad magic/version", ErrCorrupt, path)
 	}
 	seg := &segment{index: index, path: path, firstSeq: binary.BigEndian.Uint64(hdr[8:16])}
-	fi, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
-	total := fi.Size()
 	off := int64(segHeaderLen)
 	buf := make([]byte, frameHdrLen)
 	for off < total {
 		if total-off < frameHdrLen {
-			return repairTail(path, seg, off, tail)
+			return repairTail(fsys, path, seg, off, tail)
 		}
 		if _, err := f.ReadAt(buf, off); err != nil {
 			return nil, err
@@ -229,14 +274,14 @@ func scanSegment(path string, index int, tail bool) (*segment, error) {
 		n := int64(binary.BigEndian.Uint32(buf[0:4]))
 		want := binary.BigEndian.Uint32(buf[4:8])
 		if n > MaxRecordSize || off+frameHdrLen+n > total {
-			return repairTail(path, seg, off, tail)
+			return repairTail(fsys, path, seg, off, tail)
 		}
 		payload := make([]byte, n)
 		if _, err := f.ReadAt(payload, off+frameHdrLen); err != nil {
 			return nil, err
 		}
 		if crc32.Checksum(payload, castagnoli) != want {
-			return repairTail(path, seg, off, tail)
+			return repairTail(fsys, path, seg, off, tail)
 		}
 		seg.offsets = append(seg.offsets, off)
 		off += frameHdrLen + n
@@ -245,11 +290,11 @@ func scanSegment(path string, index int, tail bool) (*segment, error) {
 	return seg, nil
 }
 
-func repairTail(path string, seg *segment, off int64, tail bool) (*segment, error) {
+func repairTail(fsys FileSystem, path string, seg *segment, off int64, tail bool) (*segment, error) {
 	if !tail {
 		return nil, fmt.Errorf("%w: %s at offset %d (interior segment)", ErrCorrupt, path, off)
 	}
-	if err := os.Truncate(path, off); err != nil {
+	if err := fsys.Truncate(path, off); err != nil {
 		return nil, err
 	}
 	seg.size = off
@@ -262,6 +307,9 @@ func (st *diskStream) Append(record []byte) (uint64, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.failed != nil {
+		return 0, st.failed
+	}
 	seg := st.lastSeg()
 	if seg == nil || seg.size >= st.opts.SegmentSize {
 		var err error
@@ -274,7 +322,20 @@ func (st *diskStream) Append(record []byte) (uint64, error) {
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(record)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(record, castagnoli))
 	copy(frame[frameHdrLen:], record)
-	if _, err := st.active.Write(frame); err != nil {
+	if n, err := st.active.Write(frame); err != nil || n != len(frame) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		// A partial frame is on disk. Roll the file back to the last
+		// intact record so seg.offsets/seg.size stay truthful and the
+		// next append starts on a clean boundary; if even the rollback
+		// fails, poison the stream — the in-memory index no longer
+		// matches the file and only a reopen (which re-scans and repairs
+		// the tail) can be trusted.
+		if terr := st.active.Truncate(seg.size); terr != nil {
+			st.failed = fmt.Errorf("streamfs: append %s: %w (rollback failed: %v; stream needs reopen)", st.name, err, terr)
+			return 0, st.failed
+		}
 		return 0, fmt.Errorf("streamfs: append %s: %w", st.name, err)
 	}
 	seg.offsets = append(seg.offsets, seg.size)
@@ -284,7 +345,13 @@ func (st *diskStream) Append(record []byte) (uint64, error) {
 	st.unsynced++
 	if st.opts.SyncEvery > 0 && st.unsynced >= st.opts.SyncEvery {
 		if err := st.active.Sync(); err != nil {
-			return 0, err
+			// The record IS appended and seq assigned — report both, and
+			// latch the stream: after a failed fsync the kernel may have
+			// dropped the dirty pages, so nothing further can be trusted
+			// to land (callers decide whether seq reached disk by
+			// reopening and re-scanning).
+			st.failed = fmt.Errorf("streamfs: sync %s after append: %w (stream needs reopen)", st.name, err)
+			return seq, st.failed
 		}
 		st.unsynced = 0
 	}
@@ -304,7 +371,7 @@ func (st *diskStream) rollLocked() (*segment, error) {
 		idx = last.index + 1
 	}
 	path := segPath(st.dir, st.name, idx)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := st.opts.FS.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +406,7 @@ func (st *diskStream) Read(seq uint64) ([]byte, error) {
 	if seg == nil {
 		return nil, ErrNotFound
 	}
-	return readRecordAt(seg, seq)
+	return readRecordAt(st.opts.FS, seg, seq)
 }
 
 func (st *diskStream) findSeg(seq uint64) *segment {
@@ -350,8 +417,8 @@ func (st *diskStream) findSeg(seq uint64) *segment {
 	return st.segs[i]
 }
 
-func readRecordAt(seg *segment, seq uint64) ([]byte, error) {
-	f, err := os.Open(seg.path)
+func readRecordAt(fsys FileSystem, seg *segment, seq uint64) ([]byte, error) {
+	f, err := fsys.OpenRead(seg.path)
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +452,11 @@ func (st *diskStream) Len() uint64 {
 	return st.next
 }
 
+// Iterate walks [from, Len-at-start) in order. A Truncate racing the
+// iteration may purge records ahead of the cursor; those are skipped —
+// the iteration reflects records live at the moment each is read — not
+// reported as a spurious ErrNotFound (records cannot vanish any other
+// way, so a miss below the advanced base is always a concurrent purge).
 func (st *diskStream) Iterate(from uint64, fn func(uint64, []byte) error) error {
 	st.mu.RLock()
 	base, next := st.base, st.next
@@ -398,6 +470,18 @@ func (st *diskStream) Iterate(from uint64, fn func(uint64, []byte) error) error 
 	for seq := from; seq < next; seq++ {
 		rec, err := st.Read(seq)
 		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				st.mu.RLock()
+				b := st.base
+				st.mu.RUnlock()
+				if seq < b { // concurrent Truncate: jump over the purged gap
+					if b >= next {
+						return nil
+					}
+					seq = b - 1
+					continue
+				}
+			}
 			return err
 		}
 		if err := fn(seq, rec); err != nil {
@@ -423,7 +507,7 @@ func (st *diskStream) Truncate(before uint64) error {
 	for i, seg := range st.segs {
 		whole := seg.lastSeq() <= before
 		if whole && i < len(st.segs)-1 {
-			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			if err := st.opts.FS.Remove(seg.path); err != nil && !notExist(err) {
 				return err
 			}
 			continue
@@ -431,7 +515,59 @@ func (st *diskStream) Truncate(before uint64) error {
 		keep = append(keep, seg)
 	}
 	st.segs = keep
-	return writeBaseMeta(st.dir, st.name, st.base)
+	return writeBaseMeta(st.opts.FS, st.dir, st.name, st.base)
+}
+
+// TruncateTail discards records with sequence >= from. Crash-recovery
+// reconciliation only (ledger.recover drops unsynced stream suffixes so
+// the journal, digest, and block streams agree on one durable prefix);
+// never part of normal append-only operation.
+func (st *diskStream) TruncateTail(from uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if from >= st.next {
+		return nil
+	}
+	if from < st.base {
+		return fmt.Errorf("streamfs: truncate tail %s to %d below base %d", st.name, from, st.base)
+	}
+	// Drop whole segments past the cut, then cut within the segment
+	// holding `from` (if any records there survive, the segment stays).
+	for len(st.segs) > 0 {
+		seg := st.segs[len(st.segs)-1]
+		if seg.firstSeq < from || seg.firstSeq < st.base {
+			break
+		}
+		if st.active != nil {
+			st.active.Close()
+			st.active = nil
+		}
+		if err := st.opts.FS.Remove(seg.path); err != nil && !notExist(err) {
+			return err
+		}
+		st.segs = st.segs[:len(st.segs)-1]
+	}
+	if n := len(st.segs); n > 0 {
+		seg := st.segs[n-1]
+		if from < seg.lastSeq() {
+			cut := seg.offsets[from-seg.firstSeq]
+			if err := st.opts.FS.Truncate(seg.path, cut); err != nil {
+				return err
+			}
+			seg.offsets = seg.offsets[:from-seg.firstSeq]
+			seg.size = cut
+		}
+		if st.active == nil {
+			f, err := st.opts.FS.OpenAppend(seg.path)
+			if err != nil {
+				return err
+			}
+			st.active = f
+		}
+	}
+	st.next = from
+	st.failed = nil
+	return nil
 }
 
 func (st *diskStream) Sync() error {
@@ -440,8 +576,11 @@ func (st *diskStream) Sync() error {
 	if st.active == nil {
 		return nil
 	}
+	if err := st.active.Sync(); err != nil {
+		return err
+	}
 	st.unsynced = 0
-	return st.active.Sync()
+	return nil
 }
 
 func (st *diskStream) close() error {
@@ -460,22 +599,22 @@ func (st *diskStream) close() error {
 
 // Base-sequence metadata, persisted so Truncate survives restarts.
 
-func metaPath(dir, name string) string { return filepath.Join(dir, name+".base") }
+func metaPath(dir, name string) string { return pathJoin(dir, name+".base") }
 
-func writeBaseMeta(dir, name string, base uint64) error {
+func writeBaseMeta(fsys FileSystem, dir, name string, base uint64) error {
 	var b [12]byte
 	binary.BigEndian.PutUint64(b[0:8], base)
 	binary.BigEndian.PutUint32(b[8:12], crc32.Checksum(b[0:8], castagnoli))
 	tmp := metaPath(dir, name) + ".tmp"
-	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, b[:]); err != nil {
 		return err
 	}
-	return os.Rename(tmp, metaPath(dir, name))
+	return fsys.Rename(tmp, metaPath(dir, name))
 }
 
-func readBaseMeta(dir, name string) (uint64, error) {
-	b, err := os.ReadFile(metaPath(dir, name))
-	if os.IsNotExist(err) {
+func readBaseMeta(fsys FileSystem, dir, name string) (uint64, error) {
+	b, err := fsys.ReadFile(metaPath(dir, name))
+	if notExist(err) {
 		return 0, nil
 	}
 	if err != nil {

@@ -1,0 +1,485 @@
+// Package faultfs provides fault-injection machinery for crash-consistency
+// testing of the streamfs disk store and the ledger recovery path.
+//
+// Two layers are offered:
+//
+//   - Disk: a simulated disk image implementing streamfs.FileSystem with
+//     byte-exact fault injection — fail the Nth write, write only K of N
+//     bytes then error, fail the Nth sync, and "crash now" / "crash at
+//     global byte offset B" (freezing the image mid-frame or mid-header).
+//     A crashed image is reopened with Image, optionally dropping every
+//     unsynced suffix to model a lost write cache, and a fresh
+//     streamfs.OpenDisk over it exercises the real scan/repair code.
+//
+//   - Store / Stream / BlobStore decorators (wrap.go): op-level failpoints
+//     (fail the Nth Append, fail the Nth Sync, refuse everything after a
+//     crash) for tests that script failures at the API surface rather
+//     than the byte level.
+//
+// Everything is deterministic: faults are armed by operation/byte counts,
+// never by time or randomness, so a failing torture iteration replays
+// from its seed alone.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ledgerdb/internal/streamfs"
+)
+
+// Errors produced by injected faults.
+var (
+	// ErrCrashed is returned by every mutating operation once the disk has
+	// crashed (the image is frozen; only Image can revive it).
+	ErrCrashed = errors.New("faultfs: disk crashed")
+	// ErrInjected is the error carried by scripted write/sync/truncate
+	// failures.
+	ErrInjected = errors.New("faultfs: injected fault")
+)
+
+// CrashMode selects what survives a crash when the image is reopened.
+type CrashMode int
+
+const (
+	// TornWrite keeps every byte written before the crash point: the
+	// medium is honest but the final write may be cut mid-frame or
+	// mid-header. Models a crash with write-through storage.
+	TornWrite CrashMode = iota
+	// DropUnsynced additionally truncates each file to its length at the
+	// last successful Sync, modelling a volatile write cache lost on
+	// power failure. Metadata operations (create/remove/rename) are
+	// treated as immediately durable.
+	DropUnsynced
+)
+
+// file is one simulated file: its bytes plus the length that had been
+// made durable by the last successful sync.
+type file struct {
+	data   []byte
+	synced int64
+}
+
+// Disk is a simulated disk image with scriptable faults. It implements
+// streamfs.FileSystem. The zero value is not usable; call NewDisk.
+type Disk struct {
+	mu    sync.Mutex
+	files map[string]*file
+	dirs  map[string]bool
+
+	written int64 // global byte counter over all data writes, in order
+	crashAt int64 // crash when written would exceed this; -1 = disarmed
+	crashed bool
+
+	writeN    int64 // data writes seen so far (Write + WriteFile)
+	failWrite int64 // fail this write number outright; 0 = disarmed
+	shortAt   int64 // cut this write number short...
+	shortLen  int   // ...after this many bytes
+	syncN     int64
+	failSync  int64
+	truncN    int64
+	failTrunc int64
+}
+
+// NewDisk returns an empty, healthy disk image.
+func NewDisk() *Disk {
+	return &Disk{files: make(map[string]*file), dirs: make(map[string]bool), crashAt: -1}
+}
+
+// BytesWritten returns the global count of data bytes applied so far;
+// CrashAtByte offsets are in this coordinate space.
+func (d *Disk) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.written
+}
+
+// CrashAtByte arms a crash: the write that would push the global byte
+// counter past total is cut at exactly that offset (possibly mid-frame or
+// mid-header) and the disk freezes. Pass a value below BytesWritten to
+// crash on the very next write with zero bytes applied.
+func (d *Disk) CrashAtByte(total int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt = total
+}
+
+// CrashNow freezes the image immediately; every subsequent mutating
+// operation fails with ErrCrashed.
+func (d *Disk) CrashNow() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = true
+}
+
+// Crashed reports whether the disk has frozen.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// FailNthWrite makes the nth upcoming data write (1 = next) fail with
+// ErrInjected before any byte is applied.
+func (d *Disk) FailNthWrite(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWrite = d.writeN + int64(n)
+}
+
+// ShortNthWrite makes the nth upcoming data write apply only k bytes and
+// then fail with ErrInjected — the canonical torn write.
+func (d *Disk) ShortNthWrite(n, k int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.shortAt = d.writeN + int64(n)
+	d.shortLen = k
+}
+
+// FailNthSync makes the nth upcoming Sync fail with ErrInjected. The
+// file's synced length does not advance: under DropUnsynced the data is
+// lost at the next crash, modelling dirty pages dropped by a failed
+// fsync.
+func (d *Disk) FailNthSync(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failSync = d.syncN + int64(n)
+}
+
+// FailNthTruncate makes the nth upcoming truncate (file-handle or
+// path-level) fail with ErrInjected, leaving the bytes in place.
+func (d *Disk) FailNthTruncate(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failTrunc = d.truncN + int64(n)
+}
+
+// ClearFaults disarms every pending fault (but does not un-crash).
+func (d *Disk) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt = -1
+	d.failWrite, d.shortAt, d.shortLen, d.failSync, d.failTrunc = 0, 0, 0, 0, 0
+}
+
+// AllSynced reports whether every file's bytes are covered by a
+// successful sync — i.e. the image would survive a DropUnsynced crash
+// intact. The torture harness records its parity expectations only at
+// moments when this holds.
+func (d *Disk) AllSynced() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range d.files {
+		if f.synced < int64(len(f.data)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Image returns a fresh, healthy Disk holding a deep copy of the current
+// image as a crash in the given mode would leave it. The original stays
+// frozen (or untouched, if it never crashed); the copy carries no armed
+// faults.
+func (d *Disk) Image(mode CrashMode) *Disk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := NewDisk()
+	for p, f := range d.files {
+		keep := int64(len(f.data))
+		if mode == DropUnsynced && f.synced < keep {
+			keep = f.synced
+		}
+		cp := make([]byte, keep)
+		copy(cp, f.data[:keep])
+		n.files[p] = &file{data: cp, synced: keep}
+	}
+	for p := range d.dirs {
+		n.dirs[p] = true
+	}
+	return n
+}
+
+// --- streamfs.FileSystem ---
+
+func (d *Disk) MkdirAll(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.dirs[filepath.ToSlash(dir)] = true
+	return nil
+}
+
+func (d *Disk) Glob(pattern string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pat := filepath.ToSlash(pattern)
+	var out []string
+	for p := range d.files {
+		ok, err := path.Match(pat, p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (d *Disk) Create(p string) (streamfs.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	p = filepath.ToSlash(p)
+	if _, ok := d.files[p]; ok {
+		return nil, &fs.PathError{Op: "create", Path: p, Err: fs.ErrExist}
+	}
+	d.files[p] = &file{}
+	return &handle{d: d, path: p, write: true}, nil
+}
+
+func (d *Disk) OpenAppend(p string) (streamfs.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	p = filepath.ToSlash(p)
+	if _, ok := d.files[p]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrNotExist}
+	}
+	return &handle{d: d, path: p, write: true}, nil
+}
+
+func (d *Disk) OpenRead(p string) (streamfs.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p = filepath.ToSlash(p)
+	if _, ok := d.files[p]; !ok {
+		return nil, &fs.PathError{Op: "open", Path: p, Err: fs.ErrNotExist}
+	}
+	return &handle{d: d, path: p}, nil
+}
+
+func (d *Disk) Truncate(p string, size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.truncateLocked(filepath.ToSlash(p), size)
+}
+
+func (d *Disk) truncateLocked(p string, size int64) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.truncN++
+	if d.failTrunc != 0 && d.truncN == d.failTrunc {
+		return ErrInjected
+	}
+	f, ok := d.files[p]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: p, Err: fs.ErrNotExist}
+	}
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+		if f.synced > size {
+			f.synced = size
+		}
+	}
+	return nil
+}
+
+func (d *Disk) Remove(p string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	p = filepath.ToSlash(p)
+	if _, ok := d.files[p]; !ok {
+		return &fs.PathError{Op: "remove", Path: p, Err: fs.ErrNotExist}
+	}
+	delete(d.files, p)
+	return nil
+}
+
+func (d *Disk) Rename(oldPath, newPath string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	oldPath, newPath = filepath.ToSlash(oldPath), filepath.ToSlash(newPath)
+	f, ok := d.files[oldPath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldPath, Err: fs.ErrNotExist}
+	}
+	delete(d.files, oldPath)
+	d.files[newPath] = f
+	return nil
+}
+
+func (d *Disk) WriteFile(p string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	p = filepath.ToSlash(p)
+	f := &file{}
+	d.files[p] = f
+	n, err := d.applyWriteLocked(f, data)
+	if err != nil {
+		f.data = f.data[:n]
+		return err
+	}
+	// The FileSystem contract makes WriteFile durable on success (the
+	// real backend fsyncs before returning); a crash can still tear it
+	// mid-write above, in which case synced stays 0 and DropUnsynced
+	// discards the torn content.
+	f.synced = int64(len(f.data))
+	return nil
+}
+
+func (d *Disk) ReadFile(p string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[filepath.ToSlash(p)]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: p, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// applyWriteLocked runs one data write through the fault gates: outright
+// failure, short write, then the global-byte crash cut. It returns how
+// many bytes were applied to f.
+func (d *Disk) applyWriteLocked(f *file, p []byte) (int, error) {
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	d.writeN++
+	if d.failWrite != 0 && d.writeN == d.failWrite {
+		d.failWrite = 0
+		return 0, ErrInjected
+	}
+	allowed := len(p)
+	injected := false
+	if d.shortAt != 0 && d.writeN == d.shortAt {
+		d.shortAt = 0
+		if d.shortLen < allowed {
+			allowed = d.shortLen
+		}
+		injected = true
+	}
+	if d.crashAt >= 0 && d.written+int64(allowed) > d.crashAt {
+		allowed = int(d.crashAt - d.written)
+		if allowed < 0 {
+			allowed = 0
+		}
+		d.crashed = true
+	}
+	f.data = append(f.data, p[:allowed]...)
+	d.written += int64(allowed)
+	switch {
+	case d.crashed:
+		return allowed, ErrCrashed
+	case injected:
+		return allowed, ErrInjected
+	default:
+		return allowed, nil
+	}
+}
+
+// handle is one open file handle over the simulated disk. Write handles
+// append at end-of-file, matching the O_APPEND contract of the real
+// store.
+type handle struct {
+	d     *Disk
+	path  string
+	write bool
+}
+
+func (h *handle) file() (*file, error) {
+	f, ok := h.d.files[h.path]
+	if !ok {
+		return nil, &fs.PathError{Op: "io", Path: h.path, Err: fs.ErrNotExist}
+	}
+	return f, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return h.d.applyWriteLocked(f, p)
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (h *handle) Size() (int64, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(f.data)), nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	return h.d.truncateLocked(h.path, size)
+}
+
+func (h *handle) Sync() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.d.crashed {
+		return ErrCrashed
+	}
+	h.d.syncN++
+	if h.d.failSync != 0 && h.d.syncN == h.d.failSync {
+		h.d.failSync = 0
+		return ErrInjected
+	}
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	f.synced = int64(len(f.data))
+	return nil
+}
+
+func (h *handle) Close() error { return nil }

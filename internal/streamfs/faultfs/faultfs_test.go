@@ -1,0 +1,297 @@
+package faultfs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/streamfs/faultfs"
+)
+
+func openStore(t *testing.T, d *faultfs.Disk, opts streamfs.DiskOptions) streamfs.Store {
+	t.Helper()
+	opts.FS = d
+	s, err := streamfs.OpenDisk("streams", opts)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return s
+}
+
+func mustAppend(t *testing.T, st streamfs.Stream, rec []byte) uint64 {
+	t.Helper()
+	seq, err := st.Append(rec)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return seq
+}
+
+func TestDiskImageBasics(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{})
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, st, []byte(fmt.Sprintf("rec-%d", i)))
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.AllSynced() {
+		t.Fatal("AllSynced false after Sync")
+	}
+	// A healthy image round-trips through Image in both modes.
+	for _, mode := range []faultfs.CrashMode{faultfs.TornWrite, faultfs.DropUnsynced} {
+		s2 := openStore(t, d.Image(mode), streamfs.DiskOptions{})
+		st2, err := s2.Stream("j")
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if got := st2.Len(); got != 10 {
+			t.Fatalf("mode %v: Len = %d, want 10", mode, got)
+		}
+		if b, err := st2.Read(7); err != nil || string(b) != "rec-7" {
+			t.Fatalf("mode %v: Read(7) = %q, %v", mode, b, err)
+		}
+	}
+}
+
+func TestDropUnsyncedLosesTail(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, []byte("synced"))
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, []byte("volatile"))
+	d.CrashNow()
+	if _, err := st.Append([]byte("after")); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append after crash: %v, want ErrCrashed", err)
+	}
+
+	torn := openStore(t, d.Image(faultfs.TornWrite), streamfs.DiskOptions{})
+	tst, _ := torn.Stream("j")
+	if got := tst.Len(); got != 2 {
+		t.Fatalf("torn-write Len = %d, want 2", got)
+	}
+	drop := openStore(t, d.Image(faultfs.DropUnsynced), streamfs.DiskOptions{})
+	dst, _ := drop.Stream("j")
+	if got := dst.Len(); got != 1 {
+		t.Fatalf("drop-unsynced Len = %d, want 1 (unsynced record must be gone)", got)
+	}
+	if b, err := dst.Read(0); err != nil || string(b) != "synced" {
+		t.Fatalf("Read(0) = %q, %v", b, err)
+	}
+}
+
+// TestTornHeaderReopen is the regression test for the reopen brick: a
+// crash inside rollLocked's 16-byte header write used to leave a tail
+// segment shorter than segHeaderLen, which scanSegment rejected as
+// ErrCorrupt, making the store unopenable forever.
+func TestTornHeaderReopen(t *testing.T) {
+	d := faultfs.NewDisk()
+	// Segment capacity 64: the first 72-byte frame overflows it, so the
+	// second append must roll to a new segment.
+	s := openStore(t, d, streamfs.DiskOptions{SegmentSize: 64})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, make([]byte, 64))
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the very next write — the new segment's header — at 8 of 16 bytes.
+	d.CrashAtByte(d.BytesWritten() + 8)
+	if _, err := st.Append([]byte("x")); err == nil {
+		t.Fatal("append across crash succeeded")
+	}
+
+	img := d.Image(faultfs.TornWrite)
+	if files, _ := img.Glob("streams/j.seg.*"); len(files) != 2 {
+		t.Fatalf("crash image has %d segment files, want 2 (torn header present)", len(files))
+	}
+	s2 := openStore(t, img, streamfs.DiskOptions{SegmentSize: 64})
+	st2, err := s2.Stream("j")
+	if err != nil {
+		t.Fatalf("reopen after torn header: %v", err)
+	}
+	if got := st2.Len(); got != 1 {
+		t.Fatalf("Len after reopen = %d, want 1", got)
+	}
+	// The stream must be fully writable again: the next append re-rolls.
+	seq := mustAppend(t, st2, []byte("post-crash"))
+	if seq != 1 {
+		t.Fatalf("post-recovery append seq = %d, want 1", seq)
+	}
+	if b, err := st2.Read(1); err != nil || string(b) != "post-crash" {
+		t.Fatalf("Read(1) = %q, %v", b, err)
+	}
+}
+
+// TestShortWriteRollback is the regression test for append divergence: a
+// partial frame write used to leave seg.offsets/seg.size pointing past
+// repaired bytes, so every later record in the segment CRC-failed.
+func TestShortWriteRollback(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, []byte("alpha"))
+	d.ShortNthWrite(1, 3) // next frame write lands only 3 of its bytes
+	if _, err := st.Append([]byte("torn")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("short-write append error = %v, want ErrInjected", err)
+	}
+	// The failed append must leave no trace: the next record gets the
+	// failed record's sequence and reads back cleanly.
+	seq := mustAppend(t, st, []byte("beta"))
+	if seq != 1 {
+		t.Fatalf("append after short write seq = %d, want 1", seq)
+	}
+	for i, want := range []string{"alpha", "beta"} {
+		if b, err := st.Read(uint64(i)); err != nil || string(b) != want {
+			t.Fatalf("Read(%d) = %q, %v; want %q", i, b, err, want)
+		}
+	}
+	// And the on-disk bytes agree: a fresh scan sees exactly 2 records.
+	s2 := openStore(t, d.Image(faultfs.TornWrite), streamfs.DiskOptions{})
+	st2, _ := s2.Stream("j")
+	if got := st2.Len(); got != 2 {
+		t.Fatalf("rescan Len = %d, want 2", got)
+	}
+}
+
+// TestShortWriteRollbackFailurePoisons covers the fallback: when even the
+// rollback truncate fails, the stream must latch a sticky error instead
+// of serving appends from a lying index.
+func TestShortWriteRollbackFailurePoisons(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, []byte("alpha"))
+	d.ShortNthWrite(1, 3)
+	d.FailNthTruncate(1)
+	if _, err := st.Append([]byte("torn")); err == nil {
+		t.Fatal("append with failed rollback succeeded")
+	}
+	if _, err := st.Append([]byte("beta")); err == nil {
+		t.Fatal("poisoned stream accepted an append")
+	}
+	// Reads of the intact prefix keep working.
+	if b, err := st.Read(0); err != nil || string(b) != "alpha" {
+		t.Fatalf("Read(0) = %q, %v", b, err)
+	}
+	// A reopen re-scans, truncates the partial frame, and serves appends.
+	s2 := openStore(t, d.Image(faultfs.TornWrite), streamfs.DiskOptions{})
+	st2, _ := s2.Stream("j")
+	if got := st2.Len(); got != 1 {
+		t.Fatalf("reopen Len = %d, want 1", got)
+	}
+	if seq := mustAppend(t, st2, []byte("beta")); seq != 1 {
+		t.Fatalf("post-reopen append seq = %d, want 1", seq)
+	}
+}
+
+// TestSyncFailureKeepsSeq is the regression test for the lost sequence
+// number: when the post-append SyncEvery fsync failed, Append used to
+// return (0, err) even though the record had been written and its
+// sequence assigned — callers could not tell which jsn was in limbo.
+func TestSyncFailureKeepsSeq(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{SyncEvery: 1})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, []byte("alpha")) // sync 1 succeeds
+	d.FailNthSync(1)
+	seq, err := st.Append([]byte("beta"))
+	if err == nil {
+		t.Fatal("append with failed sync reported success")
+	}
+	if seq != 1 {
+		t.Fatalf("append with failed sync seq = %d, want 1 (the assigned sequence)", seq)
+	}
+	// After a failed fsync nothing further can be trusted to land; the
+	// stream must refuse more appends until reopened.
+	if _, err := st.Append([]byte("gamma")); err == nil {
+		t.Fatal("stream accepted append after failed fsync")
+	}
+}
+
+func TestFailNthWrite(t *testing.T) {
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{})
+	st, _ := s.Stream("j")
+	mustAppend(t, st, []byte("a"))
+	d.FailNthWrite(1)
+	if _, err := st.Append([]byte("b")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if seq := mustAppend(t, st, []byte("c")); seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+}
+
+func TestIterateToleratesConcurrentTruncate(t *testing.T) {
+	// Companion to the race test in streamfs: deterministic single-thread
+	// version — Truncate mid-iteration must not surface ErrNotFound.
+	d := faultfs.NewDisk()
+	s := openStore(t, d, streamfs.DiskOptions{SegmentSize: 64})
+	st, _ := s.Stream("j")
+	for i := 0; i < 20; i++ {
+		mustAppend(t, st, []byte(fmt.Sprintf("rec-%02d", i)))
+	}
+	var got []uint64
+	err := st.Iterate(0, func(seq uint64, rec []byte) error {
+		if seq == 2 {
+			if err := st.Truncate(10); err != nil {
+				return err
+			}
+		}
+		got = append(got, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	// Sequences 3..9 were purged under the cursor; the iteration must
+	// deliver 0,1,2 then resume at the new base.
+	want := []uint64{0, 1, 2, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScriptDecorators(t *testing.T) {
+	sc := faultfs.NewScript()
+	s := faultfs.WrapStore(streamfs.NewMemory(), sc)
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, []byte("a"))
+	sc.FailNthAppend(1)
+	if _, err := st.Append([]byte("b")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append = %v, want ErrInjected", err)
+	}
+	mustAppend(t, st, []byte("c"))
+	sc.FailNthSync(1)
+	if err := st.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	sc.CrashNow()
+	if _, err := st.Append([]byte("d")); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := st.Read(0); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	sc.Reset()
+	if b, err := st.Read(0); err != nil || string(b) != "a" {
+		t.Fatalf("read after reset = %q, %v", b, err)
+	}
+}

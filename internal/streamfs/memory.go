@@ -142,4 +142,18 @@ func (st *memStream) Truncate(before uint64) error {
 	return nil
 }
 
+func (st *memStream) TruncateTail(from uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	end := st.base + uint64(len(st.items))
+	if from >= end {
+		return nil
+	}
+	if from < st.base {
+		return ErrNotFound
+	}
+	st.items = st.items[:from-st.base]
+	return nil
+}
+
 func (st *memStream) Sync() error { return nil }

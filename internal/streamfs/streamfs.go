@@ -70,6 +70,11 @@ type Stream interface {
 	// fail with ErrNotFound. It implements the physical side of the
 	// ledger purge operation.
 	Truncate(before uint64) error
+	// TruncateTail discards all records with sequence >= from. It exists
+	// solely for crash-recovery reconciliation — dropping an unsynced
+	// suffix so sibling streams agree on one durable prefix — and must
+	// never be used on a stream that is serving appends.
+	TruncateTail(from uint64) error
 	// Sync forces durability of everything appended so far.
 	Sync() error
 }

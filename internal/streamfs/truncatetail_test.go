@@ -1,0 +1,104 @@
+package streamfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTruncateTail covers the crash-recovery reconciliation primitive:
+// dropping an unsynced suffix so sibling streams agree on one prefix.
+func TestTruncateTail(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			store := open(t)
+			defer store.Close()
+			st, err := store.Stream("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30; i++ {
+				if _, err := st.Append([]byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.TruncateTail(40); err != nil { // beyond end: no-op
+				t.Fatalf("TruncateTail(40): %v", err)
+			}
+			if err := st.TruncateTail(20); err != nil {
+				t.Fatalf("TruncateTail(20): %v", err)
+			}
+			if got := st.Len(); got != 20 {
+				t.Fatalf("Len = %d, want 20", got)
+			}
+			if _, err := st.Read(20); err == nil {
+				t.Fatal("Read(20) succeeded after tail truncation")
+			}
+			if b, err := st.Read(19); err != nil || string(b) != "rec-19" {
+				t.Fatalf("Read(19) = %q, %v", b, err)
+			}
+			// Appends continue from the cut: sequences are reassigned.
+			seq, err := st.Append([]byte("replacement"))
+			if err != nil || seq != 20 {
+				t.Fatalf("Append = %d, %v; want 20", seq, err)
+			}
+			if b, err := st.Read(20); err != nil || string(b) != "replacement" {
+				t.Fatalf("Read(20) = %q, %v", b, err)
+			}
+		})
+	}
+}
+
+// TestTruncateTailSegmentBoundaries exercises the disk store across
+// rollovers: cuts inside a segment, exactly at a segment boundary, and
+// down to the base must all leave a scannable, appendable stream.
+func TestTruncateTailSegmentBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir, DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ { // 24-byte frames over 64-byte segments: rolls often
+		if _, err := st.Append([]byte(fmt.Sprintf("payload-rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cut := range []uint64{20, 12, 3, 0} {
+		if err := st.TruncateTail(cut); err != nil {
+			t.Fatalf("TruncateTail(%d): %v", cut, err)
+		}
+		if got := st.Len(); got != cut {
+			t.Fatalf("Len after cut %d = %d", cut, got)
+		}
+		for s := uint64(0); s < cut; s++ {
+			if b, err := st.Read(s); err != nil || string(b) != fmt.Sprintf("payload-rec-%04d", s) {
+				t.Fatalf("Read(%d) after cut %d = %q, %v", s, cut, b, err)
+			}
+		}
+	}
+	// Still appendable from empty, and survives a reopen.
+	if seq, err := st.Append([]byte("fresh")); err != nil || seq != 0 {
+		t.Fatalf("Append after cut to 0 = %d, %v", seq, err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenDisk(dir, DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	st2, err := store2.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := st2.Read(0); err != nil || string(b) != "fresh" {
+		t.Fatalf("reopened Read(0) = %q, %v", b, err)
+	}
+	if got := st2.Len(); got != 1 {
+		t.Fatalf("reopened Len = %d, want 1", got)
+	}
+}

@@ -122,7 +122,18 @@ type StackOptions struct {
 	// units of committer-queue backpressure (0 = synchronous commits).
 	// Pipelined stacks must call Close to drain the pipeline.
 	PipelineDepth int
+	// Disk tunes the on-disk stream store when Dir is set (segment
+	// capacity, per-stream fsync cadence, injected file systems for
+	// crash tests). Ignored for in-memory stacks.
+	Disk DiskOptions
+	// SyncEvery is the engine-level flush cadence (ledger.Config
+	// .SyncEvery): commit points always sync; a positive value also
+	// syncs the journal/digest streams every N applied records.
+	SyncEvery int
 }
+
+// DiskOptions re-exports the stream-store tuning knobs.
+type DiskOptions = streamfs.DiskOptions
 
 // Stack is a complete local deployment: one ledger, its LSP and DBA
 // identities, a CA with a member registry, a TSA pool, and a T-Ledger.
@@ -210,7 +221,7 @@ func NewStack(opts StackOptions) (*Stack, error) {
 	store := streamfs.NewMemory()
 	blobs := streamfs.NewMemoryBlobs()
 	if opts.Dir != "" {
-		store, err = streamfs.OpenDisk(opts.Dir+"/streams", streamfs.DiskOptions{})
+		store, err = streamfs.OpenDisk(opts.Dir+"/streams", opts.Disk)
 		if err != nil {
 			return nil, err
 		}
@@ -230,6 +241,7 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		Store:         store,
 		Blobs:         blobs,
 		PipelineDepth: opts.PipelineDepth,
+		SyncEvery:     opts.SyncEvery,
 	})
 	if err != nil {
 		return nil, err

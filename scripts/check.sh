@@ -9,6 +9,7 @@
 #   scripts/check.sh lint     # build + vet + verlint only
 #   scripts/check.sh fuzz     # 10s native fuzz smoke per wire decoder
 #   scripts/check.sh race     # the -race suites only
+#   scripts/check.sh crash    # crash-recovery torture (1000 crash points)
 #   scripts/check.sh all      # everything
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +51,15 @@ stage_race() {
 
     echo "== tests (race) =="
     go test -race -timeout 600s ./...
+}
+
+stage_crash() {
+    echo "== crash-recovery torture (faultfs, 1000 randomized crash points) =="
+    CRASHTEST_ITERS=1000 go test -run TestCrashRecoveryTorture -count 1 ./internal/integration/crashtest
+
+    echo "== crash-recovery regressions (durability failpoints) =="
+    go test -run 'TestSerialCommitDurability|TestPurgeRollForwardAfterCrash|TestTornPurgeJournalStaysInert' -count 1 ./internal/integration/crashtest
+    go test -run 'TestTornHeaderReopen|TestShortWrite|TestSyncFailureKeepsSeq|TestDropUnsynced' -count 1 ./internal/streamfs/...
 }
 
 stage_bench() {
@@ -95,6 +105,7 @@ stage_all() {
     stage_tests
     stage_fuzz
     stage_race
+    stage_crash
     stage_bench
     stage_examples
     stage_cli
@@ -106,9 +117,10 @@ case "${1:-all}" in
     lint) stage_build; stage_lint ;;
     fuzz) stage_fuzz ;;
     race) stage_race ;;
+    crash) stage_crash ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|all]" >&2
         exit 2
         ;;
 esac
