@@ -7,15 +7,24 @@
 //
 //	ledgerdb-server [-addr :8420] [-uri ledger://demo] [-dir ./data]
 //	                [-height 15] [-block 128] [-dtau 1s] [-pipeline 256]
+//	                [-max-inflight 1024] [-req-timeout 30s] [-drain-timeout 30s]
 //
 // On startup it prints the LSP public key fingerprint clients must pin.
+// On SIGINT/SIGTERM it drains gracefully: /readyz flips to 503, new
+// requests are refused, in-flight requests finish, then the ledger
+// closes (committing every admitted group) before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ledgerdb/internal/ledger"
@@ -34,6 +43,9 @@ func main() {
 	block := flag.Int("block", 128, "journals per block")
 	dtau := flag.Duration("dtau", time.Second, "T-Ledger finalization period Δτ")
 	pipeline := flag.Int("pipeline", 256, "staged commit pipeline depth (0 = synchronous commits)")
+	maxInflight := flag.Int("max-inflight", 1024, "concurrent requests admitted before shedding 429 (0 = unlimited)")
+	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request handling timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
 	clock := func() int64 { return time.Now().UnixNano() }
@@ -97,8 +109,51 @@ func main() {
 		}
 	}()
 
+	srv := server.NewWithOptions(l, tl, server.Options{
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Listener-level timeouts: a slow-loris peer cannot hold a
+		// connection open indefinitely while it dribbles headers or
+		// ignores the response.
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * *reqTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if *reqTimeout <= 0 {
+		httpSrv.WriteTimeout = 2 * time.Minute
+	}
+
 	fmt.Printf("ledgerdb-server: serving %s on %s\n", *uri, *addr)
 	fmt.Printf("  LSP public key (pin this in clients): %s\n", lsp.Public().Fingerprint())
 	fmt.Printf("  journals: %d, blocks: %d, Δτ: %v\n", l.Size(), l.Height(), *dtau)
-	log.Fatal(http.ListenAndServe(*addr, server.New(l, tl)))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case s := <-sigCh:
+		log.Printf("received %v: draining", s)
+	}
+
+	// Graceful drain: stop admitting (readyz flips to 503), let
+	// in-flight requests finish, stop the listener, then close the
+	// ledger so every admitted commit group is durable before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		log.Printf("close ledger: %v", err)
+	}
 }

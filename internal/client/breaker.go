@@ -1,0 +1,131 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// circuit breaker is open.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// Breaker is a consecutive-transport-failure circuit breaker. Share one
+// *Breaker across the clients talking to the same endpoint. Only
+// transport-level failures count: an HTTP response of any status proves
+// the wire works, and the client's own context expiring proves nothing
+// about the server. After Threshold consecutive failures the breaker
+// opens and calls fail fast with ErrCircuitOpen; once Cooldown elapses
+// it goes half-open and admits a single probe, whose outcome closes or
+// re-opens the circuit. The zero value is ready to use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the breaker.
+	// Zero means 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// probe. Zero means 1s.
+	Cooldown time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// Allow reports whether an attempt may proceed, transitioning
+// open → half-open when the cooldown has elapsed. In half-open state
+// only one probe is admitted at a time.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	case breakerHalfOpen:
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Record reports an attempt's outcome. transportFailure must be true
+// only for failures that never produced an HTTP response and were not
+// caused by the caller's own context.
+func (b *Breaker) Record(transportFailure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !transportFailure {
+		b.state = breakerClosed
+		b.consecutive = 0
+		b.probing = false
+		return
+	}
+	if b.state == breakerHalfOpen {
+		// The probe failed: back to fully open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold() && b.state == breakerClosed {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State names the current state ("closed", "open", "half-open") for
+// tests and diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

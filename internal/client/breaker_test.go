@@ -1,0 +1,144 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestBreakerTripHalfOpenReset(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, Clock: clk.now}
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow %d: %v", i, err)
+		}
+		b.Record(true)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+	// Third consecutive failure trips it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open Allow = %v, want ErrCircuitOpen", err)
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: fully open again for another cooldown.
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("re-opened breaker admitted")
+	}
+
+	// Second cooldown, successful probe: closed and counters reset.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if b.State() != "closed" {
+		t.Fatalf("state after good probe = %s, want closed", b.State())
+	}
+	// The reset is complete: it takes a full threshold of new failures
+	// to trip again.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != "closed" {
+		t.Fatal("breaker re-tripped below threshold after reset")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := &Breaker{Threshold: 3, Clock: clk.now}
+	b.Record(true)
+	b.Record(true)
+	b.Record(false) // success breaks the streak
+	b.Record(true)
+	b.Record(true)
+	if b.State() != "closed" {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatal("three consecutive failures did not trip")
+	}
+}
+
+func TestClientFailsFastWhenBreakerOpen(t *testing.T) {
+	var hits atomic.Int64
+	tr := &failNTransport{inner: http.DefaultTransport}
+	tr.n.Store(1 << 30) // fail every attempt
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute, Clock: clk.now}
+	c := &Client{BaseURL: "http://invalid.test", HTTP: &http.Client{Transport: tr}, Retries: 0, Breaker: b}
+	noSleep(c)
+
+	for i := 0; i < 2; i++ {
+		if _, err := c.call("GET", "/v1/info", nil); err == nil {
+			t.Fatal("expected transport failure")
+		}
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open after consecutive transport failures", b.State())
+	}
+	// Open: calls fail fast without touching the transport.
+	before := tr.n.Load()
+	_, err := c.call("GET", "/v1/info", nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if tr.n.Load() != before {
+		t.Fatal("open breaker still hit the transport")
+	}
+
+	// HTTP error statuses do NOT count as transport failures: a 503
+	// closes the circuit again after the cooldown probe.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer srv.Close()
+	clk.advance(time.Minute)
+	c2 := &Client{BaseURL: srv.URL, Retries: 0, Breaker: b}
+	noSleep(c2)
+	if _, err := c2.call("GET", "/v1/info", nil); err == nil {
+		t.Fatal("expected 503 error")
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed (an HTTP response proves the wire works)", b.State())
+	}
+}

@@ -2,17 +2,27 @@
 // server). Every response that matters is re-verified locally: the
 // client decodes the server's deterministic wire blobs and runs the pure
 // verification functions, so a distrusted LSP cannot fake responses —
-// "verified at client side when LSP is distrusted" (§II-C).
+// "verified at client side when LSP is distrusted" (§II-C). The client
+// also treats the network itself as hostile: calls honor context
+// deadlines end to end, retries use capped full-jitter backoff and honor
+// Retry-After, ambiguous append outcomes are made safe to retry by
+// idempotency keys, a circuit breaker fails fast during outages, and any
+// response that fails a local check is returned as a TamperError
+// carrying the raw evidence.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,9 +39,15 @@ var (
 	ErrHTTP = errors.New("client: request failed")
 )
 
+// IdempotencyKeyHeader carries the client-computed request hash on
+// append POSTs so the server can dedup a retried submission whose first
+// response was lost.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
 // Client talks to one ledger service endpoint on behalf of one member.
 // A Client is safe for concurrent use once configured: the only mutable
-// state is the request nonce, which is drawn atomically.
+// state is the request nonce, which is drawn atomically from a counter
+// shared with every derived client (Clone, WithContext).
 type Client struct {
 	BaseURL string
 	// HTTP is the transport; nil means http.DefaultClient.
@@ -43,26 +59,60 @@ type Client struct {
 	LSP sig.PublicKey
 	// URI is the target ledger identifier.
 	URI string
-	// Retries re-attempts a call after a retryable failure: any 503 (the
-	// server refused before committing — e.g. a draining commit
-	// pipeline), and transport errors on GETs. POSTs are never
-	// transport-retried: an append whose response was lost may have
-	// committed, and resubmitting would double-append. Zero means no
-	// retries.
+	// Retries re-attempts a call after a retryable failure: 503/429 (the
+	// server refused before committing) and 502/504 (an intermediary
+	// failed), plus transport errors on GETs and on idempotency-keyed
+	// appends (the server dedups a resubmission, so an ambiguous lost
+	// response is safe to retry). Other POSTs are never transport-retried.
+	// Zero means no retries.
 	Retries int
-	// RetryBackoff is the delay before the first retry, doubling on each
-	// subsequent attempt. Zero means 50ms.
+	// RetryBackoff bounds the delay before the first retry; each actual
+	// wait is drawn uniformly from [0, bound] (full jitter) and the bound
+	// doubles per attempt up to MaxBackoff. A Retry-After header
+	// overrides the jittered wait. Zero means 50ms.
 	RetryBackoff time.Duration
+	// MaxBackoff caps the backoff bound (and any server-advertised
+	// Retry-After). Zero means 5s.
+	MaxBackoff time.Duration
+	// Timeout bounds each call (all retries included). Zero means no
+	// client-imposed deadline beyond Context's.
+	Timeout time.Duration
+	// Context is the base context for every call; nil means
+	// context.Background(). Use WithContext to derive a per-request
+	// client without mutating a shared one.
+	Context context.Context
+	// Breaker, when set, fails calls fast after consecutive transport
+	// failures. Share one *Breaker per endpoint.
+	Breaker *Breaker
 
-	nonce atomic.Uint64
+	// sleepFn and jitterFn are test seams for the retry loop.
+	sleepFn  func(ctx context.Context, d time.Duration) error
+	jitterFn func(bound time.Duration) time.Duration
+
+	nonceOnce sync.Once
+	nonce     *atomic.Uint64
 }
 
-// Clone returns a new Client with the same configuration, continuing
-// from the current nonce. Client values must not be copied directly
-// (the nonce counter is atomic and copy-protected); use Clone to derive
-// a variant, e.g. one pointed at a different BaseURL.
+// nextNonce draws a process-unique request nonce. The counter is lazily
+// allocated and shared by all clients derived from this one, so derived
+// clients can never reuse a nonce.
+func (c *Client) nextNonce() uint64 {
+	c.nonceOnce.Do(func() {
+		if c.nonce == nil {
+			c.nonce = new(atomic.Uint64)
+		}
+	})
+	return c.nonce.Add(1)
+}
+
+// Clone returns a new Client with the same configuration. The clone
+// shares this client's nonce counter (and Breaker, if any), so clones
+// may append concurrently without nonce collisions. Client values must
+// not be copied directly (the nonce counter is copy-protected); use
+// Clone to derive a variant, e.g. one pointed at a different BaseURL.
 func (c *Client) Clone() *Client {
-	n := &Client{
+	c.nextNonce() // force counter allocation so the clone shares it
+	return &Client{
 		BaseURL:      c.BaseURL,
 		HTTP:         c.HTTP,
 		Key:          c.Key,
@@ -70,8 +120,24 @@ func (c *Client) Clone() *Client {
 		URI:          c.URI,
 		Retries:      c.Retries,
 		RetryBackoff: c.RetryBackoff,
+		MaxBackoff:   c.MaxBackoff,
+		Timeout:      c.Timeout,
+		Context:      c.Context,
+		Breaker:      c.Breaker,
+		sleepFn:      c.sleepFn,
+		jitterFn:     c.jitterFn,
+		nonce:        c.nonce,
 	}
-	n.nonce.Store(c.nonce.Load())
+}
+
+// WithContext returns a derived client whose calls run under ctx
+// (sharing the nonce counter and breaker with the receiver). This is
+// the per-call cancellation/deadline mechanism:
+//
+//	rc, err := cli.WithContext(ctx).Append(payload, "clue")
+func (c *Client) WithContext(ctx context.Context) *Client {
+	n := c.Clone()
+	n.Context = ctx
 	return n
 }
 
@@ -97,7 +163,98 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) call(method, path string, body any) (*envelope, error) {
+// reply is one completed exchange: the decoded envelope plus enough raw
+// material to build TamperEvidence if a later check fails.
+type reply struct {
+	env        *envelope
+	status     int
+	httpStatus string
+	retryAfter time.Duration
+	method     string
+	path       string
+	reqBody    []byte
+	rawBody    []byte
+}
+
+// tamper wraps a failed local check into a TamperError carrying this
+// exchange's evidence.
+func (r *reply) tamper(check string, err error) error {
+	return &TamperError{
+		Evidence: &TamperEvidence{
+			Method:       r.method,
+			Path:         r.path,
+			Status:       r.status,
+			RequestBody:  r.reqBody,
+			ResponseBody: r.rawBody,
+			Check:        check,
+		},
+		Err: err,
+	}
+}
+
+// blob base64-decodes an envelope field, treating failure as tampering
+// (the server encodes these fields itself; they cannot be malformed in
+// an honest response).
+func (r *reply) blob(field, what string) ([]byte, error) {
+	b, err := base64.StdEncoding.DecodeString(field)
+	if err != nil {
+		return nil, r.tamper(what+" base64", fmt.Errorf("%w: base64: %v", ErrHTTP, err))
+	}
+	return b, nil
+}
+
+// retryableStatus reports whether a status is worth retrying: the
+// server (or an intermediary) refused before committing anything.
+// Everything else is a definitive answer — notably 404/410/451 for
+// missing/purged/occulted journals and 4xx request errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, // draining pipeline, closing ledger
+		http.StatusTooManyRequests, // load shed before admission
+		http.StatusBadGateway,      // intermediary failure
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.sleepFn != nil {
+		return c.sleepFn(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) jitter(bound time.Duration) time.Duration {
+	if c.jitterFn != nil {
+		return c.jitterFn(bound)
+	}
+	if bound <= 0 {
+		return 0
+	}
+	// Full jitter: uniform in [0, bound]. Decorrelated waits spread a
+	// thundering herd of clients retrying after the same outage.
+	return time.Duration(rand.Int63n(int64(bound) + 1))
+}
+
+func (c *Client) call(method, path string, body any) (*reply, error) {
+	return c.callIdem(method, path, body, "")
+}
+
+// callIdem performs one logical call with retries. idem, when set, is
+// the request's idempotency key: it makes transport-retrying a POST
+// safe, because the server dedups resubmissions of the same key.
+func (c *Client) callIdem(method, path string, body any, idem string) (*reply, error) {
 	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -106,108 +263,183 @@ func (c *Client) call(method, path string, body any) (*envelope, error) {
 		}
 		payload = buf
 	}
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		env, code, status, err := c.doOnce(method, path, payload)
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
+		rep, err := c.doOnce(ctx, method, path, payload, idem)
+		if c.Breaker != nil {
+			// Only failures that never produced an HTTP response — and
+			// were not the caller's own context expiring — count against
+			// the circuit.
+			c.Breaker.Record(err != nil && rep == nil && ctx.Err() == nil)
+		}
+		var retryAfter time.Duration
 		switch {
-		case err == nil && code == http.StatusOK:
-			return env, nil
+		case err == nil && rep.status == http.StatusOK:
+			return rep, nil
 		case err == nil:
-			lastErr = fmt.Errorf("%w: %s: %s", ErrHTTP, status, env.Error)
-			// 503 means the server refused before committing anything
-			// (e.g. its commit pipeline is draining) — safe to retry even
-			// for appends. Every other status is a definitive answer.
-			if code != http.StatusServiceUnavailable {
+			lastErr = fmt.Errorf("%w: %s: %s", ErrHTTP, rep.httpStatus, rep.env.Error)
+			if !retryableStatus(rep.status) {
 				return nil, lastErr
 			}
+			retryAfter = rep.retryAfter
 		default:
 			lastErr = err
-			if method != http.MethodGet {
-				// A lost response does not mean a lost commit; only
-				// idempotent reads are transport-retried.
+			var te *TamperError
+			if errors.As(err, &te) {
+				// A forged response must surface with its evidence, not
+				// be papered over by a retry that happens to verify.
+				return nil, lastErr
+			}
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			if method != http.MethodGet && idem == "" {
+				// A lost response does not mean a lost commit; without an
+				// idempotency key a non-idempotent call must not be
+				// resubmitted.
 				return nil, lastErr
 			}
 		}
 		if attempt >= c.Retries {
 			return nil, lastErr
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		wait := c.jitter(backoff)
+		if retryAfter > 0 {
+			// Honor the server's hint, bounded so a hostile header cannot
+			// stall the client past its own cap.
+			wait = retryAfter
+			if wait > maxBackoff {
+				wait = maxBackoff
+			}
+		}
+		if serr := c.sleep(ctx, wait); serr != nil {
+			return nil, fmt.Errorf("%w (last error: %v)", serr, lastErr)
+		}
+		// Double the bound with an overflow-proof cap.
+		if backoff > maxBackoff/2 {
+			backoff = maxBackoff
+		} else {
+			backoff *= 2
+		}
 	}
 }
 
-func (c *Client) doOnce(method, path string, payload []byte) (*envelope, int, string, error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, idem string) (*reply, error) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return nil, 0, "", err
+		return nil, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if idem != "" {
+		req.Header.Set(IdempotencyKeyHeader, idem)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, 0, "", fmt.Errorf("%w: %v", ErrHTTP, err)
+		return nil, fmt.Errorf("%w: %w", ErrHTTP, err)
 	}
 	defer resp.Body.Close()
-	var env envelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+	rawBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Truncated or reset mid-body: a transport failure, retryable
+		// where a lost response is retryable.
+		return nil, fmt.Errorf("%w: read body: %w", ErrHTTP, err)
+	}
+	rep := &reply{
+		env:        &envelope{},
+		status:     resp.StatusCode,
+		httpStatus: resp.Status,
+		method:     method,
+		path:       path,
+		reqBody:    payload,
+		rawBody:    rawBody,
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+			rep.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if err := json.Unmarshal(rawBody, rep.env); err != nil {
 		if resp.StatusCode != http.StatusOK {
 			// Error statuses may carry non-JSON bodies (proxies, caps).
-			return &env, resp.StatusCode, resp.Status, nil
+			return rep, nil
 		}
-		return nil, 0, "", fmt.Errorf("%w: decode: %v", ErrHTTP, err)
+		// rep is returned too so the caller can tell this apart from a
+		// transport failure (an HTTP response did arrive — the circuit
+		// breaker must not count it).
+		return rep, rep.tamper("envelope decode", fmt.Errorf("%w: decode: %v", ErrHTTP, err))
 	}
-	return &env, resp.StatusCode, resp.Status, nil
-}
-
-func unb64(s string) ([]byte, error) {
-	b, err := base64.StdEncoding.DecodeString(s)
-	if err != nil {
-		return nil, fmt.Errorf("%w: base64: %v", ErrHTTP, err)
-	}
-	return b, nil
+	return rep, nil
 }
 
 // Append signs and submits a normal journal, verifying the returned
 // receipt (π_s) against the pinned LSP key and the submitted hashes.
+// The submission carries an idempotency key (the signed request's
+// hash), so a retry after a lost response cannot double-append.
 func (c *Client) Append(payload []byte, clues ...string) (*journal.Receipt, error) {
 	req := &journal.Request{
 		LedgerURI: c.URI,
 		Type:      journal.TypeNormal,
 		Clues:     clues,
 		Payload:   payload,
-		Nonce:     c.nonce.Add(1),
+		Nonce:     c.nextNonce(),
 	}
 	if err := req.Sign(c.Key); err != nil {
 		return nil, err
 	}
-	env, err := c.call("POST", "/v1/append", map[string]string{
+	rep, err := c.callIdem("POST", "/v1/append", map[string]string{
 		"request": base64.StdEncoding.EncodeToString(req.EncodeBytes()),
-	})
+	}, journal.RequestKey(req.Hash()))
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Receipt)
+	raw, err := rep.blob(rep.env.Receipt, "receipt")
 	if err != nil {
 		return nil, err
 	}
 	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
 	if err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt decode", err)
 	}
 	if err := receipt.Verify(c.LSP); err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt signature", err)
 	}
 	if receipt.RequestHash != req.Hash() {
-		return nil, fmt.Errorf("%w: receipt acknowledges a different request", journal.ErrBadSignature)
+		return nil, rep.tamper("receipt request binding",
+			fmt.Errorf("%w: receipt acknowledges a different request", journal.ErrBadSignature))
 	}
 	return receipt, nil
 }
@@ -215,18 +447,21 @@ func (c *Client) Append(payload []byte, clues ...string) (*journal.Receipt, erro
 // AppendBatch signs and submits several payloads in one exchange (the
 // amortized write path). The batch receipt is verified against the
 // pinned LSP key and the returned tx-hash list; payloads[i] maps to jsn
-// FirstJSN+i.
+// FirstJSN+i. The submission carries an idempotency key derived from
+// all request hashes, so a retry after a lost response cannot
+// double-append the batch.
 func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.BatchReceipt, []hashutil.Digest, error) {
 	if clues != nil && len(clues) != len(payloads) {
 		return nil, nil, fmt.Errorf("%w: %d clue sets for %d payloads", journal.ErrBadRequest, len(clues), len(payloads))
 	}
 	encoded := make([]string, len(payloads))
+	reqHashes := make([]hashutil.Digest, len(payloads))
 	for i, p := range payloads {
 		req := &journal.Request{
 			LedgerURI: c.URI,
 			Type:      journal.TypeNormal,
 			Payload:   p,
-			Nonce:     c.nonce.Add(1),
+			Nonce:     c.nextNonce(),
 		}
 		if clues != nil {
 			req.Clues = clues[i]
@@ -235,12 +470,13 @@ func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 			return nil, nil, err
 		}
 		encoded[i] = base64.StdEncoding.EncodeToString(req.EncodeBytes())
+		reqHashes[i] = req.Hash()
 	}
-	env, err := c.call("POST", "/v1/append-batch", map[string]any{"requests": encoded})
+	rep, err := c.callIdem("POST", "/v1/append-batch", map[string]any{"requests": encoded}, journal.BatchRequestKey(reqHashes))
 	if err != nil {
 		return nil, nil, err
 	}
-	raw, err := unb64(env.Receipt)
+	raw, err := rep.blob(rep.env.Receipt, "batch receipt")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -257,58 +493,62 @@ func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 	for i := uint64(0); i < br.Count; i++ {
 		txHashes = append(txHashes, r.Digest())
 		if r.Err() != nil {
-			return nil, nil, r.Err()
+			return nil, nil, rep.tamper("batch receipt decode", r.Err())
 		}
 	}
 	if err := r.Finish(); err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("batch receipt decode", err)
 	}
 	if err := br.Verify(c.LSP, txHashes); err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("batch receipt signature", err)
 	}
 	return br, txHashes, nil
 }
 
 // State fetches and verifies the live signed state.
 func (c *Client) State() (*ledger.SignedState, error) {
-	env, err := c.call("GET", "/v1/state", nil)
+	rep, err := c.call("GET", "/v1/state", nil)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.State)
+	raw, err := rep.blob(rep.env.State, "state")
 	if err != nil {
 		return nil, err
 	}
 	st, err := ledger.DecodeSignedState(wire.NewReader(raw))
 	if err != nil {
-		return nil, err
+		return nil, rep.tamper("state decode", err)
 	}
 	if err := st.Verify(c.LSP); err != nil {
-		return nil, err
+		return nil, rep.tamper("state signature", err)
 	}
 	return st, nil
 }
 
 // GetJournal fetches a committed record (unverified metadata read).
 func (c *Client) GetJournal(jsn uint64) (*journal.Record, error) {
-	env, err := c.call("GET", fmt.Sprintf("/v1/journal/%d", jsn), nil)
+	rep, err := c.call("GET", fmt.Sprintf("/v1/journal/%d", jsn), nil)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Record)
+	raw, err := rep.blob(rep.env.Record, "record")
 	if err != nil {
 		return nil, err
 	}
-	return journal.DecodeRecord(raw)
+	rec, err := journal.DecodeRecord(raw)
+	if err != nil {
+		return nil, rep.tamper("record decode", err)
+	}
+	return rec, nil
 }
 
 // GetPayload fetches a journal's raw payload.
 func (c *Client) GetPayload(jsn uint64) ([]byte, error) {
-	env, err := c.call("GET", fmt.Sprintf("/v1/payload/%d", jsn), nil)
+	rep, err := c.call("GET", fmt.Sprintf("/v1/payload/%d", jsn), nil)
 	if err != nil {
 		return nil, err
 	}
-	return unb64(env.Payload)
+	return rep.blob(rep.env.Payload, "payload")
 }
 
 // VerifyExistence runs the full client-side what(+who) verification for
@@ -318,21 +558,21 @@ func (c *Client) VerifyExistence(jsn uint64, withPayload bool) (*journal.Record,
 	if withPayload {
 		path += "?payload=1"
 	}
-	env, err := c.call("GET", path, nil)
+	rep, err := c.call("GET", path, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "proof")
 	if err != nil {
 		return nil, nil, err
 	}
 	proof, err := ledger.DecodeExistenceProof(raw)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("existence proof decode", err)
 	}
 	rec, err := ledger.VerifyExistence(proof, c.LSP)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("existence proof verification", err)
 	}
 	return rec, proof.Payload, nil
 }
@@ -343,32 +583,34 @@ func (c *Client) VerifyExistence(jsn uint64, withPayload bool) (*journal.Record,
 // signed root. Returns the verified records (in jsns order) and their
 // payloads (nil entries for digest-only or occulted journals).
 func (c *Client) VerifyExistenceBatch(jsns []uint64, withPayload bool) ([]*journal.Record, [][]byte, error) {
-	env, err := c.call("POST", "/v1/proofs", map[string]any{
+	rep, err := c.call("POST", "/v1/proofs", map[string]any{
 		"jsns":    jsns,
 		"payload": withPayload,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "proof batch")
 	if err != nil {
 		return nil, nil, err
 	}
 	batch, err := ledger.DecodeExistenceProofBatch(raw)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("proof batch decode", err)
 	}
 	if len(batch.Items) != len(jsns) {
-		return nil, nil, fmt.Errorf("%w: %d proofs for %d jsns", ledger.ErrVerify, len(batch.Items), len(jsns))
+		return nil, nil, rep.tamper("proof batch shape",
+			fmt.Errorf("%w: %d proofs for %d jsns", ledger.ErrVerify, len(batch.Items), len(jsns)))
 	}
 	recs, err := ledger.VerifyExistenceBatch(batch, c.LSP)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("proof batch verification", err)
 	}
 	payloads := make([][]byte, len(recs))
 	for i, rec := range recs {
 		if rec.JSN != jsns[i] {
-			return nil, nil, fmt.Errorf("%w: proof %d is for jsn %d, want %d", ledger.ErrVerify, i, rec.JSN, jsns[i])
+			return nil, nil, rep.tamper("proof batch jsn binding",
+				fmt.Errorf("%w: proof %d is for jsn %d, want %d", ledger.ErrVerify, i, rec.JSN, jsns[i]))
 		}
 		payloads[i] = batch.Items[i].Payload
 	}
@@ -379,15 +621,19 @@ func (c *Client) VerifyExistenceBatch(jsns []uint64, withPayload bool) ([]*journ
 // caller must audit the ledger up to the anchor before trusting it;
 // after that, VerifyExistenceAnchored uses near-constant-size proofs.
 func (c *Client) FetchAnchor() (*fam.Anchor, error) {
-	env, err := c.call("GET", "/v1/anchor", nil)
+	rep, err := c.call("GET", "/v1/anchor", nil)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "anchor")
 	if err != nil {
 		return nil, err
 	}
-	return fam.DecodeAnchor(wire.NewReader(raw))
+	a, err := fam.DecodeAnchor(wire.NewReader(raw))
+	if err != nil {
+		return nil, rep.tamper("anchor decode", err)
+	}
+	return a, nil
 }
 
 // VerifyExistenceAnchored is VerifyExistence in the fam-aoa regime: the
@@ -401,72 +647,76 @@ func (c *Client) VerifyExistenceAnchored(jsn uint64, anchor *fam.Anchor, withPay
 	}
 	wr := wire.NewWriter(256)
 	anchor.Encode(wr)
-	env, err := c.call("POST", path, map[string]string{
+	rep, err := c.call("POST", path, map[string]string{
 		"anchor": base64.StdEncoding.EncodeToString(wr.Bytes()),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "anchored proof")
 	if err != nil {
 		return nil, nil, err
 	}
 	proof, err := ledger.DecodeExistenceProof(raw)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("anchored proof decode", err)
 	}
 	rec, err := ledger.VerifyExistenceAnchored(proof, c.LSP, anchor)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep.tamper("anchored proof verification", err)
 	}
 	return rec, proof.Payload, nil
 }
 
 // ClueJSNs lists a clue's journal sequence numbers.
 func (c *Client) ClueJSNs(clue string) ([]uint64, error) {
-	env, err := c.call("GET", "/v1/clue/"+clue+"/jsns", nil)
+	rep, err := c.call("GET", "/v1/clue/"+clue+"/jsns", nil)
 	if err != nil {
 		return nil, err
 	}
-	return env.JSNs, nil
+	return rep.env.JSNs, nil
 }
 
 // VerifyClue runs the client-side lineage verification of §IV-C for a
 // version range (end = 0 means the whole clue). It returns the verified
 // records.
 func (c *Client) VerifyClue(clue string, begin, end uint64) ([]*journal.Record, error) {
-	env, err := c.call("GET", fmt.Sprintf("/v1/clue/%s/proof?begin=%d&end=%d", clue, begin, end), nil)
+	rep, err := c.call("GET", fmt.Sprintf("/v1/clue/%s/proof?begin=%d&end=%d", clue, begin, end), nil)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "clue proof")
 	if err != nil {
 		return nil, err
 	}
 	bundle, err := ledger.DecodeClueProofBundle(raw)
 	if err != nil {
-		return nil, err
+		return nil, rep.tamper("clue bundle decode", err)
 	}
-	return ledger.VerifyClue(bundle, c.LSP)
+	recs, err := ledger.VerifyClue(bundle, c.LSP)
+	if err != nil {
+		return nil, rep.tamper("clue lineage verification", err)
+	}
+	return recs, nil
 }
 
 // AnchorTime asks the service to run one time-notary round and verifies
 // the returned receipt.
 func (c *Client) AnchorTime() (*journal.Receipt, error) {
-	env, err := c.call("POST", "/v1/anchor-time", nil)
+	rep, err := c.call("POST", "/v1/anchor-time", nil)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Receipt)
+	raw, err := rep.blob(rep.env.Receipt, "receipt")
 	if err != nil {
 		return nil, err
 	}
 	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
 	if err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt decode", err)
 	}
 	if err := receipt.Verify(c.LSP); err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt signature", err)
 	}
 	return receipt, nil
 }
@@ -475,19 +725,23 @@ func (c *Client) AnchorTime() (*journal.Receipt, error) {
 // for key and check it against the LSP-signed state root. Returns the
 // jsn and payload digest of the journal holding the current value.
 func (c *Client) VerifyState(key []byte) (uint64, hashutil.Digest, error) {
-	env, err := c.call("GET", "/v1/stateproof?key="+base64.StdEncoding.EncodeToString(key), nil)
+	rep, err := c.call("GET", "/v1/stateproof?key="+base64.StdEncoding.EncodeToString(key), nil)
 	if err != nil {
 		return 0, hashutil.Zero, err
 	}
-	raw, err := unb64(env.Proof)
+	raw, err := rep.blob(rep.env.Proof, "state proof")
 	if err != nil {
 		return 0, hashutil.Zero, err
 	}
 	p, err := ledger.DecodeStateProof(raw)
 	if err != nil {
-		return 0, hashutil.Zero, err
+		return 0, hashutil.Zero, rep.tamper("state proof decode", err)
 	}
-	return ledger.VerifyState(p, c.LSP)
+	jsn, dig, err := ledger.VerifyState(p, c.LSP)
+	if err != nil {
+		return 0, hashutil.Zero, rep.tamper("state proof verification", err)
+	}
+	return jsn, dig, nil
 }
 
 // Purge submits a purge with its gathered multi-signatures (admin API).
@@ -505,43 +759,43 @@ func (c *Client) Occult(desc *ledger.OccultDescriptor, ms *sig.MultiSig) (*journ
 func (c *Client) mutate(path string, desc []byte, ms *sig.MultiSig) (*journal.Receipt, error) {
 	wr := wire.NewWriter(512)
 	ms.Encode(wr)
-	env, err := c.call("POST", path, map[string]string{
+	rep, err := c.call("POST", path, map[string]string{
 		"descriptor": base64.StdEncoding.EncodeToString(desc),
 		"sigs":       base64.StdEncoding.EncodeToString(wr.Bytes()),
 	})
 	if err != nil {
 		return nil, err
 	}
-	raw, err := unb64(env.Receipt)
+	raw, err := rep.blob(rep.env.Receipt, "receipt")
 	if err != nil {
 		return nil, err
 	}
 	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
 	if err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt decode", err)
 	}
 	if err := receipt.Verify(c.LSP); err != nil {
-		return nil, err
+		return nil, rep.tamper("receipt signature", err)
 	}
 	return receipt, nil
 }
 
 // Info reports the service's public counters.
 func (c *Client) Info() (uri string, size, base, height uint64, err error) {
-	env, err := c.call("GET", "/v1/info", nil)
+	rep, err := c.call("GET", "/v1/info", nil)
 	if err != nil {
 		return "", 0, 0, 0, err
 	}
-	return env.URI, env.Size, env.Base, env.Height, nil
+	return rep.env.URI, rep.env.Size, rep.env.Base, rep.env.Height, nil
 }
 
 // DiscoverLSP fetches the service's advertised LSP key. Pinning a key
 // from the service itself is trust-on-first-use: fine for tooling, not a
 // substitute for an out-of-band pin in adversarial settings.
 func (c *Client) DiscoverLSP() (sig.PublicKey, error) {
-	env, err := c.call("GET", "/v1/info", nil)
+	rep, err := c.call("GET", "/v1/info", nil)
 	if err != nil {
 		return sig.PublicKey{}, err
 	}
-	return sig.ParsePublicKey(env.LSPKey)
+	return sig.ParsePublicKey(rep.env.LSPKey)
 }

@@ -1,0 +1,283 @@
+// Retry-semantics tests: which statuses retry vs fail fast, backoff
+// doubling and jitter bounds via the sleepFn/jitterFn seams, Retry-After
+// honoring, context-aware backoff waits, and transport-retry rules for
+// idempotent vs non-idempotent calls.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// statusServer answers every request with one status (JSON envelope
+// body) and counts hits.
+func statusServer(t *testing.T, code int, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"error":"status %d"}`, code)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// noSleep plugs the retry loop's waits so tests run instantly.
+func noSleep(c *Client) *atomic.Int64 {
+	var slept atomic.Int64
+	c.sleepFn = func(ctx context.Context, d time.Duration) error {
+		slept.Add(1)
+		return ctx.Err()
+	}
+	return &slept
+}
+
+func TestRetrySemanticsByStatus(t *testing.T) {
+	cases := []struct {
+		code      int
+		wantHits  int64 // with Retries = 2
+		retryable bool
+	}{
+		{http.StatusServiceUnavailable, 3, true},
+		{http.StatusTooManyRequests, 3, true},
+		{http.StatusBadGateway, 3, true},
+		{http.StatusGatewayTimeout, 3, true},
+		{http.StatusBadRequest, 1, false},
+		{http.StatusForbidden, 1, false},
+		{http.StatusNotFound, 1, false},
+		{http.StatusConflict, 1, false},
+		{http.StatusGone, 1, false},                       // purged: permanent
+		{http.StatusUnavailableForLegalReasons, 1, false}, // occulted: deliberate
+		{http.StatusRequestEntityTooLarge, 1, false},
+		{http.StatusInternalServerError, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprint(tc.code), func(t *testing.T) {
+			var hits atomic.Int64
+			srv := statusServer(t, tc.code, &hits)
+			c := &Client{BaseURL: srv.URL, Retries: 2}
+			noSleep(c)
+			_, err := c.call("GET", "/v1/info", nil)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !errors.Is(err, ErrHTTP) {
+				t.Fatalf("err = %v, want ErrHTTP", err)
+			}
+			if hits.Load() != tc.wantHits {
+				t.Fatalf("server hit %d times, want %d (retryable=%v)", hits.Load(), tc.wantHits, tc.retryable)
+			}
+		})
+	}
+}
+
+// failNTransport fails the first n round trips at the transport level.
+type failNTransport struct {
+	n     atomic.Int64
+	inner http.RoundTripper
+}
+
+func (f *failNTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if f.n.Add(-1) >= 0 {
+		return nil, errors.New("synthetic transport failure")
+	}
+	return f.inner.RoundTrip(r)
+}
+
+func TestTransportRetryRules(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	newClient := func(failures int64) *Client {
+		tr := &failNTransport{inner: http.DefaultTransport}
+		tr.n.Store(failures)
+		c := &Client{BaseURL: srv.URL, HTTP: &http.Client{Transport: tr}, Retries: 3}
+		noSleep(c)
+		return c
+	}
+
+	// GETs are transport-retried.
+	if _, err := newClient(2).call("GET", "/v1/info", nil); err != nil {
+		t.Fatalf("GET after transient failures: %v", err)
+	}
+	// Plain POSTs are not: a lost response might mean a lost commit.
+	if _, err := newClient(1).call("POST", "/v1/anchor-time", nil); err == nil {
+		t.Fatal("non-idempotent POST was transport-retried")
+	}
+	// Idempotency-keyed POSTs are: the server dedups the resubmission.
+	if _, err := newClient(2).callIdem("POST", "/v1/append", map[string]string{"x": "y"}, "idemkey"); err != nil {
+		t.Fatalf("keyed POST after transient failures: %v", err)
+	}
+}
+
+func TestBackoffDoublingJitterAndCap(t *testing.T) {
+	var hits atomic.Int64
+	srv := statusServer(t, http.StatusServiceUnavailable, &hits)
+	c := &Client{
+		BaseURL:      srv.URL,
+		Retries:      6,
+		RetryBackoff: 100 * time.Millisecond,
+		MaxBackoff:   800 * time.Millisecond,
+	}
+	var bounds []time.Duration
+	c.jitterFn = func(bound time.Duration) time.Duration {
+		bounds = append(bounds, bound)
+		return bound / 2 // deterministic "jitter" inside [0, bound]
+	}
+	var waits []time.Duration
+	c.sleepFn = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	if _, err := c.call("GET", "/v1/info", nil); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	want := []time.Duration{100, 200, 400, 800, 800, 800} // ms bounds, capped
+	if len(bounds) != len(want) {
+		t.Fatalf("%d backoff bounds, want %d", len(bounds), len(want))
+	}
+	for i, b := range bounds {
+		if b != want[i]*time.Millisecond {
+			t.Fatalf("bound %d = %v, want %v", i, b, want[i]*time.Millisecond)
+		}
+		if waits[i] != b/2 {
+			t.Fatalf("wait %d = %v, want jitter output %v", i, waits[i], b/2)
+		}
+	}
+}
+
+func TestBackoffDoublingCannotOverflow(t *testing.T) {
+	var hits atomic.Int64
+	srv := statusServer(t, http.StatusServiceUnavailable, &hits)
+	c := &Client{
+		BaseURL:      srv.URL,
+		Retries:      80, // enough doublings to overflow int64 nanoseconds
+		RetryBackoff: time.Second,
+		MaxBackoff:   time.Hour,
+	}
+	c.jitterFn = func(bound time.Duration) time.Duration {
+		if bound <= 0 || bound > time.Hour {
+			t.Fatalf("backoff bound escaped [0, MaxBackoff]: %v", bound)
+		}
+		return 0
+	}
+	c.sleepFn = func(ctx context.Context, d time.Duration) error { return nil }
+	if _, err := c.call("GET", "/v1/info", nil); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if hits.Load() != 81 {
+		t.Fatalf("hits = %d, want 81", hits.Load())
+	}
+}
+
+func TestFullJitterStaysInBounds(t *testing.T) {
+	c := &Client{}
+	for i := 0; i < 1000; i++ {
+		d := c.jitter(50 * time.Millisecond)
+		if d < 0 || d > 50*time.Millisecond {
+			t.Fatalf("jitter %v escaped [0, bound]", d)
+		}
+	}
+	if c.jitter(0) != 0 {
+		t.Fatal("jitter of zero bound must be zero")
+	}
+}
+
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"busy"}`))
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Retries: 2, RetryBackoff: time.Millisecond, MaxBackoff: 10 * time.Second}
+	var waits []time.Duration
+	c.sleepFn = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	if _, err := c.call("GET", "/v1/info", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 1 || waits[0] != 3*time.Second {
+		t.Fatalf("waits = %v, want [3s] (Retry-After honored)", waits)
+	}
+
+	// A hostile Retry-After is clamped to MaxBackoff.
+	hits.Store(0)
+	c2 := &Client{BaseURL: srv.URL, Retries: 2, RetryBackoff: time.Millisecond, MaxBackoff: time.Second}
+	waits = nil
+	c2.sleepFn = c.sleepFn
+	if _, err := c2.call("GET", "/v1/info", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 1 || waits[0] != time.Second {
+		t.Fatalf("waits = %v, want [1s] (Retry-After clamped)", waits)
+	}
+}
+
+func TestBackoffWaitHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := statusServer(t, http.StatusServiceUnavailable, &hits)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := &Client{
+		BaseURL:      srv.URL,
+		Retries:      10,
+		RetryBackoff: 10 * time.Second, // would block for minutes without ctx
+		Context:      ctx,
+	}
+	c.jitterFn = func(bound time.Duration) time.Duration { return bound }
+	start := time.Now()
+	_, err := c.call("GET", "/v1/info", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored ctx: blocked %v", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1 (no retry after ctx expired)", hits.Load())
+	}
+}
+
+func TestClientTimeoutBoundsWholeCall(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer srv.Close()
+	defer close(stall)
+	c := &Client{BaseURL: srv.URL, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.call("GET", "/v1/info", nil)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Timeout not enforced: %v", elapsed)
+	}
+}

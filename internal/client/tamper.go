@@ -1,0 +1,43 @@
+package client
+
+import "fmt"
+
+// TamperEvidence captures one provably-bad exchange: the request the
+// client sent, the raw bytes the server answered with, and the local
+// check those bytes failed. Because every receipt, state, and proof is
+// signed by the pinned LSP key, a response that decodes or verifies
+// wrongly is not just an error — it is material a client can present to
+// a third party to demonstrate LSP misbehavior (§II-C's "verified at
+// client side when LSP is distrusted" made actionable).
+type TamperEvidence struct {
+	// Method and Path identify the exchange.
+	Method string
+	Path   string
+	// Status is the HTTP status the tampered response carried.
+	Status int
+	// RequestBody is the JSON body the client sent (nil for GETs). For
+	// appends it embeds the client-signed request, so the evidence is
+	// self-authenticating on both sides.
+	RequestBody []byte
+	// ResponseBody is the raw response exactly as received.
+	ResponseBody []byte
+	// Check names the verification step the response failed.
+	Check string
+}
+
+// TamperError is returned when a response passed the transport but
+// failed a local cryptographic or structural check. It wraps the
+// underlying verification error (errors.Is/As see through it) and
+// carries the evidence. Tamper errors are never retried: a forged
+// response must surface, not be papered over by a lucky retry.
+type TamperError struct {
+	Evidence *TamperEvidence
+	Err      error
+}
+
+func (e *TamperError) Error() string {
+	return fmt.Sprintf("client: tampered response (%s %s, check %q): %v",
+		e.Evidence.Method, e.Evidence.Path, e.Evidence.Check, e.Err)
+}
+
+func (e *TamperError) Unwrap() error { return e.Err }

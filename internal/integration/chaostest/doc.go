@@ -1,0 +1,22 @@
+// Package chaostest is the network-boundary torture harness: it drives
+// the full HTTP stack (hardened client → netchaos fault proxy →
+// load-shedding server → ledger) through randomized, seeded fault
+// schedules — connection drops on either side of a request, 5xx bursts,
+// truncated, duplicated, byte-flipped, and slow-loris responses — and
+// asserts the end-to-end robustness invariants:
+//
+//   - no double-appends: every client request hash appears at most once
+//     in the journal, however many times retries and middlebox
+//     duplication resubmitted it;
+//   - every receipt the client accepted verifies against the ledger
+//     after the chaos clears, payload included;
+//   - every tampered response is rejected with TamperEvidence, never
+//     silently accepted and never papered over by a retry;
+//   - every call terminates within its deadline budget, whatever the
+//     schedule does to the wire.
+//
+// Every failure prints a seeded-PRNG reproduction line; iterations are
+// deterministic given (seed, iteration). The package contains only
+// tests — this file exists so the package has a non-test compilation
+// unit.
+package chaostest

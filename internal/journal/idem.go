@@ -1,0 +1,31 @@
+package journal
+
+import (
+	"encoding/hex"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// Idempotency keys bind a retried append submission to the signed
+// request(s) it carries, so the server can recognize a resubmission
+// whose first response was lost and answer with the original receipt
+// instead of committing twice. The derivation lives here because both
+// the client (which sends the key) and the server (which recomputes it
+// from the decoded requests and refuses a mismatch) must agree on it.
+
+// RequestKey is the idempotency key of a single signed request: the hex
+// form of its content hash. The hash covers the nonce, so two distinct
+// submissions by the same member never collide.
+func RequestKey(h hashutil.Digest) string { return hex.EncodeToString(h[:]) }
+
+// BatchRequestKey is the idempotency key of a batch submission, derived
+// from the ordered request hashes under a domain-separation tag.
+func BatchRequestKey(hashes []hashutil.Digest) string {
+	const tag = "ledgerdb/idem/batch/v1"
+	buf := make([]byte, 0, len(tag)+len(hashes)*hashutil.Size)
+	buf = append(buf, tag...)
+	for _, h := range hashes {
+		buf = append(buf, h[:]...)
+	}
+	return RequestKey(hashutil.Sum(buf))
+}

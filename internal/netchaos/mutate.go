@@ -1,0 +1,199 @@
+// Response-mutation codec: deterministic byte-flip corruption of the
+// server's JSON envelopes, and the wire codec for fault schedules so a
+// whole chaos run can be replayed (or fuzzed) from a byte string.
+package netchaos
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ledgerdb/internal/wire"
+)
+
+// wireFields are the envelope keys that carry base64 deterministic wire
+// blobs — the material a tampering LSP would forge. MutateEnvelope flips
+// inside the decoded blob so the result is still syntactically valid
+// JSON and valid base64: the corruption must be caught by the client's
+// cryptographic checks, not by its parser.
+var wireFields = []string{"payload", "proof", "receipt", "record", "state"}
+
+// MutateEnvelope corrupts one byte of a JSON response body. pick selects
+// which eligible wire field to hit (modulo the candidates, stable order)
+// and the byte offset within its decoded blob; xor is the flip mask
+// (0 means 0xFF, so a fired mutation always changes the byte). When the
+// body is not a JSON envelope or carries no wire fields, a raw body byte
+// is flipped instead. The second result reports whether anything
+// changed. The transformation is deterministic in (body, pick, xor).
+func MutateEnvelope(body []byte, pick uint64, xor byte) ([]byte, bool) {
+	if xor == 0 {
+		xor = 0xFF
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(body, &env); err == nil && env != nil {
+		type candidate struct {
+			key  string
+			blob []byte
+		}
+		var cands []candidate
+		for _, k := range wireFields {
+			raw, ok := env[k]
+			if !ok {
+				continue
+			}
+			var s string
+			if err := json.Unmarshal(raw, &s); err != nil || s == "" {
+				continue
+			}
+			blob, err := base64.StdEncoding.DecodeString(s)
+			if err != nil || len(blob) == 0 {
+				continue
+			}
+			cands = append(cands, candidate{k, blob})
+		}
+		if len(cands) > 0 {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+			c := cands[pick%uint64(len(cands))]
+			c.blob[pick%uint64(len(c.blob))] ^= xor
+			enc, err := json.Marshal(base64.StdEncoding.EncodeToString(c.blob))
+			if err == nil {
+				env[c.key] = enc
+				if out, err := json.Marshal(env); err == nil {
+					return out, true
+				}
+			}
+		}
+	}
+	// No envelope to speak of: flip a raw byte (a bit-flipping path does
+	// not care about framing either).
+	if len(body) == 0 {
+		return body, false
+	}
+	out := make([]byte, len(body))
+	copy(out, body)
+	out[pick%uint64(len(out))] ^= xor
+	return out, true
+}
+
+// Schedule is a replayable fault script. The wire codec exists so a
+// failing chaos iteration is reproducible from bytes alone, and so the
+// decoder can be fuzzed like every other wire format in this module.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Schedule codec bounds: a hostile schedule must not make the decoder
+// allocate unboundedly or arm nonsensical faults.
+const (
+	maxScheduleFaults = 4096
+	maxFaultDur       = 10 * time.Minute
+)
+
+// Encode serializes the schedule deterministically.
+func (s *Schedule) Encode(w *wire.Writer) {
+	w.String("netchaos/schedule/v1")
+	w.Uvarint(uint64(len(s.Faults)))
+	for _, f := range s.Faults {
+		w.Uint8(uint8(f.Kind))
+		w.Uvarint(f.N)
+		w.Uvarint(uint64(f.Dur))
+		w.Uvarint(f.Arg)
+		w.Uint8(f.XOR)
+	}
+}
+
+// EncodeBytes is Encode into a fresh buffer.
+func (s *Schedule) EncodeBytes() []byte {
+	w := wire.NewWriter(64 + 16*len(s.Faults))
+	s.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeSchedule parses and validates a schedule.
+func DecodeSchedule(b []byte) (*Schedule, error) {
+	r := wire.NewReader(b)
+	if v := r.String(); v != "netchaos/schedule/v1" {
+		return nil, fmt.Errorf("netchaos: bad schedule version %q", v)
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > maxScheduleFaults {
+		return nil, fmt.Errorf("netchaos: schedule of %d faults exceeds cap", n)
+	}
+	s := &Schedule{}
+	for i := uint64(0); i < n; i++ {
+		f := Fault{
+			Kind: Kind(r.Uint8()),
+			N:    r.Uvarint(),
+			Dur:  time.Duration(r.Uvarint()),
+			Arg:  r.Uvarint(),
+			XOR:  r.Uint8(),
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if f.Kind == 0 || f.Kind >= kindMax {
+			return nil, fmt.Errorf("netchaos: fault %d has invalid kind %d", i, f.Kind)
+		}
+		if f.N == 0 {
+			return nil, fmt.Errorf("netchaos: fault %d arms ordinal 0", i)
+		}
+		if f.Dur < 0 || f.Dur > maxFaultDur {
+			return nil, fmt.Errorf("netchaos: fault %d duration %v out of range", i, f.Dur)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RandomSchedule draws a seeded fault script over the first maxReq proxy
+// requests: roughly one fault per three requests, with delays and
+// slow-loris pauses kept at millisecond scale so torture iterations stay
+// fast. Deterministic in the rng stream.
+func RandomSchedule(rng *rand.Rand, maxReq int) Schedule {
+	var s Schedule
+	for n := 1; n <= maxReq; n++ {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		f := Fault{N: uint64(n)}
+		switch rng.Intn(8) {
+		case 0:
+			f.Kind = KindDropRequest
+		case 1:
+			f.Kind = KindDropResponse
+		case 2:
+			f.Kind = KindDelay
+			f.Dur = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		case 3:
+			f.Kind = KindBurst5xx
+			f.Arg = uint64(1 + rng.Intn(3))
+			// Retry-After deliberately unset: honoring a 1s+ hint 500
+			// times would dominate the torture clock; the dedicated
+			// regression covers the header path.
+		case 4:
+			f.Kind = KindTruncate
+			f.Arg = uint64(rng.Intn(200))
+		case 5:
+			f.Kind = KindDuplicate
+		case 6:
+			f.Kind = KindCorrupt
+			f.Arg = rng.Uint64()
+			f.XOR = byte(rng.Intn(256))
+		case 7:
+			f.Kind = KindSlowBody
+			f.Arg = uint64(64 + rng.Intn(512))
+			f.Dur = time.Millisecond
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}

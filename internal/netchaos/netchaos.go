@@ -1,0 +1,517 @@
+// Package netchaos provides fault-injection machinery for the HTTP
+// boundary between the ledger client and the ledger service — the wire
+// counterpart of internal/streamfs/faultfs. It wraps a transport (or a
+// handler) in a scriptable chaos proxy that injects the failures an
+// untrusted network and a Byzantine LSP can produce:
+//
+//   - latency before a request is forwarded
+//   - connection drops before the request is sent (the server never saw
+//     it) and after (the server processed it but the response was lost —
+//     the ambiguous-outcome case idempotency keys exist for)
+//   - bursts of 5xx answered locally with Retry-After
+//   - duplicated requests (a retrying middlebox replays the submission)
+//   - truncated response bodies (cut mid-stream with an unexpected EOF)
+//   - byte-flip corruption of the proof/receipt/state fields inside the
+//     JSON envelope (a tampering LSP or a bit-flipping path)
+//   - slow-loris response bodies that dribble out a few bytes at a time
+//
+// Everything is deterministic: faults are armed by request ordinal,
+// never by time or randomness, so a failing chaos iteration replays from
+// its seed alone (mirroring the faultfs failpoint contract).
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Errors produced by injected faults. Both surface to the http.Client as
+// *url.Error-wrapped transport failures.
+var (
+	// ErrInjected is returned when a request is refused before it was
+	// forwarded: the server never saw it, so retrying cannot double-commit.
+	ErrInjected = errors.New("netchaos: injected connection drop (pre-request)")
+	// ErrResponseLost is returned after the request WAS forwarded and the
+	// response discarded: the outcome is ambiguous, exactly like a wire cut
+	// between the server's commit and the client's read.
+	ErrResponseLost = errors.New("netchaos: injected connection drop (response lost)")
+)
+
+// Kind discriminates fault types. The zero value is invalid.
+type Kind uint8
+
+// Fault kinds.
+const (
+	KindDropRequest  Kind = iota + 1 // refuse before forwarding (unambiguous)
+	KindDropResponse                 // forward, then discard the response (ambiguous)
+	KindDelay                        // sleep Dur before forwarding, honoring the request ctx
+	KindBurst5xx                     // answer Arg consecutive requests with 503 locally
+	KindTruncate                     // forward, then cut the body after Arg bytes
+	KindDuplicate                    // forward the request twice (middlebox replay)
+	KindCorrupt                      // byte-flip a wire field of the JSON envelope
+	KindSlowBody                     // dribble the body in Arg-byte chunks, Dur apart
+	kindMax
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDropRequest:
+		return "drop-request"
+	case KindDropResponse:
+		return "drop-response"
+	case KindDelay:
+		return "delay"
+	case KindBurst5xx:
+		return "burst-5xx"
+	case KindTruncate:
+		return "truncate"
+	case KindDuplicate:
+		return "duplicate"
+	case KindCorrupt:
+		return "corrupt"
+	case KindSlowBody:
+		return "slow-body"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fault is one armed failure. N is the 1-based ordinal of the proxied
+// request it fires on; the remaining fields are kind-specific:
+//
+//	KindDelay:    Dur = added latency
+//	KindBurst5xx: Arg = burst length, Dur = advertised Retry-After (0 = no header)
+//	KindTruncate: Arg = bytes of body to keep before the cut
+//	KindCorrupt:  Arg = field/offset selector, XOR = flip mask (0 ⇒ 0xFF)
+//	KindSlowBody: Arg = chunk size in bytes (0 ⇒ 1), Dur = pause per chunk
+type Fault struct {
+	Kind Kind
+	N    uint64
+	Dur  time.Duration
+	Arg  uint64
+	XOR  byte
+}
+
+// Stats counts what actually fired, for test assertions.
+type Stats struct {
+	Requests uint64          // requests that entered the proxy
+	Fired    map[Kind]uint64 // fired fault count by kind
+}
+
+// plan is the set of actions decided (under the lock) for one request.
+// Everything after decide() runs lock-free: the proxy must never hold
+// its mutex across network I/O or sleeps.
+type plan struct {
+	delay      time.Duration
+	dropReq    bool
+	serve503   bool
+	retryAfter time.Duration
+	duplicate  bool
+	dropResp   bool
+	truncate   bool
+	truncAt    uint64
+	corrupt    bool
+	corruptArg uint64
+	corruptXOR byte
+	slow       bool
+	slowChunk  int
+	slowPause  time.Duration
+}
+
+// Proxy is the chaos element. It implements http.RoundTripper around
+// Inner (nil = http.DefaultTransport); Handler wraps an http.Handler
+// with the same fault engine for server-side deployment. A Proxy is safe
+// for concurrent use; fault ordinals are assigned in arrival order.
+type Proxy struct {
+	// Inner is the real transport faults are injected around.
+	Inner http.RoundTripper
+
+	mu        sync.Mutex
+	n         uint64             // requests seen
+	armed     map[uint64][]Fault // by ordinal
+	burstLeft int                // remaining local 503s
+	burstRA   time.Duration      // Retry-After advertised during the burst
+	fired     map[Kind]uint64
+}
+
+// NewProxy returns a healthy proxy around inner.
+func NewProxy(inner http.RoundTripper) *Proxy {
+	return &Proxy{Inner: inner, armed: make(map[uint64][]Fault), fired: make(map[Kind]uint64)}
+}
+
+// Arm schedules faults. Ordinals are absolute: N counts every request
+// the proxy has ever seen, including retries the client generates in
+// response to earlier faults.
+func (p *Proxy) Arm(faults ...Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.armed == nil {
+		p.armed = make(map[uint64][]Fault)
+	}
+	for _, f := range faults {
+		p.armed[f.N] = append(p.armed[f.N], f)
+	}
+}
+
+// ArmSchedule arms every fault of a schedule.
+func (p *Proxy) ArmSchedule(s Schedule) { p.Arm(s.Faults...) }
+
+// Clear disarms every pending fault (including an in-progress burst) but
+// keeps the request counter and stats.
+func (p *Proxy) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.armed = make(map[uint64][]Fault)
+	p.burstLeft = 0
+}
+
+// Stats snapshots the fired-fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := Stats{Requests: p.n, Fired: make(map[Kind]uint64, len(p.fired))}
+	for k, v := range p.fired {
+		out.Fired[k] = v
+	}
+	return out
+}
+
+// decide consumes the faults armed for the next ordinal and folds them
+// into an action plan. Held briefly; no I/O under the lock.
+func (p *Proxy) decide() plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	var pl plan
+	if p.fired == nil {
+		p.fired = make(map[Kind]uint64)
+	}
+	for _, f := range p.armed[p.n] {
+		p.fired[f.Kind]++
+		switch f.Kind {
+		case KindDelay:
+			pl.delay += f.Dur
+		case KindDropRequest:
+			pl.dropReq = true
+		case KindDropResponse:
+			pl.dropResp = true
+		case KindBurst5xx:
+			n := int(f.Arg)
+			if n < 1 {
+				n = 1
+			}
+			p.burstLeft += n
+			p.burstRA = f.Dur
+		case KindTruncate:
+			pl.truncate, pl.truncAt = true, f.Arg
+		case KindDuplicate:
+			pl.duplicate = true
+		case KindCorrupt:
+			pl.corrupt, pl.corruptArg, pl.corruptXOR = true, f.Arg, f.XOR
+		case KindSlowBody:
+			pl.slow = true
+			pl.slowChunk = int(f.Arg)
+			if pl.slowChunk < 1 {
+				pl.slowChunk = 1
+			}
+			pl.slowPause = f.Dur
+		}
+	}
+	delete(p.armed, p.n)
+	if p.burstLeft > 0 {
+		p.burstLeft--
+		pl.serve503 = true
+		pl.retryAfter = p.burstRA
+	}
+	return pl
+}
+
+// RoundTrip implements http.RoundTripper.
+func (p *Proxy) RoundTrip(req *http.Request) (*http.Response, error) {
+	pl := p.decide()
+	ctx := req.Context()
+
+	if pl.delay > 0 {
+		t := time.NewTimer(pl.delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if pl.dropReq {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjected
+	}
+	if pl.serve503 {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return synth503(req, pl.retryAfter), nil
+	}
+
+	inner := p.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+
+	// Buffer the request body so it can be replayed for duplication.
+	var bodyBytes []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		bodyBytes = b
+		req.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+	}
+
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if pl.duplicate {
+		// A middlebox replayed the submission: the server sees the same
+		// request twice; the client sees only the second exchange.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		dup := req.Clone(ctx)
+		if bodyBytes != nil {
+			dup.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+		}
+		resp, err = inner.RoundTrip(dup)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pl.dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrResponseLost
+	}
+
+	if pl.truncate || pl.corrupt {
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if pl.corrupt {
+			body, _ = MutateEnvelope(body, pl.corruptArg, pl.corruptXOR)
+		}
+		if pl.truncate {
+			cut := pl.truncAt
+			if cut > uint64(len(body)) {
+				cut = uint64(len(body))
+			}
+			// A truncated stream ends in an unexpected EOF, exactly like a
+			// connection cut mid-body.
+			resp.Body = &brokenBody{data: body[:cut], err: io.ErrUnexpectedEOF}
+			resp.ContentLength = -1
+		} else {
+			resp.Body = io.NopCloser(bytes.NewReader(body))
+			resp.ContentLength = int64(len(body))
+		}
+	}
+	if pl.slow {
+		resp.Body = &slowBody{inner: resp.Body, ctx: ctx, chunk: pl.slowChunk, pause: pl.slowPause}
+	}
+	return resp, nil
+}
+
+// synth503 fabricates a local 503 with an optional Retry-After, the way
+// an overloaded front proxy answers without consulting the origin.
+func synth503(req *http.Request, retryAfter time.Duration) *http.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", strconv.Itoa(secs))
+	}
+	body := `{"error":"netchaos: injected overload"}`
+	return &http.Response{
+		StatusCode:    http.StatusServiceUnavailable,
+		Status:        "503 Service Unavailable",
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// brokenBody serves a prefix and then fails the stream.
+type brokenBody struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, b.err
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *brokenBody) Close() error { return nil }
+
+// slowBody dribbles the inner body out chunk by chunk with a pause
+// before each chunk, honoring the request context so a deadline-bound
+// client escapes the loris.
+type slowBody struct {
+	inner io.ReadCloser
+	ctx   interface {
+		Done() <-chan struct{}
+		Err() error
+	}
+	chunk int
+	pause time.Duration
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.pause > 0 {
+		t := time.NewTimer(s.pause)
+		select {
+		case <-t.C:
+		case <-s.ctx.Done():
+			t.Stop()
+			return 0, s.ctx.Err()
+		}
+	}
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.inner.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.inner.Close() }
+
+// Handler wraps next with the same fault engine, for running the chaos
+// element as a reverse proxy in front of a server instead of inside the
+// client's transport. Drops abort the connection (http.ErrAbortHandler),
+// which the peer observes as an unexpected EOF.
+func (p *Proxy) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pl := p.decide()
+		ctx := r.Context()
+		if pl.delay > 0 {
+			t := time.NewTimer(pl.delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		}
+		if pl.dropReq {
+			panic(http.ErrAbortHandler)
+		}
+		if pl.serve503 {
+			if pl.retryAfter > 0 {
+				secs := int(pl.retryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"netchaos: injected overload"}`)
+			return
+		}
+
+		var bodyBytes []byte
+		if r.Body != nil {
+			b, err := io.ReadAll(r.Body)
+			r.Body.Close()
+			if err != nil {
+				panic(http.ErrAbortHandler)
+			}
+			bodyBytes = b
+		}
+		serve := func() *recorded {
+			rec := newRecorded()
+			req := r.Clone(ctx)
+			req.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+			next.ServeHTTP(rec, req)
+			return rec
+		}
+		rec := serve()
+		if pl.duplicate {
+			rec = serve()
+		}
+		if pl.dropResp {
+			panic(http.ErrAbortHandler)
+		}
+		body := rec.buf.Bytes()
+		if pl.corrupt {
+			body, _ = MutateEnvelope(body, pl.corruptArg, pl.corruptXOR)
+		}
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		if pl.truncate && pl.truncAt < uint64(len(body)) {
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(rec.status)
+			w.Write(body[:pl.truncAt])
+			panic(http.ErrAbortHandler) // cut the stream mid-body
+		}
+		w.WriteHeader(rec.status)
+		if pl.slow {
+			for off := 0; off < len(body); off += pl.slowChunk {
+				t := time.NewTimer(pl.slowPause)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+				end := off + pl.slowChunk
+				if end > len(body) {
+					end = len(body)
+				}
+				w.Write(body[off:end])
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+			}
+			return
+		}
+		w.Write(body)
+	})
+}
+
+// recorded buffers a handler's response for post-hoc mutation.
+type recorded struct {
+	status int
+	header http.Header
+	buf    bytes.Buffer
+}
+
+func newRecorded() *recorded { return &recorded{status: http.StatusOK, header: make(http.Header)} }
+
+func (r *recorded) Header() http.Header         { return r.header }
+func (r *recorded) WriteHeader(code int)        { r.status = code }
+func (r *recorded) Write(b []byte) (int, error) { return r.buf.Write(b) }

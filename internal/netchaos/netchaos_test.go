@@ -1,0 +1,320 @@
+package netchaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with a small JSON envelope carrying a
+// base64 "proof" field, and counts how many requests it actually saw.
+func echoServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Body != nil {
+			io.Copy(io.Discard, r.Body)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"proof":"` + base64.StdEncoding.EncodeToString([]byte("proof-bytes-0123456789")) + `"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, cli *http.Client, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := cli.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindDropRequest, N: 1})
+	cli := &http.Client{Transport: p}
+
+	if _, _, err := get(t, cli, srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests, want 0", hits.Load())
+	}
+	// The fault is one-shot: the next request sails through.
+	if _, _, err := get(t, cli, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+func TestDropResponseReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindDropResponse, N: 1})
+	cli := &http.Client{Transport: p}
+
+	if _, _, err := get(t, cli, srv.URL); !errors.Is(err, ErrResponseLost) {
+		t.Fatalf("err = %v, want ErrResponseLost", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (the ambiguous case)", hits.Load())
+	}
+}
+
+func TestBurst503ThenRecovers(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindBurst5xx, N: 1, Arg: 2, Dur: 3 * time.Second})
+	cli := &http.Client{Transport: p}
+
+	for i := 0; i < 2; i++ {
+		resp, _, err := get(t, cli, srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != "3" {
+			t.Fatalf("Retry-After = %q, want 3", got)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatal("burst requests must be answered locally")
+	}
+	resp, _, err := get(t, cli, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-burst: %v status %d", err, resp.StatusCode)
+	}
+}
+
+func TestDuplicateHitsServerTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindDuplicate, N: 1})
+	cli := &http.Client{Transport: p}
+
+	resp, err := cli.Post(srv.URL, "application/json", bytes.NewReader([]byte(`{"x":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+func TestTruncateYieldsUnexpectedEOF(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindTruncate, N: 1, Arg: 5})
+	cli := &http.Client{Transport: p}
+
+	_, body, err := get(t, cli, srv.URL)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want unexpected EOF", err)
+	}
+	if len(body) != 5 {
+		t.Fatalf("got %d bytes before the cut, want 5", len(body))
+	}
+}
+
+func TestCorruptFlipsProofField(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindCorrupt, N: 1, Arg: 7, XOR: 0x01})
+	cli := &http.Client{Transport: p}
+
+	_, body, err := get(t, cli, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Proof string `json:"proof"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("corrupted body is no longer JSON: %v", err)
+	}
+	blob, err := base64.StdEncoding.DecodeString(env.Proof)
+	if err != nil {
+		t.Fatalf("corrupted field is no longer base64: %v", err)
+	}
+	want := []byte("proof-bytes-0123456789")
+	if bytes.Equal(blob, want) {
+		t.Fatal("proof bytes unchanged")
+	}
+	diff := 0
+	for i := range blob {
+		if blob[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestSlowBodyHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindSlowBody, N: 1, Arg: 1, Dur: time.Second})
+	cli := &http.Client{Transport: p}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	start := time.Now()
+	resp, err := cli.Do(req)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("slow-loris read completed under a 50ms deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not honored: took %v", elapsed)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindDelay, N: 1, Dur: time.Minute})
+	cli := &http.Client{Transport: p}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	start := time.Now()
+	if _, err := cli.Do(req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delay ignored the context: took %v", elapsed)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("delayed request must not have been forwarded")
+	}
+}
+
+func TestHandlerModeCorruptAndShed(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"receipt":"` + base64.StdEncoding.EncodeToString([]byte("receipt-bytes")) + `"}`))
+	})
+	p := NewProxy(nil)
+	p.Arm(
+		Fault{Kind: KindCorrupt, N: 1, Arg: 3, XOR: 0x10},
+		Fault{Kind: KindBurst5xx, N: 2, Arg: 1, Dur: time.Second},
+	)
+	srv := httptest.NewServer(p.Handler(inner))
+	defer srv.Close()
+
+	_, body, err := get(t, http.DefaultClient, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Receipt string `json:"receipt"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := base64.StdEncoding.DecodeString(env.Receipt)
+	if bytes.Equal(blob, []byte("receipt-bytes")) {
+		t.Fatal("handler-mode corruption did not fire")
+	}
+
+	resp, _, err := get(t, http.DefaultClient, srv.URL)
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want injected 503, got %v status %d", err, resp.StatusCode)
+	}
+}
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := RandomSchedule(rng, 64)
+	if len(s.Faults) == 0 {
+		t.Fatal("empty schedule from 64 ordinals")
+	}
+	enc := s.EncodeBytes()
+	dec, err := DecodeSchedule(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.EncodeBytes(), enc) {
+		t.Fatal("schedule codec is not a fixpoint")
+	}
+	if len(dec.Faults) != len(s.Faults) {
+		t.Fatalf("decoded %d faults, want %d", len(dec.Faults), len(s.Faults))
+	}
+	// Every strict prefix must fail to decode.
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeSchedule(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestMutateEnvelopeDeterministic(t *testing.T) {
+	body := []byte(`{"proof":"` + base64.StdEncoding.EncodeToString([]byte("hello world")) + `","error":""}`)
+	a, okA := MutateEnvelope(body, 9, 0x20)
+	b, okB := MutateEnvelope(body, 9, 0x20)
+	if !okA || !okB || !bytes.Equal(a, b) {
+		t.Fatal("mutation is not deterministic")
+	}
+	if bytes.Equal(a, body) {
+		t.Fatal("mutation changed nothing")
+	}
+	// Non-JSON bodies get a raw flip.
+	raw, ok := MutateEnvelope([]byte("plain text"), 3, 0)
+	if !ok || bytes.Equal(raw, []byte("plain text")) {
+		t.Fatal("raw flip did not fire")
+	}
+	// Empty bodies are left alone.
+	if out, ok := MutateEnvelope(nil, 1, 1); ok || len(out) != 0 {
+		t.Fatal("empty body mutated")
+	}
+}
+
+func TestStatsAndClear(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	p := NewProxy(nil)
+	p.Arm(Fault{Kind: KindDropRequest, N: 1}, Fault{Kind: KindDropRequest, N: 2})
+	cli := &http.Client{Transport: p}
+	get(t, cli, srv.URL)
+	p.Clear()
+	if _, _, err := get(t, cli, srv.URL); err != nil {
+		t.Fatalf("cleared fault still fired: %v", err)
+	}
+	st := p.Stats()
+	if st.Requests != 2 || st.Fired[KindDropRequest] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

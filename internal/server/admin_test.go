@@ -164,7 +164,7 @@ func TestEndToEndAdminPurge(t *testing.T) {
 	if base != 5 {
 		t.Fatalf("base = %d", base)
 	}
-	// Purged journals 404 over HTTP.
+	// Purged journals are 410 Gone over HTTP (permanent, non-retryable).
 	if _, err := s.cli.GetJournal(2); !errors.Is(err, client.ErrHTTP) {
 		t.Fatalf("err = %v", err)
 	}

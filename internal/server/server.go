@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ledgerdb/internal/hashutil"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/merkle/fam"
@@ -22,18 +23,33 @@ import (
 )
 
 // Server wires a ledger (and optionally a T-Ledger for time anchoring)
-// into an http.Handler.
+// into an http.Handler with bounded admission, per-request timeouts,
+// append idempotency, and health endpoints (see harden.go).
 type Server struct {
 	Ledger *ledger.Ledger
 	// TLedger, when set, serves time anchoring: POST /v1/anchor-time
 	// submits the current state digest through Protocol 4.
 	TLedger *tledger.TLedger
 	mux     *http.ServeMux
+	opts    Options
+	gate    gate
+	idem    *idemTable
+	// testStall, when set, runs after admission and before dispatch —
+	// the seam load-shed tests use to hold slots occupied.
+	testStall func(r *http.Request)
 }
 
-// New builds the HTTP surface over a ledger.
+// New builds the HTTP surface over a ledger with default Options.
 func New(l *ledger.Ledger, tl *tledger.TLedger) *Server {
-	s := &Server{Ledger: l, TLedger: tl, mux: http.NewServeMux()}
+	return NewWithOptions(l, tl, Options{})
+}
+
+// NewWithOptions builds the HTTP surface with explicit robustness
+// settings.
+func NewWithOptions(l *ledger.Ledger, tl *tledger.TLedger, opts Options) *Server {
+	s := &Server{Ledger: l, TLedger: tl, mux: http.NewServeMux(), opts: opts}
+	s.gate.max = opts.MaxInFlight
+	s.idem = newIdemTable(opts.IdempotencyCapacity)
 	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
 	s.mux.HandleFunc("POST /v1/append-batch", s.handleAppendBatch)
 	s.mux.HandleFunc("GET /v1/state", s.handleState)
@@ -52,9 +68,6 @@ func New(l *ledger.Ledger, tl *tledger.TLedger) *Server {
 	s.mux.HandleFunc("POST /v1/admin/occult", s.handleOccult)
 	return s
 }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Envelope is the uniform JSON response shape.
 type Envelope struct {
@@ -83,13 +96,24 @@ func writeJSON(w http.ResponseWriter, status int, env *Envelope) {
 	}
 }
 
+// writeErr maps ledger errors to statuses with distinct retry
+// semantics: permanent outcomes (404 missing, 410 purged, 451 occulted,
+// 4xx request errors) must never be retried, while 503 marks conditions
+// a replacement instance could serve (and carries Retry-After so
+// well-behaved clients pace themselves).
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ledger.ErrNotFound), errors.Is(err, ledger.ErrPurged):
+	case errors.Is(err, ledger.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ledger.ErrOcculted):
+	case errors.Is(err, ledger.ErrPurged):
+		// The journal existed and is permanently gone (Protocol 2):
+		// a definitive, non-retryable outcome distinct from 404.
 		status = http.StatusGone
+	case errors.Is(err, ledger.ErrOcculted):
+		// Hidden by policy, not absent: 451 tells the client the denial
+		// is deliberate and retrying is pointless.
+		status = http.StatusUnavailableForLegalReasons
 	case errors.Is(err, ledger.ErrNotPermitted), errors.Is(err, journal.ErrBadSignature):
 		status = http.StatusForbidden
 	case errors.Is(err, errBodyTooLarge):
@@ -102,6 +126,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		// The commit pipeline is draining (shutdown); clients may retry
 		// against a replacement instance.
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, &Envelope{Error: err.Error()})
 }
@@ -161,14 +186,65 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	receipt, err := s.Ledger.Append(req)
+	exec := func() (uint64, []byte, error) {
+		receipt, err := s.Ledger.Append(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		wr := newWriter()
+		receipt.Encode(wr)
+		return receipt.JSN, wr.Bytes(), nil
+	}
+	if key := r.Header.Get(idempotencyKeyHeader); key != "" {
+		if key != journal.RequestKey(req.Hash()) {
+			writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, errIdemKeyMismatch))
+			return
+		}
+		blob, replay, err := s.idem.dedup(r.Context(), key, exec, func(jsn uint64) error {
+			return s.checkIdemReplay(jsn, req.Hash())
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if replay {
+			w.Header().Set(idempotentReplayHeader, "true")
+		}
+		writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(blob)})
+		return
+	}
+	_, blob, err := exec()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	wr := newWriter()
-	receipt.Encode(wr)
-	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(blob)})
+}
+
+// Idempotency headers. The request header carries the client-derived
+// key (journal.RequestKey / journal.BatchRequestKey); the response
+// header marks a deduplicated replay of a previously-committed append.
+const (
+	idempotencyKeyHeader   = "Idempotency-Key"
+	idempotentReplayHeader = "Idempotent-Replay"
+)
+
+// checkIdemReplay cross-checks a cached dedup entry against the journal
+// before its receipt is replayed: the committed record at that jsn must
+// acknowledge the same signed request. A purged or occulted journal
+// still replays — the commit happened; only the payload is gone.
+func (s *Server) checkIdemReplay(jsn uint64, want hashutil.Digest) error {
+	rec, err := s.Ledger.GetJournal(jsn)
+	if errors.Is(err, ledger.ErrPurged) || errors.Is(err, ledger.ErrOcculted) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if rec.RequestHash != want {
+		return fmt.Errorf("%w: idempotency entry for jsn %d acknowledges a different request", journal.ErrBadRequest, jsn)
+	}
+	return nil
 }
 
 // handleAppendBatch ingests a batch of signed requests (the amortized
@@ -196,22 +272,51 @@ func (s *Server) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs = append(reqs, req)
 	}
-	br, txHashes, err := s.Ledger.AppendBatch(reqs)
+	exec := func() (uint64, []byte, error) {
+		br, txHashes, err := s.Ledger.AppendBatch(reqs)
+		if err != nil {
+			return 0, nil, err
+		}
+		wr := newWriter()
+		wr.Uvarint(br.FirstJSN)
+		wr.Uvarint(br.Count)
+		wr.Digest(br.BatchHash)
+		wr.Int64(br.Timestamp)
+		sig.EncodePublicKey(wr, br.LSPPK)
+		sig.EncodeSignature(wr, br.LSPSig)
+		for _, d := range txHashes {
+			wr.Digest(d)
+		}
+		return br.FirstJSN, wr.Bytes(), nil
+	}
+	if key := r.Header.Get(idempotencyKeyHeader); key != "" && len(reqs) > 0 {
+		hashes := make([]hashutil.Digest, len(reqs))
+		for i, req := range reqs {
+			hashes[i] = req.Hash()
+		}
+		if key != journal.BatchRequestKey(hashes) {
+			writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, errIdemKeyMismatch))
+			return
+		}
+		blob, replay, err := s.idem.dedup(r.Context(), key, exec, func(jsn uint64) error {
+			return s.checkIdemReplay(jsn, hashes[0])
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if replay {
+			w.Header().Set(idempotentReplayHeader, "true")
+		}
+		writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(blob)})
+		return
+	}
+	_, blob, err := exec()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	wr := newWriter()
-	wr.Uvarint(br.FirstJSN)
-	wr.Uvarint(br.Count)
-	wr.Digest(br.BatchHash)
-	wr.Int64(br.Timestamp)
-	sig.EncodePublicKey(wr, br.LSPPK)
-	sig.EncodeSignature(wr, br.LSPSig)
-	for _, d := range txHashes {
-		wr.Digest(d)
-	}
-	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes())})
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(blob)})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@
 #   scripts/check.sh fuzz     # 10s native fuzz smoke per wire decoder
 #   scripts/check.sh race     # the -race suites only
 #   scripts/check.sh crash    # crash-recovery torture (1000 crash points)
+#   scripts/check.sh chaos    # network-chaos torture (500 fault schedules, -race)
 #   scripts/check.sh all      # everything
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +38,8 @@ stage_fuzz() {
     go test -run xxx -fuzz FuzzDecodeExistenceProof -fuzztime 10s ./internal/ledger > /dev/null
     go test -run xxx -fuzz FuzzDecodeClueBundle -fuzztime 10s ./internal/ledger > /dev/null
     go test -run xxx -fuzz FuzzDecodeReceipt -fuzztime 10s ./internal/ledger > /dev/null
+    go test -run xxx -fuzz FuzzDecodeSchedule -fuzztime 10s ./internal/netchaos > /dev/null
+    go test -run xxx -fuzz FuzzMutateEnvelope -fuzztime 10s ./internal/netchaos > /dev/null
 }
 
 stage_race() {
@@ -60,6 +63,15 @@ stage_crash() {
     echo "== crash-recovery regressions (durability failpoints) =="
     go test -run 'TestSerialCommitDurability|TestPurgeRollForwardAfterCrash|TestTornPurgeJournalStaysInert' -count 1 ./internal/integration/crashtest
     go test -run 'TestTornHeaderReopen|TestShortWrite|TestSyncFailureKeepsSeq|TestDropUnsynced' -count 1 ./internal/streamfs/...
+}
+
+stage_chaos() {
+    echo "== network-chaos torture (netchaos, 500 seeded fault schedules, -race) =="
+    CHAOSTEST_ITERS=500 go test -race -timeout 600s -run TestNetworkChaosTorture -count 1 ./internal/integration/chaostest
+
+    echo "== network-chaos regressions (deterministic fault points) =="
+    go test -race -run 'TestAmbiguousLossRetriesExactlyOnce|TestMiddleboxDuplicateCommitsOnce|TestCorruptReceiptSurfacesEvidenceWithoutRetry|TestSlowLorisBoundedByDeadline|TestRetryAfterHonoredEndToEnd|TestDrainLosesNoCommittedGroup' -count 1 ./internal/integration/chaostest
+    go test -run 'TestRetrySemanticsByStatus|TestBreakerTripHalfOpenReset|TestLoadShed429UnderSaturation|TestReadyzFlipsDuringDrain' -count 1 ./internal/client ./internal/server
 }
 
 stage_bench() {
@@ -106,6 +118,7 @@ stage_all() {
     stage_fuzz
     stage_race
     stage_crash
+    stage_chaos
     stage_bench
     stage_examples
     stage_cli
@@ -118,9 +131,10 @@ case "${1:-all}" in
     fuzz) stage_fuzz ;;
     race) stage_race ;;
     crash) stage_crash ;;
+    chaos) stage_chaos ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|crash|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|chaos|all]" >&2
         exit 2
         ;;
 esac
