@@ -22,7 +22,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "extend size sweeps (slower, closer to the paper's axes)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bench [-full] [experiment]\nexperiments: table1 table2 storage fig5 fig7 fig8a fig8b fig8p fig9a fig9b fig10 paraudit proofqps all (default all)\n")
+		fmt.Fprintf(os.Stderr, "usage: bench [-full] [experiment]\nexperiments: table1 table2 storage fig5 fig7 fig8a fig8b fig8p fig9a fig9b fig10 paraudit proofqps shards all (default all)\n")
 	}
 	flag.Parse()
 
@@ -44,6 +44,7 @@ func main() {
 		"storage":  func() []*benchkit.Table { return []*benchkit.Table{benchkit.StorageTable()} },
 		"paraudit": func() []*benchkit.Table { return []*benchkit.Table{benchkit.ParAudit(*full)} },
 		"proofqps": func() []*benchkit.Table { return []*benchkit.Table{benchkit.ProofQPS(*full)} },
+		"shards":   func() []*benchkit.Table { return []*benchkit.Table{benchkit.ShardScaling(*full)} },
 		"fig10": func() []*benchkit.Table {
 			return []*benchkit.Table{
 				benchkit.Fig10a(*full), benchkit.Fig10b(*full),
@@ -52,7 +53,7 @@ func main() {
 		},
 	}
 
-	order := []string{"table1", "storage", "fig5", "fig7", "fig8a", "fig8b", "fig8p", "fig9a", "fig9b", "fig10", "paraudit", "proofqps", "table2"}
+	order := []string{"table1", "storage", "fig5", "fig7", "fig8a", "fig8b", "fig8p", "fig9a", "fig9b", "fig10", "paraudit", "proofqps", "shards", "table2"}
 
 	run := func(name string) {
 		gen, ok := experiments[name]

@@ -8,6 +8,14 @@
 //	ledgerdb-server [-addr :8420] [-uri ledger://demo] [-dir ./data]
 //	                [-height 15] [-block 128] [-dtau 1s] [-pipeline 256]
 //	                [-max-inflight 1024] [-req-timeout 30s] [-drain-timeout 30s]
+//	                [-shards 1] [-fold 1s]
+//
+// With -shards N > 1 the process runs the clue-sharded topology: N
+// engine instances each behind their own HTTP service on an ephemeral
+// loopback listener, a coordinator folding their fam roots into one
+// signed global state every -fold period, and the sharded router
+// serving -addr. Appends route by clue over the hardened client;
+// clients pin both the LSP key and the coordinator key.
 //
 // On startup it prints the LSP public key fingerprint clients must pin.
 // On SIGINT/SIGTERM it drains gracefully: /readyz flips to 503, new
@@ -21,14 +29,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"ledgerdb/internal/client"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/server"
+	"ledgerdb/internal/shard"
 	"ledgerdb/internal/sig"
 	"ledgerdb/internal/streamfs"
 	"ledgerdb/internal/tledger"
@@ -46,6 +58,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 1024, "concurrent requests admitted before shedding 429 (0 = unlimited)")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request handling timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	shards := flag.Int("shards", 1, "clue-sharded engine instances (1 = single node)")
+	fold := flag.Duration("fold", time.Second, "coordinator fold period (sharded mode)")
 	flag.Parse()
 
 	clock := func() int64 { return time.Now().UnixNano() }
@@ -71,31 +85,46 @@ func main() {
 		log.Fatalf("t-ledger: %v", err)
 	}
 
-	store := streamfs.NewMemory()
-	blobs := streamfs.NewMemoryBlobs()
-	if *dir != "" {
-		store, err = streamfs.OpenDisk(*dir+"/streams", streamfs.DiskOptions{SyncEvery: 256})
-		if err != nil {
-			log.Fatalf("open store: %v", err)
-		}
-		blobs, err = streamfs.OpenDiskBlobs(*dir + "/blobs")
-		if err != nil {
-			log.Fatalf("open blobs: %v", err)
-		}
+	nShards := *shards
+	if nShards < 1 {
+		nShards = 1
 	}
-	l, err := ledger.Open(ledger.Config{
-		URI:           *uri,
-		FractalHeight: uint8(*height),
-		BlockSize:     *block,
-		LSP:           lsp,
-		DBA:           dba.Public(),
-		Store:         store,
-		Blobs:         blobs,
-		Clock:         clock,
-		PipelineDepth: *pipeline,
-	})
-	if err != nil {
-		log.Fatalf("open ledger: %v", err)
+	openEngine := func(i int) *ledger.Ledger {
+		store := streamfs.NewMemory()
+		blobs := streamfs.NewMemoryBlobs()
+		if *dir != "" {
+			d := *dir
+			if nShards > 1 {
+				d = filepath.Join(d, fmt.Sprintf("shard-%d", i))
+			}
+			store, err = streamfs.OpenDisk(filepath.Join(d, "streams"), streamfs.DiskOptions{SyncEvery: 256})
+			if err != nil {
+				log.Fatalf("open store %d: %v", i, err)
+			}
+			blobs, err = streamfs.OpenDiskBlobs(filepath.Join(d, "blobs"))
+			if err != nil {
+				log.Fatalf("open blobs %d: %v", i, err)
+			}
+		}
+		l, err := ledger.Open(ledger.Config{
+			URI:           *uri,
+			FractalHeight: uint8(*height),
+			BlockSize:     *block,
+			LSP:           lsp,
+			DBA:           dba.Public(),
+			Store:         store,
+			Blobs:         blobs,
+			Clock:         clock,
+			PipelineDepth: *pipeline,
+		})
+		if err != nil {
+			log.Fatalf("open ledger %d: %v", i, err)
+		}
+		return l
+	}
+	engines := make([]*ledger.Ledger, nShards)
+	for i := range engines {
+		engines[i] = openEngine(i)
 	}
 
 	// Periodic time-notary finalization (Protocol 3 every Δτ).
@@ -109,13 +138,62 @@ func main() {
 		}
 	}()
 
-	srv := server.NewWithOptions(l, tl, server.Options{
+	srvOpts := server.Options{
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
-	})
+	}
+	shardSrvs := make([]*server.Server, nShards)
+	var front http.Handler
+	var coord *shard.Coordinator
+	if nShards == 1 {
+		shardSrvs[0] = server.NewWithOptions(engines[0], tl, srvOpts)
+		front = shardSrvs[0]
+	} else {
+		// Sharded topology: each engine behind its own hardened HTTP
+		// service on loopback; the router fans out over the hardened
+		// client and serves the coordinator's cross-shard artifacts.
+		part, err := shard.NewPartitioner(nShards)
+		if err != nil {
+			log.Fatalf("partitioner: %v", err)
+		}
+		coordKey, err := sig.Generate()
+		if err != nil {
+			log.Fatalf("generate coordinator key: %v", err)
+		}
+		coord = shard.NewCoordinator(*uri, engines, coordKey, clock)
+		coord.Start(*fold)
+		backends := make([]server.ShardBackend, nShards)
+		for i, l := range engines {
+			srv := server.NewWithOptions(l, tl, srvOpts)
+			shardSrvs[i] = srv
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("shard %d listener: %v", i, err)
+			}
+			go func(i int) {
+				if err := http.Serve(ln, srv); err != nil && !errors.Is(err, net.ErrClosed) {
+					log.Printf("shard %d serve: %v", i, err)
+				}
+			}(i)
+			backends[i] = &client.Client{
+				BaseURL: "http://" + ln.Addr().String(),
+				LSP:     lsp.Public(),
+				URI:     *uri,
+				Retries: 3,
+				Breaker: &client.Breaker{},
+			}
+			log.Printf("shard %d on %s", i, ln.Addr())
+		}
+		rt, err := server.NewRouter(coord, part, backends)
+		if err != nil {
+			log.Fatalf("router: %v", err)
+		}
+		front = rt
+	}
+
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: srv,
+		Handler: front,
 		// Listener-level timeouts: a slow-loris peer cannot hold a
 		// connection open indefinitely while it dribbles headers or
 		// ignores the response.
@@ -127,9 +205,12 @@ func main() {
 		httpSrv.WriteTimeout = 2 * time.Minute
 	}
 
-	fmt.Printf("ledgerdb-server: serving %s on %s\n", *uri, *addr)
+	fmt.Printf("ledgerdb-server: serving %s on %s (%d shard(s))\n", *uri, *addr, nShards)
 	fmt.Printf("  LSP public key (pin this in clients): %s\n", lsp.Public().Fingerprint())
-	fmt.Printf("  journals: %d, blocks: %d, Δτ: %v\n", l.Size(), l.Height(), *dtau)
+	if coord != nil {
+		fmt.Printf("  coordinator key (pin for global proofs): %s\n", coord.PublicKey().Fingerprint())
+	}
+	fmt.Printf("  journals: %d, Δτ: %v\n", engines[0].Size(), *dtau)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -143,17 +224,25 @@ func main() {
 	}
 
 	// Graceful drain: stop admitting (readyz flips to 503), let
-	// in-flight requests finish, stop the listener, then close the
-	// ledger so every admitted commit group is durable before exit.
+	// in-flight requests finish, stop the listeners, halt the fold loop,
+	// then close every engine so every admitted commit group is durable
+	// before exit.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain: %v", err)
+	for i, srv := range shardSrvs {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain shard %d: %v", i, err)
+		}
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := l.Close(); err != nil {
-		log.Printf("close ledger: %v", err)
+	if coord != nil {
+		coord.Stop()
+	}
+	for i, l := range engines {
+		if err := l.Close(); err != nil {
+			log.Printf("close ledger %d: %v", i, err)
+		}
 	}
 }

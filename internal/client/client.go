@@ -57,6 +57,10 @@ type Client struct {
 	// LSP is the pinned service-provider key every receipt, state, and
 	// proof is checked against. Required.
 	LSP sig.PublicKey
+	// Coordinator is the pinned cross-shard trust root: the key that
+	// signs global states. Required only for GlobalState and
+	// VerifyExistenceGlobal against a sharded deployment's router.
+	Coordinator sig.PublicKey
 	// URI is the target ledger identifier.
 	URI string
 	// Retries re-attempts a call after a retryable failure: 503/429 (the
@@ -117,6 +121,7 @@ func (c *Client) Clone() *Client {
 		HTTP:         c.HTTP,
 		Key:          c.Key,
 		LSP:          c.LSP,
+		Coordinator:  c.Coordinator,
 		URI:          c.URI,
 		Retries:      c.Retries,
 		RetryBackoff: c.RetryBackoff,
@@ -154,6 +159,13 @@ type envelope struct {
 	Size    uint64   `json:"size"`
 	Base    uint64   `json:"base"`
 	Height  uint64   `json:"height"`
+
+	// Sharded-topology fields (router responses).
+	Global   string            `json:"global"`
+	Shard    *int              `json:"shard"`
+	Shards   int               `json:"shards"`
+	Receipts map[string]string `json:"receipts"`
+	CoordKey string            `json:"coord_key"`
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -410,38 +422,8 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 // The submission carries an idempotency key (the signed request's
 // hash), so a retry after a lost response cannot double-append.
 func (c *Client) Append(payload []byte, clues ...string) (*journal.Receipt, error) {
-	req := &journal.Request{
-		LedgerURI: c.URI,
-		Type:      journal.TypeNormal,
-		Clues:     clues,
-		Payload:   payload,
-		Nonce:     c.nextNonce(),
-	}
-	if err := req.Sign(c.Key); err != nil {
-		return nil, err
-	}
-	rep, err := c.callIdem("POST", "/v1/append", map[string]string{
-		"request": base64.StdEncoding.EncodeToString(req.EncodeBytes()),
-	}, journal.RequestKey(req.Hash()))
-	if err != nil {
-		return nil, err
-	}
-	raw, err := rep.blob(rep.env.Receipt, "receipt")
-	if err != nil {
-		return nil, err
-	}
-	receipt, err := journal.DecodeReceipt(wire.NewReader(raw))
-	if err != nil {
-		return nil, rep.tamper("receipt decode", err)
-	}
-	if err := receipt.Verify(c.LSP); err != nil {
-		return nil, rep.tamper("receipt signature", err)
-	}
-	if receipt.RequestHash != req.Hash() {
-		return nil, rep.tamper("receipt request binding",
-			fmt.Errorf("%w: receipt acknowledges a different request", journal.ErrBadSignature))
-	}
-	return receipt, nil
+	_, receipt, err := c.AppendRouted(payload, clues...)
+	return receipt, err
 }
 
 // AppendBatch signs and submits several payloads in one exchange (the
@@ -454,8 +436,7 @@ func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 	if clues != nil && len(clues) != len(payloads) {
 		return nil, nil, fmt.Errorf("%w: %d clue sets for %d payloads", journal.ErrBadRequest, len(clues), len(payloads))
 	}
-	encoded := make([]string, len(payloads))
-	reqHashes := make([]hashutil.Digest, len(payloads))
+	reqs := make([]*journal.Request, len(payloads))
 	for i, p := range payloads {
 		req := &journal.Request{
 			LedgerURI: c.URI,
@@ -469,40 +450,9 @@ func (c *Client) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 		if err := req.Sign(c.Key); err != nil {
 			return nil, nil, err
 		}
-		encoded[i] = base64.StdEncoding.EncodeToString(req.EncodeBytes())
-		reqHashes[i] = req.Hash()
+		reqs[i] = req
 	}
-	rep, err := c.callIdem("POST", "/v1/append-batch", map[string]any{"requests": encoded}, journal.BatchRequestKey(reqHashes))
-	if err != nil {
-		return nil, nil, err
-	}
-	raw, err := rep.blob(rep.env.Receipt, "batch receipt")
-	if err != nil {
-		return nil, nil, err
-	}
-	r := wire.NewReader(raw)
-	br := &ledger.BatchReceipt{
-		FirstJSN:  r.Uvarint(),
-		Count:     r.Uvarint(),
-		BatchHash: r.Digest(),
-		Timestamp: r.Int64(),
-		LSPPK:     sig.DecodePublicKey(r),
-		LSPSig:    sig.DecodeSignature(r),
-	}
-	txHashes := make([]hashutil.Digest, 0, br.Count)
-	for i := uint64(0); i < br.Count; i++ {
-		txHashes = append(txHashes, r.Digest())
-		if r.Err() != nil {
-			return nil, nil, rep.tamper("batch receipt decode", r.Err())
-		}
-	}
-	if err := r.Finish(); err != nil {
-		return nil, nil, rep.tamper("batch receipt decode", err)
-	}
-	if err := br.Verify(c.LSP, txHashes); err != nil {
-		return nil, nil, rep.tamper("batch receipt signature", err)
-	}
-	return br, txHashes, nil
+	return c.SubmitBatch(reqs)
 }
 
 // State fetches and verifies the live signed state.

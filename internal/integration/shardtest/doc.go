@@ -1,0 +1,17 @@
+// Package shardtest is the multi-shard end-to-end suite: a full
+// clue-sharded topology (N engines behind hardened HTTP services, a
+// digest-range router fanning out over the hardened client, and the
+// coordinator folding shard fam roots into one signed global state),
+// exercised from the outside through real HTTP.
+//
+// The suite asserts the tentpole invariants of the sharded design:
+//
+//   - every record appended anywhere verifies through the single proof
+//     path record → shard fam root → coordinator-signed global root;
+//   - killing one shard leaves the others serving, loses no
+//     acknowledged receipt, and after a restart from the same stores
+//     the rewired topology folds, proves, and audits cleanly;
+//   - the Dasein audit passes per shard and the fold cross-check
+//     (independent fam-root replay + anchor-tree rebuild) matches the
+//     signed global root.
+package shardtest

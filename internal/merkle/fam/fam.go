@@ -298,6 +298,92 @@ func (t *Tree) hop(k int) (Hop, error) {
 	return Hop{Epoch: k, MergedLeaf: mp, Commitment: com}, nil
 }
 
+// RootAt returns the commitment the tree exposed when it held exactly
+// size journal leaves, 1 ≤ size ≤ Size(). Shrubs epochs retain every
+// computed cell, so any historical root is recomputable from the epoch
+// that held journal size-1 at the time.
+func (t *Tree) RootAt(size uint64) (hashutil.Digest, error) {
+	if size == 0 || size > t.size {
+		return hashutil.Zero, fmt.Errorf("%w: root at size %d of %d", ErrOutOfRange, size, t.size)
+	}
+	e, leaf, err := t.locate(size - 1)
+	if err != nil {
+		return hashutil.Zero, err
+	}
+	tree := t.epochTree(e)
+	if tree == nil {
+		return hashutil.Zero, fmt.Errorf("%w: epoch %d", ErrPruned, e)
+	}
+	return tree.RootAt(leaf + 1)
+}
+
+// ProveAt produces a cold proof for a journal index against the root the
+// tree exposed at journal count size (as returned by RootAt). A verifier
+// holding a commitment to some past ledger state — a folded shard head,
+// an old signed LedgerInfo — checks it with the ordinary Verify. Full
+// epochs between the journal and size contribute whole-epoch hops; the
+// epoch holding journal size-1 contributes a partial-frontier hop (or a
+// partial in-epoch path when the journal lives there itself).
+func (t *Tree) ProveAt(index, size uint64) (*Proof, error) {
+	if size == 0 || size > t.size {
+		return nil, fmt.Errorf("%w: proof at size %d of %d", ErrOutOfRange, size, t.size)
+	}
+	if index >= size {
+		return nil, fmt.Errorf("%w: journal %d at size %d", ErrOutOfRange, index, size)
+	}
+	es, leafLast, err := t.locate(size - 1)
+	if err != nil {
+		return nil, err
+	}
+	e, leaf, err := t.locate(index)
+	if err != nil {
+		return nil, err
+	}
+	if e == es {
+		// Journal and target share an epoch: one partial in-epoch path.
+		tree := t.epochTree(e)
+		if tree == nil {
+			return nil, fmt.Errorf("%w: epoch %d", ErrPruned, e)
+		}
+		ip, err := tree.ProveAt(leaf, leafLast+1)
+		if err != nil {
+			return nil, fmt.Errorf("fam: epoch %d: %w", e, err)
+		}
+		com, err := tree.RootAt(leafLast + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Proof{Index: index, Epoch: e, InEpoch: ip, EpochCommitment: com}, nil
+	}
+	// Epoch e was sealed by size: full in-epoch path, full hops up to
+	// es-1, then the partial hop into es at its then-current fill.
+	p, err := t.inEpochProof(index, e, leaf)
+	if err != nil {
+		return nil, err
+	}
+	for k := e + 1; k < es; k++ {
+		hop, err := t.hop(k)
+		if err != nil {
+			return nil, err
+		}
+		p.Hops = append(p.Hops, hop)
+	}
+	tree := t.epochTree(es)
+	if tree == nil {
+		return nil, fmt.Errorf("%w: epoch %d", ErrPruned, es)
+	}
+	mp, err := tree.ProveAt(0, leafLast+1)
+	if err != nil {
+		return nil, fmt.Errorf("fam: hop into epoch %d: %w", es, err)
+	}
+	com, err := tree.RootAt(leafLast + 1)
+	if err != nil {
+		return nil, err
+	}
+	p.Hops = append(p.Hops, Hop{Epoch: es, MergedLeaf: mp, Commitment: com})
+	return p, nil
+}
+
 // Anchor is a trusted checkpoint in the fam-aoa model (Figure 4(a)): a
 // verifier that holds an Anchor has cryptographically verified every
 // journal with index below Size and trusts the sealed epoch roots it

@@ -104,7 +104,19 @@ func (t *Tree) CellCount() uint64 {
 // roots of the complete subtrees, largest first. For a full tree (size a
 // power of two) it is a single digest — the root.
 func (t *Tree) Frontier() []hashutil.Digest {
-	n := t.Size()
+	f, _ := t.FrontierAt(t.Size())
+	return f
+}
+
+// FrontierAt returns the node-set proof the tree exposed when it held
+// exactly n leaves, n ≤ Size(). Every complete subtree of the first n
+// leaves is also a complete subtree now, so its root cell was computed at
+// the time and is still addressable — historical frontiers cost nothing
+// extra to retain.
+func (t *Tree) FrontierAt(n uint64) ([]hashutil.Digest, error) {
+	if n > t.Size() {
+		return nil, fmt.Errorf("%w: frontier at %d of %d", ErrOutOfRange, n, t.Size())
+	}
 	out := make([]hashutil.Digest, 0, bits.OnesCount64(n))
 	off := uint64(0)
 	for b := bits.Len64(n); b > 0; b-- {
@@ -115,7 +127,7 @@ func (t *Tree) Frontier() []hashutil.Digest {
 		out = append(out, t.levels[lvl][off>>lvl])
 		off += 1 << lvl
 	}
-	return out
+	return out, nil
 }
 
 // Root returns the single digest committing to the whole tree: the root
@@ -123,9 +135,18 @@ func (t *Tree) Frontier() []hashutil.Digest {
 // smallest subtrees fold into the larger ones, matching how the tree will
 // close as it fills).
 func (t *Tree) Root() (hashutil.Digest, error) {
-	f := t.Frontier()
-	if len(f) == 0 {
+	return t.RootAt(t.Size())
+}
+
+// RootAt returns the commitment the tree exposed when it held exactly n
+// leaves, n ≤ Size().
+func (t *Tree) RootAt(n uint64) (hashutil.Digest, error) {
+	if n == 0 {
 		return hashutil.Zero, ErrEmpty
+	}
+	f, err := t.FrontierAt(n)
+	if err != nil {
+		return hashutil.Zero, err
 	}
 	return BagFrontier(f), nil
 }
@@ -169,11 +190,22 @@ type Proof struct {
 
 // Prove produces the membership proof for leaf index at the current size.
 func (t *Tree) Prove(index uint64) (*Proof, error) {
-	n := t.Size()
+	return t.ProveAt(index, t.Size())
+}
+
+// ProveAt produces the membership proof leaf index would have received
+// when the tree held exactly n leaves, n ≤ Size(). The audit path inside
+// the leaf's then-complete subtree only touches cells that existed at
+// size n, so retained history serves proofs against any past frontier.
+func (t *Tree) ProveAt(index, n uint64) (*Proof, error) {
 	if index >= n {
 		return nil, fmt.Errorf("%w: leaf %d of %d", ErrOutOfRange, index, n)
 	}
-	p := &Proof{Index: index, TreeSize: n, Frontier: t.Frontier()}
+	f, err := t.FrontierAt(n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proof{Index: index, TreeSize: n, Frontier: f}
 	// Locate the complete subtree (frontier entry) containing the leaf.
 	off := uint64(0)
 	fi := 0

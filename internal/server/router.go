@@ -1,0 +1,261 @@
+// The sharded front door: a Router owns no ledger itself. It routes
+// each signed request to its clue's shard over the hardened client
+// (retries, idempotency keys, breaker — the backends are ordinary
+// ledger services), fans batches out shard-by-shard, and serves the
+// coordinator's cross-shard artifacts (global state, global proofs).
+// Single-node deployments never see it; a 1-shard Router degenerates to
+// a pass-through proxy.
+package server
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/shard"
+	"ledgerdb/internal/sig"
+)
+
+// ShardBackend is one shard's append path as the router sees it. The
+// hardened *client.Client satisfies it (SubmitRequest/SubmitBatch
+// forward pre-signed requests verbatim); the indirection exists because
+// the client package's own tests stand up servers, so server cannot
+// import client.
+type ShardBackend interface {
+	SubmitRequest(req *journal.Request) (*journal.Receipt, error)
+	SubmitBatch(reqs []*journal.Request) (*ledger.BatchReceipt, []hashutil.Digest, error)
+}
+
+// Router fronts a sharded deployment: requests in, shard-routed appends
+// out, plus the coordinator's global state and proofs. Reads that are
+// shard-local (existence proofs, clue lineages, state reads) go straight
+// to the owning shard's service — /v1/shard-of tells a client which.
+type Router struct {
+	Coord    *shard.Coordinator
+	Part     *shard.Partitioner
+	Backends []ShardBackend
+	mux      *http.ServeMux
+}
+
+// NewRouter wires the sharded front door. backends[i] must talk to the
+// same engine the coordinator folds at slot i, or routed receipts and
+// global proofs will disagree.
+func NewRouter(coord *shard.Coordinator, part *shard.Partitioner, backends []ShardBackend) (*Router, error) {
+	if coord.Shards() != len(backends) {
+		return nil, fmt.Errorf("%w: %d backends for %d shards", shard.ErrBadShards, len(backends), coord.Shards())
+	}
+	rt := &Router{Coord: coord, Part: part, Backends: backends, mux: http.NewServeMux()}
+	rt.mux.HandleFunc("POST /v1/append", rt.handleAppend)
+	rt.mux.HandleFunc("POST /v1/append-batch", rt.handleAppendBatch)
+	rt.mux.HandleFunc("GET /v1/global", rt.handleGlobal)
+	rt.mux.HandleFunc("GET /v1/proof-global/{shard}/{jsn}", rt.handleProofGlobal)
+	rt.mux.HandleFunc("GET /v1/shard-of", rt.handleShardOf)
+	rt.mux.HandleFunc("GET /v1/info", rt.handleInfo)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler. The router does no admission
+// control of its own: each backend already sheds load, and its 429/503
+// answers flow back through the forwarding client's error path.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// handleAppend decodes the signed request just enough to route it, then
+// forwards it whole. The backend re-verifies π_c; the response carries
+// the shard index so the submitter can later prove the record globally.
+func (rt *Router) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Request string `json:"request"`
+	}
+	if err := decodeJSONBody(w, r, maxAppendBody, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(body.Request)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", journal.ErrBadRequest, err))
+		return
+	}
+	req, err := journal.DecodeRequest(raw)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	i := rt.Part.Route(req)
+	receipt, err := rt.Backends[i].SubmitRequest(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wr := newWriter()
+	receipt.Encode(wr)
+	writeJSON(w, http.StatusOK, &Envelope{Receipt: b64(wr.Bytes()), Shard: &i})
+}
+
+// handleAppendBatch fans a batch out by shard: requests are grouped by
+// route, sub-batches submit concurrently, and the response maps shard
+// index → that shard's batch receipt (same wire layout as the
+// single-shard /v1/append-batch blob). Sub-batches commit independently;
+// a partial failure reports the error and omits only the failed shards.
+func (rt *Router) handleAppendBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []string `json:"requests"`
+	}
+	if err := decodeJSONBody(w, r, maxBatchBody, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeErr(w, fmt.Errorf("%w: empty batch", journal.ErrBadRequest))
+		return
+	}
+	groups := make(map[int][]*journal.Request)
+	for i, enc := range body.Requests {
+		raw, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: request %d: %v", journal.ErrBadRequest, i, err))
+			return
+		}
+		req, err := journal.DecodeRequest(raw)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s := rt.Part.Route(req)
+		groups[s] = append(groups[s], req)
+	}
+
+	type result struct {
+		shard int
+		blob  []byte
+		err   error
+	}
+	results := make(chan result, len(groups))
+	var wg sync.WaitGroup
+	for s, reqs := range groups {
+		wg.Add(1)
+		go func(s int, reqs []*journal.Request) {
+			defer wg.Done()
+			br, txHashes, err := rt.Backends[s].SubmitBatch(reqs)
+			if err != nil {
+				results <- result{shard: s, err: err}
+				return
+			}
+			results <- result{shard: s, blob: encodeBatchReceipt(br, txHashes)}
+		}(s, reqs)
+	}
+	wg.Wait()
+	close(results)
+
+	receipts := make(map[string]string, len(groups))
+	var firstErr error
+	for res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", res.shard, res.err)
+			}
+			continue
+		}
+		receipts[strconv.Itoa(res.shard)] = b64(res.blob)
+	}
+	if firstErr != nil {
+		// Committed sub-batches are reported alongside the error so the
+		// submitter knows exactly which journals landed.
+		writeJSON(w, http.StatusBadGateway, &Envelope{Receipts: receipts, Error: firstErr.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Receipts: receipts})
+}
+
+// encodeBatchReceipt mirrors handleAppendBatch's blob layout so sharded
+// and single-node batch receipts decode identically client-side.
+func encodeBatchReceipt(br *ledger.BatchReceipt, txHashes []hashutil.Digest) []byte {
+	wr := newWriter()
+	wr.Uvarint(br.FirstJSN)
+	wr.Uvarint(br.Count)
+	wr.Digest(br.BatchHash)
+	wr.Int64(br.Timestamp)
+	sig.EncodePublicKey(wr, br.LSPPK)
+	sig.EncodeSignature(wr, br.LSPSig)
+	for _, d := range txHashes {
+		wr.Digest(d)
+	}
+	return wr.Bytes()
+}
+
+// handleGlobal serves the freshest coordinator-signed global state,
+// folding on demand when none exists yet.
+func (rt *Router) handleGlobal(w http.ResponseWriter, r *http.Request) {
+	f := rt.Coord.Current()
+	if f == nil {
+		var err error
+		if f, err = rt.Coord.Fold(); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Global: b64(f.State.EncodeBytes())})
+}
+
+// handleProofGlobal serves the full cross-shard existence proof for
+// (shard, jsn): record → shard fam root → signed global root.
+func (rt *Router) handleProofGlobal(w http.ResponseWriter, r *http.Request) {
+	sIdx, err := strconv.Atoi(r.PathValue("shard"))
+	if err != nil || sIdx < 0 || sIdx >= rt.Coord.Shards() {
+		writeErr(w, fmt.Errorf("%w: shard %q of %d", journal.ErrBadRequest, r.PathValue("shard"), rt.Coord.Shards()))
+		return
+	}
+	jsn, err := pathJSN(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	withPayload := r.URL.Query().Get("payload") == "1"
+	p, err := rt.Coord.ProveGlobal(sIdx, jsn, withPayload)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+// handleShardOf tells a client which shard owns a clue, so shard-local
+// reads (lineage proofs, existence proofs by receipt) can go straight to
+// the owning service.
+func (rt *Router) handleShardOf(w http.ResponseWriter, r *http.Request) {
+	clue := r.URL.Query().Get("clue")
+	if clue == "" {
+		writeErr(w, fmt.Errorf("%w: missing clue", journal.ErrBadRequest))
+		return
+	}
+	i := rt.Part.ShardOfClue(clue)
+	writeJSON(w, http.StatusOK, &Envelope{Shard: &i, Shards: rt.Coord.Shards()})
+}
+
+// handleInfo aggregates the topology: total journal count across shards,
+// the shard count, and the coordinator key clients pin for VerifyGlobal.
+func (rt *Router) handleInfo(w http.ResponseWriter, r *http.Request) {
+	n := rt.Coord.Shards()
+	var size uint64
+	for i := 0; i < n; i++ {
+		size += rt.Coord.Shard(i).Size()
+	}
+	writeJSON(w, http.StatusOK, &Envelope{
+		URI:      rt.Coord.Shard(0).URI(),
+		Size:     size,
+		Shards:   n,
+		CoordKey: rt.Coord.PublicKey().Hex(),
+		LSPKey:   rt.Coord.Shard(0).LSPPublic().Hex(),
+	})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, &Envelope{})
+}

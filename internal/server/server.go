@@ -85,6 +85,13 @@ type Envelope struct {
 	Base   uint64 `json:"base,omitempty"`
 	Height uint64 `json:"height,omitempty"`
 	LSPKey string `json:"lsp_key,omitempty"` // hex; clients pin it (TOFU)
+
+	// Sharded-topology fields (router responses only).
+	Global   string            `json:"global,omitempty"`   // b64 GlobalState
+	Shard    *int              `json:"shard,omitempty"`    // routed shard index
+	Shards   int               `json:"shards,omitempty"`   // topology width
+	Receipts map[string]string `json:"receipts,omitempty"` // shard idx → b64 batch receipt
+	CoordKey string            `json:"coord_key,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, env *Envelope) {

@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/merkle/accumulator"
+	"ledgerdb/internal/sig"
+)
+
+// Fold is one coordinator epoch: the signed global state, the exact
+// per-shard heads it folded, and the anchor tree over their leaves
+// (retained to serve accumulator paths for this epoch's proofs).
+type Fold struct {
+	State *GlobalState
+	Heads []ledger.FamHead
+	acc   *accumulator.Accumulator
+}
+
+// HeadOf returns the folded Head (identity-bound form) for shard i.
+func (f *Fold) HeadOf(i int) Head {
+	return Head{Shard: uint32(i), Size: f.Heads[i].Size, Root: f.Heads[i].Root}
+}
+
+// ProveHead returns the accumulator path for shard i's head-leaf against
+// the fold's signed root.
+func (f *Fold) ProveHead(i int) (*accumulator.Proof, error) {
+	return f.acc.Prove(uint64(i))
+}
+
+// FoldRoot rebuilds the anchor-tree root over an ordered head slice —
+// the auditor's independent recomputation of what a GlobalState should
+// sign. Shard identity is positional: heads[i] is folded as shard i.
+func FoldRoot(heads []ledger.FamHead) hashutil.Digest {
+	acc := accumulator.New()
+	for i, h := range heads {
+		acc.Append(Head{Shard: uint32(i), Size: h.Size, Root: h.Root}.Leaf())
+	}
+	root, err := acc.Root()
+	if err != nil {
+		return hashutil.Zero
+	}
+	return root
+}
+
+// Coordinator periodically folds every shard's fam head into a top-level
+// accumulator and signs one GlobalState over the result. It is the
+// cross-shard trust root: clients pin its public key the way single-node
+// clients pin the LSP's.
+//
+// Lock discipline (verlint L1): head gathering, accumulator construction,
+// and the ECDSA signature all run with no coordinator lock held — each
+// shard's FamHead takes only that shard's own read lock — and the mutex
+// guards nothing but the publish of the finished fold and the shard
+// slice. Concurrent Fold calls may race to sign; publish keeps the
+// highest epoch.
+type Coordinator struct {
+	uri   string
+	kp    *sig.KeyPair
+	clock func() int64
+
+	epoch atomic.Uint64 // fold counter; assigned outside the mutex
+
+	mu     sync.RWMutex
+	shards []*ledger.Ledger
+	cur    *Fold
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCoordinator wires a coordinator over an ordered shard slice. The
+// key pair signs global states; clock stamps them (same convention as
+// ledger.Options.Clock).
+func NewCoordinator(uri string, shards []*ledger.Ledger, kp *sig.KeyPair, clock func() int64) *Coordinator {
+	ss := make([]*ledger.Ledger, len(shards))
+	copy(ss, shards)
+	return &Coordinator{
+		uri:    uri,
+		kp:     kp,
+		clock:  clock,
+		shards: ss,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.shards)
+}
+
+// PublicKey returns the coordinator's verification key.
+func (c *Coordinator) PublicKey() sig.PublicKey { return c.kp.Public() }
+
+// SetShard rewires slot i to a new engine instance — the kill-and-restart
+// path: reopening a shard yields a fresh *ledger.Ledger over the same
+// durable streams, and the next fold picks up its recovered head.
+func (c *Coordinator) SetShard(i int, l *ledger.Ledger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards[i] = l
+}
+
+// Shard returns the engine currently wired at slot i.
+func (c *Coordinator) Shard(i int) *ledger.Ledger {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shards[i]
+}
+
+// Fold gathers every shard's fam head, builds the anchor tree, signs the
+// global state, and publishes it as the current fold. Heads are gathered
+// one shard at a time — the fold is not a cross-shard atomic snapshot,
+// and does not need to be: each head is individually exact (size and
+// root under one shard-lock epoch), and that is the pair proofs verify
+// against.
+func (c *Coordinator) Fold() (*Fold, error) {
+	c.mu.RLock()
+	shards := make([]*ledger.Ledger, len(c.shards))
+	copy(shards, c.shards)
+	c.mu.RUnlock()
+
+	heads := make([]ledger.FamHead, len(shards))
+	acc := accumulator.New()
+	for i, l := range shards {
+		h, err := l.FamHead()
+		if err != nil {
+			return nil, fmt.Errorf("shard: fold head %d: %w", i, err)
+		}
+		heads[i] = h
+		acc.Append(Head{Shard: uint32(i), Size: h.Size, Root: h.Root}.Leaf())
+	}
+	root, err := acc.Root()
+	if err != nil {
+		return nil, fmt.Errorf("shard: fold: %w", err)
+	}
+	st := &GlobalState{
+		URI:       c.uri,
+		Epoch:     c.epoch.Add(1), // atomic: no two folds sign the same epoch
+		Shards:    uint32(len(shards)),
+		Root:      root,
+		Timestamp: c.clock(),
+	}
+	// Sign with no lock held at all (verlint L1). Concurrent folds race
+	// to sign distinct epochs; publish keeps the highest.
+	if err := st.sign(c.kp); err != nil {
+		return nil, fmt.Errorf("shard: sign global state: %w", err)
+	}
+	f := &Fold{State: st, Heads: heads, acc: acc}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil || st.Epoch > c.cur.State.Epoch {
+		c.cur = f
+	}
+	return f, nil
+}
+
+// Current returns the latest published fold, or nil before the first.
+func (c *Coordinator) Current() *Fold {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cur
+}
+
+// ProveGlobal builds the full cross-shard existence proof for (shard,
+// jsn). When the current fold does not yet cover the record, it folds
+// once on demand — a fresh receipt is provable immediately rather than
+// after the next tick.
+func (c *Coordinator) ProveGlobal(shardIdx int, jsn uint64, withPayload bool) (*GlobalProof, error) {
+	if shardIdx < 0 || shardIdx >= c.Shards() {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrBadShards, shardIdx, c.Shards())
+	}
+	f := c.Current()
+	if f == nil || jsn >= f.Heads[shardIdx].Size {
+		var err error
+		if f, err = c.Fold(); err != nil {
+			return nil, err
+		}
+	}
+	head := f.Heads[shardIdx]
+	if jsn >= head.Size {
+		return nil, fmt.Errorf("%w: jsn %d, shard %d folded at %d", ErrNotFolded, jsn, shardIdx, head.Size)
+	}
+	ap, err := f.ProveHead(shardIdx)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := c.Shard(shardIdx).ProveExistenceAt(jsn, head.Size, withPayload)
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalProof{
+		Head:   f.HeadOf(shardIdx),
+		Acc:    ap,
+		Record: rp,
+		Global: f.State,
+	}, nil
+}
+
+// Start launches the periodic fold loop (at most once). Fold errors are
+// transient — the next tick retries; the loop never exits on its own.
+func (c *Coordinator) Start(interval time.Duration) {
+	c.startOnce.Do(func() {
+		c.mu.Lock()
+		c.started = true
+		c.mu.Unlock()
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					if _, err := c.Fold(); err != nil {
+						continue // next tick retries
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the fold loop and waits for it to exit. Idempotent, and
+// safe to call whether or not Start ever ran.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.RLock()
+	started := c.started
+	c.mu.RUnlock()
+	if started {
+		<-c.done
+	}
+}

@@ -1,0 +1,99 @@
+// Package shard makes "N shards + coordinator" a first-class ledger
+// topology. A digest-range partitioner routes every append to one of N
+// independent ledger.Ledger instances by its first clue (so a clue's
+// entire lineage — its CM-Tree — lives in exactly one shard); a
+// coordinator periodically folds the per-shard fam roots into one
+// top-level accumulator and signs a single global state, so every record
+// keeps a single proof path: record → shard fam root → global root.
+//
+// The fold borrows GlassDB's structure (PAPERS.md): per-partition
+// verifiable logs stay individually auditable, while the signed top-level
+// commitment is what external verifiers pin. Trust in a cross-shard proof
+// bottoms out in the coordinator's signature; the shard LSP signature is
+// bypassed on the global path (it still backs shard-local receipts).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+)
+
+// MaxShards bounds a topology; the accumulator path over shard heads
+// stays ≤ 10 hashes at this bound, and decode-side checks reuse it.
+const MaxShards = 1024
+
+// Errors returned by this package.
+var (
+	ErrBadShards = errors.New("shard: shard count must be in [1, 1024]")
+	ErrBadProof  = errors.New("shard: global proof verification failed")
+	ErrNotFolded = errors.New("shard: record not yet covered by a fold")
+)
+
+// Partitioner maps digests to shards by range-partitioning the digest
+// space: shard i owns keys [i·2^64/n, (i+1)·2^64/n) of the first eight
+// digest bytes. Range (not modulo) partitioning keeps the map monotone in
+// the key, which makes ownership intervals contiguous and cheap to state
+// in operational runbooks ("shard 2 owns prefixes 40… to 7f…").
+type Partitioner struct {
+	n uint64
+}
+
+// NewPartitioner returns a partitioner over n shards.
+func NewPartitioner(n int) (*Partitioner, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("%w: %d", ErrBadShards, n)
+	}
+	return &Partitioner{n: uint64(n)}, nil
+}
+
+// Shards returns the shard count.
+func (p *Partitioner) Shards() int { return int(p.n) }
+
+// ShardOf routes a digest: the first eight bytes, read big-endian, scaled
+// into [0, n) with a 128-bit multiply — exact range partitioning with no
+// division and no bias.
+func (p *Partitioner) ShardOf(d hashutil.Digest) int {
+	v := uint64(d[0])<<56 | uint64(d[1])<<48 | uint64(d[2])<<40 | uint64(d[3])<<32 |
+		uint64(d[4])<<24 | uint64(d[5])<<16 | uint64(d[6])<<8 | uint64(d[7])
+	hi, _ := bits.Mul64(v, p.n)
+	return int(hi)
+}
+
+// ShardOfClue routes a clue label through the digest of its name.
+func (p *Partitioner) ShardOfClue(clue string) int {
+	return p.ShardOf(hashutil.Sum([]byte(clue)))
+}
+
+// Route assigns a client request to a shard. Precedence: the first clue
+// (clue locality is the point of clue-sharding — a lineage must stay in
+// one CM-Tree), else the world-state key (so a key's latest-value chain
+// stays in one MPT), else the request-hash (uniform spread for unlabeled
+// journals).
+func (p *Partitioner) Route(req *journal.Request) int {
+	if len(req.Clues) > 0 {
+		return p.ShardOfClue(req.Clues[0])
+	}
+	if len(req.StateKey) > 0 {
+		return p.ShardOf(hashutil.Sum(req.StateKey))
+	}
+	return p.ShardOf(req.Hash())
+}
+
+// RangeStart returns the smallest value of the leading eight digest bytes
+// that routes to shard i — the inclusive lower boundary of its interval.
+// Tests and runbooks use it to name ownership ranges.
+func (p *Partitioner) RangeStart(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	// ceil(i·2^64 / n): Div64 computes floor((i·2^64)/n) with remainder.
+	q, r := bits.Div64(uint64(i), 0, p.n)
+	if r != 0 {
+		q++
+	}
+	return q
+}

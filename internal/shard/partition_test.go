@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/sig"
+)
+
+func digestWithPrefix(v uint64) hashutil.Digest {
+	var d hashutil.Digest
+	binary.BigEndian.PutUint64(d[:8], v)
+	return d
+}
+
+func TestNewPartitionerBounds(t *testing.T) {
+	for _, n := range []int{0, -1, MaxShards + 1} {
+		if _, err := NewPartitioner(n); !errors.Is(err, ErrBadShards) {
+			t.Fatalf("NewPartitioner(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{1, 2, MaxShards} {
+		p, err := NewPartitioner(n)
+		if err != nil {
+			t.Fatalf("NewPartitioner(%d): %v", n, err)
+		}
+		if p.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", p.Shards(), n)
+		}
+	}
+}
+
+// TestBoundaryDigests pins the exact range edges: for every shard, the
+// digest at RangeStart routes to it, and the digest one below routes to
+// its predecessor. Shard counts include non-powers-of-two, where ranges
+// are unequal by one unit and off-by-one bugs live.
+func TestBoundaryDigests(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 16, 100, MaxShards} {
+		p, err := NewPartitioner(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			lo := p.RangeStart(i)
+			if got := p.ShardOf(digestWithPrefix(lo)); got != i {
+				t.Fatalf("n=%d: RangeStart(%d)=%#x routes to %d", n, i, lo, got)
+			}
+			if i > 0 {
+				if got := p.ShardOf(digestWithPrefix(lo - 1)); got != i-1 {
+					t.Fatalf("n=%d: boundary-1 of shard %d routes to %d", n, i, got)
+				}
+			}
+		}
+		// The extremes of the key space.
+		if got := p.ShardOf(digestWithPrefix(0)); got != 0 {
+			t.Fatalf("n=%d: zero digest routes to %d", n, got)
+		}
+		if got := p.ShardOf(digestWithPrefix(^uint64(0))); got != n-1 {
+			t.Fatalf("n=%d: max digest routes to %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+// TestStableAssignment is the property test: routing is a pure function
+// of (digest, shard count) — independent partitioner instances agree on
+// every input, the result is always in range, and it is monotone in the
+// digest prefix (range partitioning).
+func TestStableAssignment(t *testing.T) {
+	check := func(prefixA, prefixB uint64, nRaw uint16) bool {
+		n := int(nRaw)%MaxShards + 1
+		p1, _ := NewPartitioner(n)
+		p2, _ := NewPartitioner(n)
+		a1 := p1.ShardOf(digestWithPrefix(prefixA))
+		if a2 := p2.ShardOf(digestWithPrefix(prefixA)); a1 != a2 {
+			return false
+		}
+		if a1 < 0 || a1 >= n {
+			return false
+		}
+		b := p1.ShardOf(digestWithPrefix(prefixB))
+		if prefixA <= prefixB && a1 > b {
+			return false // monotonicity violated
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoutePrecedence pins the routing rule: first clue wins, then the
+// state key, then the request hash.
+func TestRoutePrecedence(t *testing.T) {
+	p, err := NewPartitioner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sig.GenerateDeterministic("route-test")
+	req := &journal.Request{
+		LedgerURI: "ledger://route",
+		Type:      journal.TypeNormal,
+		Clues:     []string{"alpha", "beta"},
+		StateKey:  []byte("state-key"),
+		Payload:   []byte("payload"),
+	}
+	if err := req.Sign(key); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Route(req), p.ShardOfClue("alpha"); got != want {
+		t.Fatalf("clue routing: %d, want first clue's shard %d", got, want)
+	}
+	req.Clues = nil
+	if got, want := p.Route(req), p.ShardOf(hashutil.Sum([]byte("state-key"))); got != want {
+		t.Fatalf("state-key routing: %d, want %d", got, want)
+	}
+	req.StateKey = nil
+	if got, want := p.Route(req), p.ShardOf(req.Hash()); got != want {
+		t.Fatalf("hash routing: %d, want %d", got, want)
+	}
+}
+
+// TestClueLocality: every version of a clue lands on the same shard no
+// matter what else the request carries — the invariant that keeps a
+// lineage in one CM-Tree.
+func TestClueLocality(t *testing.T) {
+	p, err := NewPartitioner(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.ShardOfClue("invoice-42")
+	for i := 0; i < 10; i++ {
+		req := &journal.Request{
+			LedgerURI: "ledger://route",
+			Type:      journal.TypeNormal,
+			Clues:     []string{"invoice-42"},
+			Payload:   []byte{byte(i)},
+			Nonce:     uint64(i),
+		}
+		if got := p.Route(req); got != want {
+			t.Fatalf("version %d of clue routed to %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSingleShardDegenerate: n=1 sends everything to shard 0.
+func TestSingleShardDegenerate(t *testing.T) {
+	p, err := NewPartitioner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		if got := p.ShardOf(digestWithPrefix(v)); got != 0 {
+			t.Fatalf("ShardOf(%#x) = %d on 1 shard", v, got)
+		}
+	}
+}
+
+// TestDistributionRoughlyUniform guards against gross skew: hashing 4096
+// distinct clues over 8 shards, no shard should be empty or hold more
+// than twice its fair share.
+func TestDistributionRoughlyUniform(t *testing.T) {
+	p, err := NewPartitioner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		counts[p.ShardOfClue(string(rune('a'))+string(digestWithPrefix(uint64(i)).String()))]++
+	}
+	for i, c := range counts {
+		if c == 0 || c > 1024 {
+			t.Fatalf("shard %d holds %d of 4096", i, c)
+		}
+	}
+}
+
+// FuzzRoute exercises the routing function against arbitrary inputs: the
+// result must be deterministic, in range, and clue-local.
+func FuzzRoute(f *testing.F) {
+	f.Add([]byte("payload"), "clue", []byte("key"), uint16(4))
+	f.Add([]byte{}, "", []byte{}, uint16(1))
+	f.Add([]byte{0xff}, "boundary", []byte{0x00}, uint16(1024))
+	f.Add([]byte("x"), "trail/2024/q3", []byte("acct:77"), uint16(3))
+	f.Fuzz(func(t *testing.T, payload []byte, clue string, stateKey []byte, nRaw uint16) {
+		n := int(nRaw)%MaxShards + 1
+		p, err := NewPartitioner(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := &journal.Request{
+			LedgerURI: "ledger://fuzz",
+			Type:      journal.TypeNormal,
+			Payload:   payload,
+			StateKey:  stateKey,
+		}
+		if clue != "" {
+			req.Clues = []string{clue}
+		}
+		got := p.Route(req)
+		if got < 0 || got >= n {
+			t.Fatalf("route %d outside [0,%d)", got, n)
+		}
+		if got2 := p.Route(req); got2 != got {
+			t.Fatalf("routing not deterministic: %d then %d", got, got2)
+		}
+		if clue != "" && got != p.ShardOfClue(clue) {
+			t.Fatalf("clued request routed to %d, clue owns %d", got, p.ShardOfClue(clue))
+		}
+	})
+}

@@ -92,6 +92,15 @@ func (w *Writer) Digest(d hashutil.Digest) { w.buf = append(w.buf, d[:]...) }
 // fields whose length is part of the format.
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
 
+// DigestSlice appends a uvarint count followed by that many fixed-width
+// digests. Cross-shard proof segments and frontier lists use it.
+func (w *Writer) DigestSlice(ds []hashutil.Digest) {
+	w.Uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.Digest(d)
+	}
+}
+
 // Reader consumes a deterministic encoding produced by Writer.
 type Reader struct {
 	buf []byte
@@ -234,3 +243,24 @@ func (r *Reader) Digest() hashutil.Digest {
 
 // Raw reads n bytes verbatim.
 func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// DigestSlice reads a counted digest list written by Writer.DigestSlice,
+// rejecting counts above max (decoder hardening against hostile inputs).
+func (r *Reader) DigestSlice(max uint64) []hashutil.Digest {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > max {
+		r.fail(fmt.Errorf("%w: digest list of %d (max %d)", ErrOverflow, n, max))
+		return nil
+	}
+	out := make([]hashutil.Digest, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.Digest())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}

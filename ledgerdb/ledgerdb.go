@@ -17,6 +17,9 @@ package ledgerdb
 
 import (
 	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"ledgerdb/internal/audit"
@@ -24,6 +27,7 @@ import (
 	"ledgerdb/internal/hashutil"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/shard"
 	"ledgerdb/internal/sig"
 	"ledgerdb/internal/streamfs"
 	"ledgerdb/internal/tledger"
@@ -71,6 +75,14 @@ type (
 	TLedger = tledger.TLedger
 	// TSAPool is a pool of time-stamp authorities.
 	TSAPool = tsa.Pool
+	// Partitioner routes requests to shards by digest range.
+	Partitioner = shard.Partitioner
+	// Coordinator folds shard fam roots into the signed global state.
+	Coordinator = shard.Coordinator
+	// GlobalState is the coordinator-signed top-level LedgerInfo.
+	GlobalState = shard.GlobalState
+	// GlobalProof is the cross-shard record → global-root proof.
+	GlobalProof = shard.GlobalProof
 )
 
 // Journal types.
@@ -89,6 +101,8 @@ var (
 	VerifyExistence = ledger.VerifyExistence
 	// VerifyClue is the client-side lineage verification (§IV-C).
 	VerifyClue = ledger.VerifyClue
+	// VerifyGlobal is the client-side cross-shard verification.
+	VerifyGlobal = shard.VerifyGlobal
 	// Audit runs the Dasein-complete audit (§V).
 	Audit = audit.Audit
 	// GenerateKey creates a fresh identity.
@@ -130,30 +144,118 @@ type StackOptions struct {
 	// .SyncEvery): commit points always sync; a positive value also
 	// syncs the journal/digest streams every N applied records.
 	SyncEvery int
+	// Shards is the number of clue-sharded engine instances (0 or 1 =
+	// single node — the 1-shard degenerate case). All shards share the
+	// deployment URI, LSP key, CA, registry, and T-Ledger; appends route
+	// by clue through a digest-range partitioner, and a coordinator
+	// folds the per-shard fam roots into one signed global state.
+	Shards int
+	// FoldInterval starts the coordinator's background fold loop with
+	// that period (0 = fold on demand only — proofs and audits fold
+	// synchronously when needed).
+	FoldInterval time.Duration
 }
 
 // DiskOptions re-exports the stream-store tuning knobs.
 type DiskOptions = streamfs.DiskOptions
 
-// Stack is a complete local deployment: one ledger, its LSP and DBA
-// identities, a CA with a member registry, a TSA pool, and a T-Ledger.
+// Stack is a complete local deployment: N clue-sharded ledgers (one in
+// single-node mode) behind a routing partitioner, the cross-shard
+// coordinator, the shared LSP and DBA identities, a CA with a member
+// registry, a TSA pool, and a T-Ledger. Ledger aliases shard 0, so
+// single-node code reads exactly as before.
 type Stack struct {
-	Ledger   *ledger.Ledger
-	TLedger  *tledger.TLedger
-	TSAs     *tsa.Pool
-	CA       *ca.Authority
-	Registry *ca.Registry
-	LSP      *sig.KeyPair
-	DBA      *sig.KeyPair
+	Ledger      *ledger.Ledger   // shard 0 — the whole ledger in single-node mode
+	Shards      []*ledger.Ledger // all shards, in partition order
+	Partitioner *shard.Partitioner
+	Coordinator *shard.Coordinator
+	TLedger     *tledger.TLedger
+	TSAs        *tsa.Pool
+	CA          *ca.Authority
+	Registry    *ca.Registry
+	LSP         *sig.KeyPair
+	DBA         *sig.KeyPair
 
 	uri   string
 	clock func() int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// shardWiring is the deployment-wide context every shard builder shares:
+// one URI, one LSP key, one registry, one clock. Keeping it explicit is
+// what makes the single-node path the literal 1-shard case instead of a
+// diverging copy of the construction code.
+type shardWiring struct {
+	opts     StackOptions
+	clock    func() int64
+	lsp      *sig.KeyPair
+	dba      sig.PublicKey
+	registry *ca.Registry
+}
+
+// openShardStorage opens shard i's stream and blob stores. Single-node
+// keeps the historical flat layout (Dir/streams, Dir/blobs) so existing
+// data directories reopen unchanged; sharded deployments nest each shard
+// under Dir/shard-<i>/.
+func (w shardWiring) openShardStorage(i, total int) (streamfs.Store, streamfs.BlobStore, error) {
+	if w.opts.Dir == "" {
+		return streamfs.NewMemory(), streamfs.NewMemoryBlobs(), nil
+	}
+	dir := w.opts.Dir
+	if total > 1 {
+		dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+	}
+	store, err := streamfs.OpenDisk(filepath.Join(dir, "streams"), w.opts.Disk)
+	if err != nil {
+		return nil, nil, err
+	}
+	blobs, err := streamfs.OpenDiskBlobs(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, blobs, nil
+}
+
+// buildShardLedger wires one engine instance — the reusable per-shard
+// builder behind both NewStack paths. Every shard runs under the shared
+// URI and LSP key: client requests are signed over the URI, so routing
+// stays transparent to clients, and the 1-shard stack is byte-identical
+// to the historical single-node one. Shard identity is bound later, in
+// the coordinator's accumulator leaves, not here.
+func (w shardWiring) buildShardLedger(i, total int) (*ledger.Ledger, error) {
+	store, blobs, err := w.openShardStorage(i, total)
+	if err != nil {
+		return nil, err
+	}
+	return ledger.Open(ledger.Config{
+		URI:           w.opts.URI,
+		FractalHeight: w.opts.FractalHeight,
+		BlockSize:     w.opts.BlockSize,
+		Clock:         w.clock,
+		LSP:           w.lsp,
+		Registry:      w.registry,
+		DBA:           w.dba,
+		Store:         store,
+		Blobs:         blobs,
+		PipelineDepth: w.opts.PipelineDepth,
+		SyncEvery:     w.opts.SyncEvery,
+	})
 }
 
 // NewStack builds and starts a deployment.
 func NewStack(opts StackOptions) (*Stack, error) {
 	if opts.URI == "" {
 		opts.URI = "ledger://local"
+	}
+	nShards := opts.Shards
+	if nShards == 0 {
+		nShards = 1
+	}
+	part, err := shard.NewPartitioner(nShards)
+	if err != nil {
+		return nil, err
 	}
 	clock := opts.Clock
 	if clock == nil {
@@ -169,6 +271,10 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		return nil, err
 	}
 	dba, err := sig.Generate()
+	if err != nil {
+		return nil, err
+	}
+	coordKey, err := sig.Generate()
 	if err != nil {
 		return nil, err
 	}
@@ -190,13 +296,16 @@ func NewStack(opts StackOptions) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Certify the built-in parties.
+	// Certify the built-in parties. The coordinator is LSP-operated in
+	// the paper's trust model, so its fold-signing key carries the LSP
+	// role under its own identity.
 	for _, grant := range []struct {
 		pk   sig.PublicKey
 		role ca.Role
 		name string
 	}{
 		{lsp.Public(), ca.RoleLSP, "lsp"},
+		{coordKey.Public(), ca.RoleLSP, "coordinator"},
 		{dba.Public(), ca.RoleDBA, "dba"},
 		{tl.Public(), ca.RoleTSA, "t-ledger"},
 	} {
@@ -218,45 +327,84 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		}
 	}
 
-	store := streamfs.NewMemory()
-	blobs := streamfs.NewMemoryBlobs()
-	if opts.Dir != "" {
-		store, err = streamfs.OpenDisk(opts.Dir+"/streams", opts.Disk)
+	wiring := shardWiring{opts: opts, clock: clock, lsp: lsp, dba: dba.Public(), registry: registry}
+	shards := make([]*ledger.Ledger, nShards)
+	for i := range shards {
+		l, err := wiring.buildShardLedger(i, nShards)
 		if err != nil {
-			return nil, err
+			for _, built := range shards[:i] {
+				built.Close()
+			}
+			return nil, fmt.Errorf("ledgerdb: shard %d: %w", i, err)
 		}
-		blobs, err = streamfs.OpenDiskBlobs(opts.Dir + "/blobs")
-		if err != nil {
-			return nil, err
-		}
+		shards[i] = l
 	}
-	l, err := ledger.Open(ledger.Config{
-		URI:           opts.URI,
-		FractalHeight: opts.FractalHeight,
-		BlockSize:     opts.BlockSize,
-		Clock:         clock,
-		LSP:           lsp,
-		Registry:      registry,
-		DBA:           dba.Public(),
-		Store:         store,
-		Blobs:         blobs,
-		PipelineDepth: opts.PipelineDepth,
-		SyncEvery:     opts.SyncEvery,
-	})
+	coord := shard.NewCoordinator(opts.URI, shards, coordKey, clock)
+	if opts.FoldInterval > 0 {
+		coord.Start(opts.FoldInterval)
+	}
+	return &Stack{
+		Ledger:      shards[0],
+		Shards:      shards,
+		Partitioner: part,
+		Coordinator: coord,
+		TLedger:     tl,
+		TSAs:        pool,
+		CA:          authority,
+		Registry:    registry,
+		LSP:         lsp,
+		DBA:         dba,
+		uri:         opts.URI,
+		clock:       clock,
+	}, nil
+}
+
+// ShardCount returns the number of shards (1 in single-node mode).
+func (s *Stack) ShardCount() int { return len(s.Shards) }
+
+// Route returns the shard a request belongs to.
+func (s *Stack) Route(req *Request) int { return s.Partitioner.Route(req) }
+
+// Append routes a signed request to its shard and commits it there.
+func (s *Stack) Append(req *Request) (*Receipt, error) {
+	_, rc, err := s.AppendRouted(req)
+	return rc, err
+}
+
+// AppendRouted is Append returning the shard index too — receipts carry
+// shard-local jsns, so cross-shard proofs need the (shard, jsn) pair.
+func (s *Stack) AppendRouted(req *Request) (int, *Receipt, error) {
+	i := s.Partitioner.Route(req)
+	rc, err := s.Shards[i].Append(req)
+	return i, rc, err
+}
+
+// GlobalState folds now and returns the signed cross-shard state.
+func (s *Stack) GlobalState() (*GlobalState, error) {
+	f, err := s.Coordinator.Fold()
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{
-		Ledger:   l,
-		TLedger:  tl,
-		TSAs:     pool,
-		CA:       authority,
-		Registry: registry,
-		LSP:      lsp,
-		DBA:      dba,
-		uri:      opts.URI,
-		clock:    clock,
-	}, nil
+	return f.State, nil
+}
+
+// ProveGlobal builds the cross-shard existence proof for (shard, jsn).
+func (s *Stack) ProveGlobal(shardIdx int, jsn uint64, withPayload bool) (*GlobalProof, error) {
+	return s.Coordinator.ProveGlobal(shardIdx, jsn, withPayload)
+}
+
+// VerifyExistenceGlobal fetches and client-verifies a cross-shard proof:
+// record → shard fam root → coordinator-signed global root.
+func (s *Stack) VerifyExistenceGlobal(shardIdx int, jsn uint64) (*Record, []byte, error) {
+	p, err := s.ProveGlobal(shardIdx, jsn, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := shard.VerifyGlobal(p, s.Coordinator.PublicKey())
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, p.Record.Payload, nil
 }
 
 // Member is a certified ledger user bound to a stack.
@@ -318,16 +466,27 @@ func (m *Member) NewRequest(payload []byte, clues ...string) (*Request, error) {
 	return req, nil
 }
 
-// Append signs and commits a journal with optional clues.
+// Append signs and commits a journal with optional clues, routed to its
+// clue's shard.
 func (m *Member) Append(payload []byte, clues ...string) (*Receipt, error) {
-	req, err := m.NewRequest(payload, clues...)
-	if err != nil {
-		return nil, err
-	}
-	return m.stack.Ledger.Append(req)
+	_, rc, err := m.AppendRouted(payload, clues...)
+	return rc, err
 }
 
-// VerifyExistence fetches and client-verifies an existence proof.
+// AppendRouted is Append returning the shard index too. Receipts carry
+// shard-local jsns; cross-shard verification needs the pair.
+func (m *Member) AppendRouted(payload []byte, clues ...string) (int, *Receipt, error) {
+	req, err := m.NewRequest(payload, clues...)
+	if err != nil {
+		return 0, nil, err
+	}
+	return m.stack.AppendRouted(req)
+}
+
+// VerifyExistence fetches and client-verifies an existence proof against
+// the shard-local signed state. The jsn is shard 0's — in single-node
+// mode, the whole ledger's. Multi-shard callers holding a (shard, jsn)
+// pair use VerifyExistenceGlobal.
 func (m *Member) VerifyExistence(jsn uint64) (*Record, []byte, error) {
 	p, err := m.stack.Ledger.ProveExistence(jsn, true)
 	if err != nil {
@@ -340,9 +499,16 @@ func (m *Member) VerifyExistence(jsn uint64) (*Record, []byte, error) {
 	return rec, p.Payload, nil
 }
 
-// VerifyClue fetches and client-verifies a clue's full lineage.
+// VerifyExistenceGlobal verifies a record through the cross-shard path:
+// record → shard fam root → coordinator-signed global root.
+func (m *Member) VerifyExistenceGlobal(shardIdx int, jsn uint64) (*Record, []byte, error) {
+	return m.stack.VerifyExistenceGlobal(shardIdx, jsn)
+}
+
+// VerifyClue fetches and client-verifies a clue's full lineage from the
+// clue's shard (the partitioner keeps a lineage in exactly one CM-Tree).
 func (m *Member) VerifyClue(clue string) ([]*Record, error) {
-	b, err := m.stack.Ledger.ProveClue(clue, 0, 0)
+	b, err := m.stack.clueShard(clue).ProveClue(clue, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -351,8 +517,52 @@ func (m *Member) VerifyClue(clue string) ([]*Record, error) {
 
 // AppendBatch signs and commits several payloads under one batch receipt
 // (the amortized write path). payloads[i] gets clues[i] when clues is
-// non-nil.
+// non-nil. The batch must route to a single shard (always true in
+// single-node mode); spanning batches use AppendBatchSharded.
 func (m *Member) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.BatchReceipt, error) {
+	reqs, err := m.batchRequests(payloads, clues)
+	if err != nil {
+		return nil, err
+	}
+	target := m.stack.Route(reqs[0])
+	for _, req := range reqs[1:] {
+		if got := m.stack.Route(req); got != target {
+			return nil, fmt.Errorf("ledgerdb: batch spans shards %d and %d; use AppendBatchSharded", target, got)
+		}
+	}
+	br, _, err := m.stack.Shards[target].AppendBatch(reqs)
+	return br, err
+}
+
+// AppendBatchSharded splits a batch by shard and commits one sub-batch
+// per shard, returning the receipts keyed by shard index. Sub-batches
+// commit independently: on error, sub-batches already committed stay
+// committed (the per-shard receipt map returned is complete for them).
+func (m *Member) AppendBatchSharded(payloads [][]byte, clues [][]string) (map[int]*ledger.BatchReceipt, error) {
+	reqs, err := m.batchRequests(payloads, clues)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[int][]*journal.Request)
+	for _, req := range reqs {
+		i := m.stack.Route(req)
+		groups[i] = append(groups[i], req)
+	}
+	out := make(map[int]*ledger.BatchReceipt, len(groups))
+	for i, group := range groups {
+		br, _, err := m.stack.Shards[i].AppendBatch(group)
+		if err != nil {
+			return out, fmt.Errorf("ledgerdb: shard %d batch: %w", i, err)
+		}
+		out[i] = br
+	}
+	return out, nil
+}
+
+func (m *Member) batchRequests(payloads [][]byte, clues [][]string) ([]*journal.Request, error) {
+	if len(payloads) == 0 {
+		return nil, errors.New("ledgerdb: empty batch")
+	}
 	reqs := make([]*journal.Request, len(payloads))
 	for i, p := range payloads {
 		var cs []string
@@ -365,12 +575,11 @@ func (m *Member) AppendBatch(payloads [][]byte, clues [][]string) (*ledger.Batch
 		}
 		reqs[i] = req
 	}
-	br, _, err := m.stack.Ledger.AppendBatch(reqs)
-	return br, err
+	return reqs, nil
 }
 
 // AppendState signs and commits a journal that also updates the
-// world-state entry for key.
+// world-state entry for key, routed to the key's shard.
 func (m *Member) AppendState(key, payload []byte, clues ...string) (*Receipt, error) {
 	req, err := m.NewRequest(payload, clues...)
 	if err != nil {
@@ -380,13 +589,18 @@ func (m *Member) AppendState(key, payload []byte, clues ...string) (*Receipt, er
 	if err := req.Sign(m.Key); err != nil {
 		return nil, err
 	}
-	return m.stack.Ledger.Append(req)
+	return m.stack.Append(req)
 }
 
 // VerifyState runs a verifiable world-state read for key, returning the
-// jsn and payload digest of the journal holding the current value.
+// jsn and payload digest of the journal holding the current value. Keys
+// route like appends, so the read goes to the shard whose MPT owns key.
+// Note: a clued request that also carries a state key routes by its
+// clue, so mixing clue-routing and state reads of the same key across
+// different clues can split a key's history; keep a key's writers
+// clue-consistent (or clueless) if you need VerifyState.
 func (m *Member) VerifyState(key []byte) (uint64, hashutil.Digest, error) {
-	p, err := m.stack.Ledger.ProveState(key)
+	p, err := m.stack.stateShard(key).ProveState(key)
 	if err != nil {
 		return 0, hashutil.Zero, err
 	}
@@ -395,11 +609,22 @@ func (m *Member) VerifyState(key []byte) (uint64, hashutil.Digest, error) {
 
 // VerifyClueByTime verifies the clue versions committed in [t1, t2).
 func (m *Member) VerifyClueByTime(clue string, t1, t2 int64) ([]*Record, error) {
-	b, err := m.stack.Ledger.ProveClueByTime(clue, t1, t2)
+	b, err := m.stack.clueShard(clue).ProveClueByTime(clue, t1, t2)
 	if err != nil {
 		return nil, err
 	}
 	return ledger.VerifyClue(b, m.stack.LSP.Public())
+}
+
+// clueShard returns the engine owning a clue's lineage.
+func (s *Stack) clueShard(clue string) *ledger.Ledger {
+	return s.Shards[s.Partitioner.ShardOfClue(clue)]
+}
+
+// stateShard returns the engine owning a world-state key (for requests
+// routed without clues; see Member.VerifyState for the caveat).
+func (s *Stack) stateShard(key []byte) *ledger.Ledger {
+	return s.Shards[s.Partitioner.ShardOf(hashutil.Sum(key))]
 }
 
 // AnchorTime runs one Protocol 3/4 round through the stack's T-Ledger.
@@ -413,24 +638,115 @@ func (s *Stack) FinalizeTime() error {
 	return err
 }
 
-// Audit runs the Dasein-complete audit over the stack's ledger with its
-// built-in trust anchors.
-func (s *Stack) Audit() (*AuditReport, error) {
+// auditConfig assembles the stack's built-in trust anchors.
+func (s *Stack) auditConfig() audit.Config {
 	trusted := []sig.PublicKey{s.TLedger.Public()}
 	for _, a := range s.TSAs.Members() {
 		trusted = append(trusted, a.Public())
 	}
-	return audit.Audit(s.Ledger, nil, audit.Config{
+	return audit.Config{
 		LSP:        s.LSP.Public(),
 		DBA:        s.DBA.Public(),
 		TrustedTSA: trusted,
 		Registry:   s.Registry,
-	})
+	}
+}
+
+// Audit runs the Dasein-complete audit across every shard and returns
+// one aggregate report (summed counters). In multi-shard mode it also
+// cross-checks the fold: it folds now, replays each shard's digest
+// stream up to the folded size to recompute the fam root independently,
+// rebuilds the anchor tree over the recomputed heads, and compares
+// against the coordinator-signed global root. TimeBounds is only set in
+// single-node mode — per-shard jsn keys would collide in an aggregate.
+func (s *Stack) Audit() (*AuditReport, error) {
+	reports, err := s.AuditShards()
+	if err != nil {
+		return nil, err
+	}
+	agg := &audit.Report{}
+	for _, r := range reports {
+		agg.JournalsReplayed += r.JournalsReplayed
+		agg.BlocksVerified += r.BlocksVerified
+		agg.TimeJournals += r.TimeJournals
+		agg.TimeRanges += r.TimeRanges
+		agg.Purges += r.Purges
+		agg.Occults += r.Occults
+		agg.SignaturesChecked += r.SignaturesChecked
+	}
+	if len(reports) == 1 {
+		agg.TimeBounds = reports[0].TimeBounds
+		return agg, nil
+	}
+	if err := s.auditFold(); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// AuditShards audits each shard and returns the per-shard reports.
+func (s *Stack) AuditShards() ([]*AuditReport, error) {
+	cfg := s.auditConfig()
+	reports := make([]*audit.Report, len(s.Shards))
+	for i, l := range s.Shards {
+		r, err := audit.Audit(l, nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ledgerdb: shard %d audit: %w", i, err)
+		}
+		reports[i] = r
+	}
+	return reports, nil
+}
+
+// auditFold is the cross-shard leg of the audit: the signed global root
+// must be exactly the anchor tree over the shards' independently
+// recomputed fam roots.
+func (s *Stack) auditFold() error {
+	f, err := s.Coordinator.Fold()
+	if err != nil {
+		return fmt.Errorf("ledgerdb: audit fold: %w", err)
+	}
+	if err := f.State.Verify(s.Coordinator.PublicKey()); err != nil {
+		return fmt.Errorf("ledgerdb: audit fold: %w", err)
+	}
+	recomputed := make([]ledger.FamHead, len(s.Shards))
+	for i, l := range s.Shards {
+		size := f.Heads[i].Size
+		if size == 0 {
+			continue
+		}
+		root, err := l.FamRootAt(size)
+		if err != nil {
+			return fmt.Errorf("ledgerdb: shard %d fam replay: %w", i, err)
+		}
+		if root != f.Heads[i].Root {
+			return fmt.Errorf("ledgerdb: shard %d fam root mismatch at size %d: replayed %s, fold has %s",
+				i, size, root, f.Heads[i].Root)
+		}
+		recomputed[i] = ledger.FamHead{Size: size, Root: root}
+	}
+	if got := shard.FoldRoot(recomputed); got != f.State.Root {
+		return fmt.Errorf("ledgerdb: anchor tree mismatch: rebuilt %s, state signs %s", got, f.State.Root)
+	}
+	return nil
 }
 
 // Purge executes a verifiable purge: the stack gathers the DBA signature
-// and the caller supplies the remaining member signatures.
+// and the caller supplies the remaining member signatures. Multi-shard
+// stacks use PurgeOn — jsns in the descriptor are shard-local.
 func (s *Stack) Purge(desc *PurgeDescriptor, signers ...*Member) (*Receipt, error) {
+	if len(s.Shards) > 1 {
+		return nil, errors.New("ledgerdb: multi-shard stack: use PurgeOn with the owning shard index")
+	}
+	return s.PurgeOn(0, desc, signers...)
+}
+
+// PurgeOn executes a verifiable purge on one shard (jsns in the
+// descriptor are that shard's).
+func (s *Stack) PurgeOn(shardIdx int, desc *PurgeDescriptor, signers ...*Member) (*Receipt, error) {
+	if shardIdx < 0 || shardIdx >= len(s.Shards) {
+		return nil, fmt.Errorf("ledgerdb: shard %d out of range [0,%d)", shardIdx, len(s.Shards))
+	}
 	ms := sig.NewMultiSig(desc.Digest())
 	if err := ms.SignWith(s.DBA); err != nil {
 		return nil, err
@@ -440,11 +756,23 @@ func (s *Stack) Purge(desc *PurgeDescriptor, signers ...*Member) (*Receipt, erro
 			return nil, err
 		}
 	}
-	return s.Ledger.Purge(desc, ms)
+	return s.Shards[shardIdx].Purge(desc, ms)
 }
 
 // Occult executes a verifiable occult with DBA + regulator signatures.
+// Multi-shard stacks use OccultOn — the target jsn is shard-local.
 func (s *Stack) Occult(desc *OccultDescriptor, regulator *Member) (*Receipt, error) {
+	if len(s.Shards) > 1 {
+		return nil, errors.New("ledgerdb: multi-shard stack: use OccultOn with the owning shard index")
+	}
+	return s.OccultOn(0, desc, regulator)
+}
+
+// OccultOn executes a verifiable occult on one shard.
+func (s *Stack) OccultOn(shardIdx int, desc *OccultDescriptor, regulator *Member) (*Receipt, error) {
+	if shardIdx < 0 || shardIdx >= len(s.Shards) {
+		return nil, fmt.Errorf("ledgerdb: shard %d out of range [0,%d)", shardIdx, len(s.Shards))
+	}
 	if regulator == nil {
 		return nil, errors.New("ledgerdb: occult requires a regulator signer")
 	}
@@ -455,12 +783,27 @@ func (s *Stack) Occult(desc *OccultDescriptor, regulator *Member) (*Receipt, err
 	if err := ms.SignWith(regulator.Key); err != nil {
 		return nil, err
 	}
-	return s.Ledger.Occult(desc, ms)
+	return s.Shards[shardIdx].Occult(desc, ms)
 }
 
 // URI returns the stack's ledger identifier.
 func (s *Stack) URI() string { return s.uri }
 
-// Close drains the ledger's commit pipeline (when enabled) and flushes
-// its streams. Reads keep working; further appends fail.
-func (s *Stack) Close() error { return s.Ledger.Close() }
+// Close shuts the whole deployment down, idempotently: it stops the
+// coordinator's fold loop, then drains and closes every shard engine
+// (commit pipelines flush, streams sync). Every shard is closed even if
+// an earlier one errors; the joined error is sticky across repeat calls.
+// Reads keep working after Close; further appends fail.
+func (s *Stack) Close() error {
+	s.closeOnce.Do(func() {
+		s.Coordinator.Stop()
+		errs := make([]error, len(s.Shards))
+		for i, l := range s.Shards {
+			if err := l.Close(); err != nil {
+				errs[i] = fmt.Errorf("ledgerdb: shard %d close: %w", i, err)
+			}
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}

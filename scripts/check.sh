@@ -11,6 +11,7 @@
 #   scripts/check.sh race     # the -race suites only
 #   scripts/check.sh crash    # crash-recovery torture (1000 crash points)
 #   scripts/check.sh chaos    # network-chaos torture (500 fault schedules, -race)
+#   scripts/check.sh shard    # multi-shard topology e2e incl. kill-one-shard chaos (-race)
 #   scripts/check.sh all      # everything
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,6 +75,14 @@ stage_chaos() {
     go test -run 'TestRetrySemanticsByStatus|TestBreakerTripHalfOpenReset|TestLoadShed429UnderSaturation|TestReadyzFlipsDuringDrain' -count 1 ./internal/client ./internal/server
 }
 
+stage_shard() {
+    echo "== sharded topology e2e (global proof path, kill-one-shard chaos, cross-shard audit, -race) =="
+    go test -race -timeout 600s -count 1 ./internal/shard ./internal/integration/shardtest
+
+    echo "== shard partitioner fuzz seeds =="
+    go test -run xxx -fuzz FuzzRoute -fuzztime 10s ./internal/shard > /dev/null
+}
+
 stage_bench() {
     echo "== pipeline bench smoke =="
     go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
@@ -119,6 +128,7 @@ stage_all() {
     stage_race
     stage_crash
     stage_chaos
+    stage_shard
     stage_bench
     stage_examples
     stage_cli
@@ -132,9 +142,10 @@ case "${1:-all}" in
     race) stage_race ;;
     crash) stage_crash ;;
     chaos) stage_chaos ;;
+    shard) stage_shard ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|crash|chaos|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|all]" >&2
         exit 2
         ;;
 esac
