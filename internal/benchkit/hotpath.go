@@ -1,0 +1,328 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/wire"
+)
+
+// HotPathResult is one machine-readable row of the hot-path experiment
+// (serialized into BENCH_hotpath.json by cmd/bench).
+type HotPathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// HotPathReport is the full BENCH_hotpath.json document.
+type HotPathReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Results    []HotPathResult `json:"results"`
+}
+
+func resultOf(name string, r testing.BenchmarkResult) HotPathResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return HotPathResult{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		OpsPerSec:   ops,
+	}
+}
+
+// HotPath measures the profile-driven hot paths: the zero-alloc
+// encode+digest core, full Append under the serial / pipelined /
+// admission-batch-verify configurations, and zero-copy journal serving
+// from the disk backend. It returns the printable table plus the
+// machine-readable results.
+func HotPath(full bool) (*Table, *HotPathReport) {
+	rep := &HotPathReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	add := func(name string, r testing.BenchmarkResult) {
+		rep.Results = append(rep.Results, resultOf(name, r))
+	}
+
+	// Encode+digest: the per-record commit work with pooled buffers.
+	rec := hotPathRecord()
+	add("encode-digest", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := wire.GetWriter()
+			rec.Encode(enc)
+			_ = hashutil.Journal(enc.Bytes())
+			wire.PutWriter(enc)
+		}
+	}))
+
+	add("append-serial", benchAppend(0, 0))
+	add("append-pipelined", benchAppend(64, 0))
+	batches := []int{16}
+	if full {
+		batches = []int{16, 64, 256}
+	}
+	for _, batch := range batches {
+		add(fmt.Sprintf("append-batchverify-%d", batch), benchAppend(64, batch))
+	}
+	add("proof-getjournal-zerocopy", benchGetJournal())
+
+	t := &Table{
+		Title: "Hot paths: steady-state cost of the profiled append and serve paths",
+		Note:  "encode-digest is the zero-alloc core; append-* include one π_c ECDSA verify per op (the single-core floor)",
+		Header: []string{"workload", "ns/op", "allocs/op", "B/op", "ops/s"},
+	}
+	for _, r := range rep.Results {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp),
+			Throughput(int(r.OpsPerSec), 1e9))
+	}
+	return t, rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *HotPathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func hotPathRecord() *journal.Record {
+	tl, err := NewTestLedger("ledger://hotpath", 3, 16)
+	if err != nil {
+		panic(err)
+	}
+	rcpt, err := tl.Append(Payload("hotpath", 0, 256), "K0")
+	if err != nil {
+		panic(err)
+	}
+	rec, err := tl.L.GetJournal(rcpt.JSN)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+// benchAppend measures Append throughput: depth 0 is the synchronous
+// baseline; with a pipeline, 32 concurrent submitters per core keep
+// groups forming; verifyBatch additionally routes π_c checks through
+// the admission worker pool.
+func benchAppend(depth, verifyBatch int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		tl, err := newHotLedger(depth, verifyBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs := make([]*journal.Request, b.N)
+		for i := range reqs {
+			if reqs[i], err = tl.Request(Payload("hot-append", i, 128), nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if depth == 0 {
+			for i := 0; i < b.N; i++ {
+				if _, err := tl.L.Append(reqs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			var next atomic.Int64
+			b.SetParallelism(32)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					if _, err := tl.L.Append(reqs[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.StopTimer()
+		if err := tl.L.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func newHotLedger(depth, verifyBatch int) (*TestLedger, error) {
+	tl := &TestLedger{
+		LSP:    sig.GenerateDeterministic("bench/lsp"),
+		DBA:    sig.GenerateDeterministic("bench/dba"),
+		Client: sig.GenerateDeterministic("bench/client"),
+		URI:    "ledger://hotpath-append",
+		clock:  1,
+	}
+	l, err := ledger.Open(ledger.Config{
+		URI:           tl.URI,
+		FractalHeight: 6,
+		BlockSize:     64,
+		LSP:           tl.LSP,
+		DBA:           tl.DBA.Public(),
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+		Clock:         func() int64 { return atomic.AddInt64(&tl.clock, 1) },
+		PipelineDepth: depth,
+		VerifyBatch:   verifyBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tl.L = l
+	return tl, nil
+}
+
+// ProfileWorkloads drives the two hottest production paths — pipelined
+// batch-verified append and proof serving — with fixed op counts, sized
+// to give pprof enough samples for a useful flame graph. It is the
+// target of cmd/bench's -cpuprofile/-memprofile/-mutexprofile flags
+// (`bench -cpuprofile cpu.out profile`).
+func ProfileWorkloads(full bool) *Table {
+	appends, proofs := 2000, 20000
+	if full {
+		appends, proofs = 10000, 100000
+	}
+	t := &Table{
+		Title: "Profile workloads: sustained append + proof serving",
+		Note:  "run under -cpuprofile/-memprofile/-mutexprofile; rates are incidental, the profile is the product",
+		Header: []string{"workload", "ops", "elapsed", "rate"},
+	}
+
+	tl, err := newHotLedger(64, 16)
+	if err != nil {
+		panic(err)
+	}
+	reqs := make([]*journal.Request, appends)
+	for i := range reqs {
+		if reqs[i], err = tl.Request(Payload("profile-append", i, 128), nil, nil); err != nil {
+			panic(err)
+		}
+	}
+	workers := 4 * runtime.GOMAXPROCS(0)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(appends) {
+					return
+				}
+				if _, err := tl.L.Append(reqs[i]); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	t.AddRow("append (pipelined, batch-verify)", fmt.Sprintf("%d", appends),
+		fmt.Sprintf("%.1fms", elapsed.Seconds()*1000), Throughput(appends, elapsed))
+
+	size := tl.L.Size()
+	next.Store(0)
+	start = time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(proofs) {
+					return
+				}
+				jsn := uint64(i) % size
+				if i%2 == 0 {
+					if _, err := tl.L.ProveExistence(jsn, false); err != nil {
+						panic(err)
+					}
+				} else if _, err := tl.L.GetJournal(jsn); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	t.AddRow("serve (proofs + journals)", fmt.Sprintf("%d", proofs),
+		fmt.Sprintf("%.1fms", elapsed.Seconds()*1000), Throughput(proofs, elapsed))
+
+	if err := tl.L.Close(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// benchGetJournal serves committed journals from a disk-backed store:
+// one pread per record into a pooled buffer through the cached segment
+// handle.
+func benchGetJournal() testing.BenchmarkResult {
+	dir, err := os.MkdirTemp("", "hotpath-zc-*")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }() // bench scratch; best-effort cleanup
+	store, err := streamfs.OpenDisk(dir, streamfs.DiskOptions{})
+	if err != nil {
+		panic(err)
+	}
+	tl := &TestLedger{
+		LSP:    sig.GenerateDeterministic("bench/lsp"),
+		DBA:    sig.GenerateDeterministic("bench/dba"),
+		Client: sig.GenerateDeterministic("bench/client"),
+		URI:    "ledger://hotpath-zc",
+		clock:  1,
+	}
+	l, err := ledger.Open(ledger.Config{
+		URI:           tl.URI,
+		FractalHeight: 6,
+		BlockSize:     64,
+		LSP:           tl.LSP,
+		DBA:           tl.DBA.Public(),
+		Store:         store,
+		Blobs:         streamfs.NewMemoryBlobs(),
+		Clock:         func() int64 { return atomic.AddInt64(&tl.clock, 1) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	tl.L = l
+	const journals = 256
+	for i := 0; i < journals; i++ {
+		if _, err := tl.Append(Payload("hot-zc", i, 256)); err != nil {
+			panic(err)
+		}
+	}
+	size := l.Size()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.GetJournal(uint64(i) % size); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // Size is the digest size in bytes (SHA-256).
@@ -86,93 +88,112 @@ func MustParse(s string) Digest {
 // pre-hashing where the caller provides its own framing.
 func Sum(data []byte) Digest { return sha256.Sum256(data) }
 
-// Leaf computes the domain-separated digest of a Merkle leaf payload.
-func Leaf(payload []byte) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixLeaf})
-	h.Write(payload)
+// scratch is a reusable SHA-256 state: one hasher plus an output buffer
+// with capacity Size, so finishing a digest appends into owned storage
+// instead of allocating (h.Sum on a fresh stack array escapes through the
+// hash.Hash interface; appending into a pooled cap-32 slice does not).
+// Every variable-length helper below runs on a pooled scratch, so the
+// per-node sha256.New() the Merkle structures used to pay is gone and the
+// steady state allocates nothing.
+type scratch struct {
+	h      hash.Hash
+	out    []byte
+	prefix [1]byte
+	tmp    [8]byte // int framing scratch (stack arrays escape via hash.Hash)
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{h: sha256.New(), out: make([]byte, 0, Size)}
+}}
+
+// sumPrefixed digests prefix ‖ data on a pooled scratch.
+func sumPrefixed(prefix byte, data []byte) Digest {
+	s := scratchPool.Get().(*scratch)
+	s.h.Reset()
+	s.prefix[0] = prefix
+	s.h.Write(s.prefix[:])
+	s.h.Write(data)
+	s.out = s.h.Sum(s.out[:0])
 	var d Digest
-	h.Sum(d[:0])
+	copy(d[:], s.out)
+	scratchPool.Put(s)
 	return d
 }
 
+// Leaf computes the domain-separated digest of a Merkle leaf payload.
+func Leaf(payload []byte) Digest { return sumPrefixed(prefixLeaf, payload) }
+
 // LeafDigest computes the leaf digest of an already-hashed payload. It is
 // equivalent to Leaf(d[:]) and exists to make call sites self-describing.
-func LeafDigest(d Digest) Digest { return Leaf(d[:]) }
+func LeafDigest(d Digest) Digest {
+	var b [1 + Size]byte
+	b[0] = prefixLeaf
+	copy(b[1:], d[:])
+	return sha256.Sum256(b[:])
+}
 
 // Node computes the domain-separated digest of an interior Merkle node.
+// The input is fixed-width, so the whole message fits a stack buffer and
+// sha256.Sum256 runs with zero allocations.
 func Node(left, right Digest) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixNode})
-	h.Write(left[:])
-	h.Write(right[:])
-	var d Digest
-	h.Sum(d[:0])
-	return d
+	var b [1 + 2*Size]byte
+	b[0] = prefixNode
+	copy(b[1:1+Size], left[:])
+	copy(b[1+Size:], right[:])
+	return sha256.Sum256(b[:])
 }
 
 // NodeN computes the domain-separated digest of an n-ary interior node
 // (used by the 16-branch MPT). Children that are absent must be passed as
 // the zero digest so positions stay fixed.
 func NodeN(children ...Digest) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixNode})
-	var n [2]byte
-	binary.BigEndian.PutUint16(n[:], uint16(len(children)))
-	h.Write(n[:])
+	s := scratchPool.Get().(*scratch)
+	s.h.Reset()
+	s.prefix[0] = prefixNode
+	s.h.Write(s.prefix[:])
+	binary.BigEndian.PutUint16(s.tmp[:2], uint16(len(children)))
+	s.h.Write(s.tmp[:2])
 	for i := range children {
-		h.Write(children[i][:])
+		s.h.Write(children[i][:])
 	}
+	s.out = s.h.Sum(s.out[:0])
 	var d Digest
-	h.Sum(d[:0])
+	copy(d[:], s.out)
+	scratchPool.Put(s)
 	return d
 }
 
 // Journal computes the digest of an encoded journal record (tx-hash).
-func Journal(encoded []byte) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixJournal})
-	h.Write(encoded)
-	var d Digest
-	h.Sum(d[:0])
-	return d
-}
+func Journal(encoded []byte) Digest { return sumPrefixed(prefixJournal, encoded) }
 
 // Block computes the digest of an encoded block header (block-hash).
-func Block(encoded []byte) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixBlock})
-	h.Write(encoded)
-	var d Digest
-	h.Sum(d[:0])
-	return d
-}
+func Block(encoded []byte) Digest { return sumPrefixed(prefixBlock, encoded) }
 
 // Epoch computes the digest binding a completed fam epoch root to its
 // epoch index, producing the "merged leaf" carried into the next epoch.
 func Epoch(index uint64, root Digest) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixEpoch})
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], index)
-	h.Write(n[:])
-	h.Write(root[:])
-	var d Digest
-	h.Sum(d[:0])
-	return d
+	var b [1 + 8 + Size]byte
+	b[0] = prefixEpoch
+	binary.BigEndian.PutUint64(b[1:9], index)
+	copy(b[9:], root[:])
+	return sha256.Sum256(b[:])
 }
 
 // Concat hashes an arbitrary sequence of digests with the interior-node
 // prefix. It is used where a fixed small set of digests must be bound
 // together (e.g. a LedgerInfo binding journal root, state root, clue root).
 func Concat(parts ...Digest) Digest {
-	h := sha256.New()
-	h.Write([]byte{prefixNode})
+	s := scratchPool.Get().(*scratch)
+	s.h.Reset()
+	s.prefix[0] = prefixNode
+	s.h.Write(s.prefix[:])
 	for i := range parts {
-		h.Write(parts[i][:])
+		s.h.Write(parts[i][:])
 	}
+	s.out = s.h.Sum(s.out[:0])
 	var d Digest
-	h.Sum(d[:0])
+	copy(d[:], s.out)
+	scratchPool.Put(s)
 	return d
 }
 

@@ -3,6 +3,7 @@ package journal
 import (
 	"fmt"
 
+	"ledgerdb/internal/hashutil"
 	"ledgerdb/internal/sig"
 	"ledgerdb/internal/wire"
 )
@@ -30,10 +31,15 @@ func (r *Request) CoSign(kp *sig.KeyPair) error {
 
 // VerifyAllSigs checks π_c and every co-signature.
 func (r *Request) VerifyAllSigs() error {
-	if err := r.VerifySig(); err != nil {
+	return r.VerifyAllSigsAt(r.Hash())
+}
+
+// VerifyAllSigsAt is VerifyAllSigs against a request-hash the caller has
+// already computed, hashing the request exactly once per admission.
+func (r *Request) VerifyAllSigsAt(h hashutil.Digest) error {
+	if err := r.VerifySigAt(h); err != nil {
 		return err
 	}
-	h := r.Hash()
 	for i, cs := range r.CoSigners {
 		if err := sig.Verify(cs.PK, h, cs.Sig); err != nil {
 			return fmt.Errorf("%w: co-signer %d (%s): %v", ErrBadSignature, i, cs.PK, err)

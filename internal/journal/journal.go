@@ -92,9 +92,11 @@ func (r *Request) encodeSigned(w *wire.Writer) {
 
 // Hash returns the request-hash: the digest the client signs.
 func (r *Request) Hash() hashutil.Digest {
-	w := wire.NewWriter(128 + len(r.Payload))
+	w := wire.GetWriter()
 	r.encodeSigned(w)
-	return hashutil.Sum(w.Bytes())
+	d := hashutil.Sum(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // Sign computes π_c with the client's key pair and stamps the request.
@@ -111,7 +113,14 @@ func (r *Request) Sign(kp *sig.KeyPair) error {
 // VerifySig checks π_c. It does not check certification; the ledger's
 // member registry does that.
 func (r *Request) VerifySig() error {
-	if err := sig.Verify(r.ClientPK, r.Hash(), r.ClientSig); err != nil {
+	return r.VerifySigAt(r.Hash())
+}
+
+// VerifySigAt checks π_c against a request-hash the caller has already
+// computed, so hot paths that need the hash for other purposes (admission
+// dedup, co-signer checks) hash the request exactly once.
+func (r *Request) VerifySigAt(h hashutil.Digest) error {
+	if err := sig.Verify(r.ClientPK, h, r.ClientSig); err != nil {
 		return fmt.Errorf("%w: π_c: %v", ErrBadSignature, err)
 	}
 	return nil
@@ -245,9 +254,11 @@ func (rec *Record) hashedFields(w *wire.Writer) {
 
 // TxHash returns the journal digest accumulated into fam and CM-Tree2.
 func (rec *Record) TxHash() hashutil.Digest {
-	w := wire.NewWriter(192)
+	w := wire.GetWriter()
 	rec.hashedFields(w)
-	return hashutil.Journal(w.Bytes())
+	d := hashutil.Journal(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // Encode serializes the full record for the journal stream.
@@ -327,27 +338,27 @@ type Receipt struct {
 }
 
 func (rc *Receipt) signedDigest() hashutil.Digest {
+	w := wire.GetWriter()
 	if len(rc.GroupHashes) > 0 {
-		w := wire.NewWriter(64 + hashutil.Size*len(rc.GroupHashes))
 		w.String("ledgerdb/receipt/group/v1")
 		w.Uvarint(rc.JSN - rc.GroupIndex) // first jsn of the commit group
 		w.Uvarint(uint64(len(rc.GroupHashes)))
 		for _, h := range rc.GroupHashes {
 			w.Digest(h)
 		}
-		sig.EncodePublicKey(w, rc.LSPPK)
-		return hashutil.Sum(w.Bytes())
+	} else {
+		w.String("ledgerdb/receipt/v1")
+		w.Uvarint(rc.JSN)
+		w.Digest(rc.RequestHash)
+		w.Digest(rc.TxHash)
+		w.Uvarint(rc.BlockHeight)
+		w.Digest(rc.BlockHash)
+		w.Int64(rc.Timestamp)
 	}
-	w := wire.NewWriter(160)
-	w.String("ledgerdb/receipt/v1")
-	w.Uvarint(rc.JSN)
-	w.Digest(rc.RequestHash)
-	w.Digest(rc.TxHash)
-	w.Uvarint(rc.BlockHeight)
-	w.Digest(rc.BlockHash)
-	w.Int64(rc.Timestamp)
 	sig.EncodePublicKey(w, rc.LSPPK)
-	return hashutil.Sum(w.Bytes())
+	d := hashutil.Sum(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // Sign stamps the receipt with the LSP's signature π_s.
@@ -440,12 +451,14 @@ type TimeAttestation struct {
 
 // SignedDigest is the digest the TSA signs.
 func (ta *TimeAttestation) SignedDigest() hashutil.Digest {
-	w := wire.NewWriter(96)
+	w := wire.GetWriter()
 	w.String("ledgerdb/tsa/v1")
 	w.Digest(ta.Digest)
 	w.Int64(ta.Timestamp)
 	sig.EncodePublicKey(w, ta.TSAPK)
-	return hashutil.Sum(w.Bytes())
+	d := hashutil.Sum(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // Verify checks the TSA's signature.

@@ -1,0 +1,172 @@
+package ledger
+
+// This file implements admission-stage batch verification of client π_c
+// signatures (and co-signatures). ECDSA verification dominates stage 1
+// of the pipeline the way π_s signing used to dominate stage 3; group
+// commit amortized the latter, and this verifier applies the same shape
+// to the former: a collector gathers up to Config.VerifyBatch pending
+// admissions — yielding the processor briefly so concurrent submitters
+// can join the group, exactly like the committer's group-commit window —
+// and fans the group out over a small fixed worker pool. Each request is
+// verified exactly once against a request-hash computed exactly once;
+// rejects are surgical (only the failing request's submitter sees the
+// error, never the group).
+//
+// The verifier is purely an admission-side scheduler: it holds no locks,
+// touches no ledger state, and changes no byte of any receipt or proof.
+
+import (
+	"runtime"
+	"sync"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/journal"
+)
+
+// verifyJob is one pending admission: a request plus its precomputed
+// request-hash, with a 1-buffered result channel so workers never block
+// on delivery. Jobs are pooled; res is reused across admissions.
+type verifyJob struct {
+	req  *journal.Request
+	hash hashutil.Digest
+	res  chan error
+}
+
+var verifyJobPool = sync.Pool{New: func() any {
+	return &verifyJob{res: make(chan error, 1)}
+}}
+
+// verifier is the admission-stage batch verification pool.
+type verifier struct {
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+
+	queue   chan *verifyJob // admission submissions (collector input)
+	work    chan *verifyJob // fanned-out group members (worker input)
+	batch   int             // max group size collected per window
+	stopped chan struct{}   // closed once collector and all workers exit
+
+	workerWG sync.WaitGroup
+}
+
+func newVerifier(batch, workers int) *verifier {
+	v := &verifier{
+		queue:   make(chan *verifyJob, 2*batch),
+		work:    make(chan *verifyJob, batch),
+		batch:   batch,
+		stopped: make(chan struct{}),
+	}
+	v.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go v.worker()
+	}
+	go v.collect()
+	return v
+}
+
+// collect is the batching goroutine: block for one job, greedily drain
+// whatever else is already queued (bounded by the batch size), yield the
+// processor once or twice so mid-admission submitters can join, then
+// dispatch the group to the workers.
+func (v *verifier) collect() {
+	shutdown := func() {
+		close(v.work)
+		v.workerWG.Wait()
+		close(v.stopped)
+	}
+	for {
+		jb, ok := <-v.queue
+		if !ok {
+			shutdown()
+			return
+		}
+		group := []*verifyJob{jb}
+		drain := func() bool { // false once the queue is closed
+			for len(group) < v.batch {
+				select {
+				case j2, ok2 := <-v.queue:
+					if !ok2 {
+						return false
+					}
+					group = append(group, j2)
+				default:
+					return true
+				}
+			}
+			return true
+		}
+		open := drain()
+		for spins := 0; open && spins < 2 && len(group) < v.batch; spins++ {
+			runtime.Gosched()
+			open = drain()
+		}
+		for _, j := range group {
+			v.work <- j
+		}
+		if !open {
+			shutdown()
+			return
+		}
+	}
+}
+
+func (v *verifier) worker() {
+	defer v.workerWG.Done()
+	for jb := range v.work {
+		jb.res <- jb.req.VerifyAllSigsAt(jb.hash)
+	}
+}
+
+// verify checks π_c and all co-signatures for req against its
+// precomputed hash, on the worker pool when a slot is free. When the
+// pool is saturated (queue full) or closed, verification falls back to
+// the caller's goroutine — the result is identical, only the scheduling
+// differs — so admission never deadlocks on its own optimizer.
+func (v *verifier) verify(req *journal.Request, h hashutil.Digest) error {
+	jb := verifyJobPool.Get().(*verifyJob)
+	jb.req, jb.hash = req, h
+	v.mu.RLock()
+	if v.closed {
+		v.mu.RUnlock()
+		verifyJobPool.Put(jb)
+		return req.VerifyAllSigsAt(h)
+	}
+	select {
+	case v.queue <- jb:
+		v.mu.RUnlock()
+		err := <-jb.res
+		jb.req = nil
+		verifyJobPool.Put(jb)
+		return err
+	default:
+		v.mu.RUnlock()
+		verifyJobPool.Put(jb)
+		return req.VerifyAllSigsAt(h)
+	}
+}
+
+// close drains in-flight jobs and stops the pool. Submissions racing
+// with close either land before it (and are drained to completion) or
+// observe closed and verify inline; either way every caller gets a
+// result.
+func (v *verifier) close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		<-v.stopped
+		return
+	}
+	v.closed = true
+	v.mu.Unlock()
+	close(v.queue)
+	<-v.stopped
+}
+
+// verifyAdmission routes one admission's signature check: through the
+// batch-verify pool when configured, inline otherwise.
+func (l *Ledger) verifyAdmission(req *journal.Request, h hashutil.Digest) error {
+	if l.verif != nil {
+		return l.verif.verify(req, h)
+	}
+	return req.VerifyAllSigsAt(h)
+}

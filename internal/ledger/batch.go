@@ -37,14 +37,16 @@ func BatchDigest(txHashes []hashutil.Digest) hashutil.Digest {
 }
 
 func (br *BatchReceipt) signedDigest() hashutil.Digest {
-	w := wire.NewWriter(128)
+	w := wire.GetWriter()
 	w.String("ledgerdb/batch-receipt/v1")
 	w.Uvarint(br.FirstJSN)
 	w.Uvarint(br.Count)
 	w.Digest(br.BatchHash)
 	w.Int64(br.Timestamp)
 	sig.EncodePublicKey(w, br.LSPPK)
-	return hashutil.Sum(w.Bytes())
+	d := hashutil.Sum(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 func (br *BatchReceipt) sign(kp *sig.KeyPair) error {
@@ -120,7 +122,7 @@ func (l *Ledger) AppendBatch(reqs []*journal.Request) (*BatchReceipt, []hashutil
 	first := l.nextJSN
 	ts := l.cfg.Clock()
 	for _, req := range reqs {
-		adm, err := l.admitChecked(req, nil)
+		adm, err := l.admitChecked(req, nil, req.Hash())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -158,10 +160,13 @@ func (l *Ledger) validateBatch(reqs []*journal.Request) error {
 }
 
 func (l *Ledger) validateOne(req *journal.Request) error {
-	if err := req.Validate(); err != nil {
+	if err := req.ValidateShape(); err != nil {
 		return err
 	}
-	if err := req.VerifyAllSigs(); err != nil {
+	// One request-hash computation covers π_c and every co-signature
+	// (Validate followed by VerifyAllSigs used to verify π_c twice and
+	// hash the request three times).
+	if err := req.VerifyAllSigsAt(req.Hash()); err != nil {
 		return err
 	}
 	if req.LedgerURI != l.cfg.URI {

@@ -43,6 +43,54 @@ func (l *Ledger) syncCommitLocked() error {
 	return nil
 }
 
+// commitPointSyncLocked is the commit-point flush as seen from the
+// apply path. Normally it syncs immediately; while the committer is
+// applying a pipelined group (syncDeferred set), it only records that a
+// commit point occurred so the group end can issue ONE coalesced sync
+// spanning every commit point in the group. Deferral never weakens the
+// contract: no unit's done channel closes — so no receipt or error is
+// released to a submitter — until the group-end sync ran, which makes
+// the whole group one commit point from the client's perspective.
+func (l *Ledger) commitPointSyncLocked() error {
+	if l.syncDeferred {
+		if l.failed != nil {
+			return l.failed
+		}
+		l.pendingCommitSync = true
+		return nil
+	}
+	return l.syncCommitLocked()
+}
+
+// appliedSyncLocked is the Config.SyncEvery flush as seen from the apply
+// path, with the same group deferral as commitPointSyncLocked.
+func (l *Ledger) appliedSyncLocked() error {
+	if l.syncDeferred {
+		if l.failed != nil {
+			return l.failed
+		}
+		l.pendingAppliedSync = true
+		return nil
+	}
+	return l.syncAppliedLocked()
+}
+
+// flushDeferredSyncLocked issues the coalesced group-end sync: a full
+// commit-order sync when any commit point fired inside the group, else
+// the cheaper journal+digest sync when only SyncEvery fired, else
+// nothing. Called by applyGroup with syncDeferred already cleared.
+func (l *Ledger) flushDeferredSyncLocked() error {
+	commit, applied := l.pendingCommitSync, l.pendingAppliedSync
+	l.pendingCommitSync, l.pendingAppliedSync = false, false
+	switch {
+	case commit:
+		return l.syncCommitLocked()
+	case applied:
+		return l.syncAppliedLocked()
+	}
+	return nil
+}
+
 // syncAppliedLocked is the cheaper Config.SyncEvery flush between commit
 // points: journal and digest streams only (no block was cut, the other
 // streams did not move).

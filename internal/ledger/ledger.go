@@ -16,6 +16,7 @@ package ledger
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -87,6 +88,17 @@ type Config struct {
 	// amortize signing; this switch exists for benchmarks comparing the
 	// two and as an escape hatch.
 	DisableStateCache bool
+	// VerifyBatch enables admission-stage batch verification of client
+	// signatures in pipelined mode: up to VerifyBatch pending admissions
+	// are collected per window and their π_c/co-signer checks fanned out
+	// over a small worker pool (admitverify.go), amortizing ECDSA
+	// scheduling the way group commit amortizes π_s signing. Zero (the
+	// default) verifies inline on the submitting goroutine. Ignored when
+	// PipelineDepth is zero.
+	VerifyBatch int
+	// VerifyWorkers sizes the batch-verification worker pool. Zero means
+	// min(4, GOMAXPROCS). Ignored unless VerifyBatch is set.
+	VerifyWorkers int
 	// SyncEvery mirrors streamfs.DiskOptions.SyncEvery at the engine
 	// level: in addition to the commit points that always flush (genesis,
 	// block cuts, purge/occult decisions, time anchors — DESIGN.md §4.4),
@@ -158,9 +170,23 @@ type Ledger struct {
 	comm    *committer
 	failed  error
 
+	// verif is the admission-stage batch signature verification pool
+	// (admitverify.go); nil unless Config.VerifyBatch is set in
+	// pipelined mode.
+	verif *verifier
+
 	// unsyncedApplied counts records applied since the last stream flush,
 	// driving Config.SyncEvery. Guarded by mu.
 	unsyncedApplied int
+
+	// Group fsync coalescing (durability.go). All guarded by mu:
+	// syncDeferred is set by applyGroup for the span of one pipelined
+	// group apply; while set, commit-point and SyncEvery flushes only
+	// mark the pending flags, and applyGroup issues one coalesced sync
+	// at the group end before any unit is acknowledged.
+	syncDeferred       bool
+	pendingCommitSync  bool
+	pendingAppliedSync bool
 
 	// stateGen counts commit generations: it is bumped under mu by every
 	// mutation that could change what a SignedState or proof reflects
@@ -218,6 +244,16 @@ func Open(cfg Config) (*Ledger, error) {
 			stopped: make(chan struct{}),
 		}
 		go l.runCommitter()
+		if cfg.VerifyBatch > 0 {
+			workers := cfg.VerifyWorkers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+				if workers > 4 {
+					workers = 4
+				}
+			}
+			l.verif = newVerifier(cfg.VerifyBatch, workers)
+		}
 	}
 	return l, nil
 }
@@ -282,10 +318,10 @@ func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
 		return l.appendPipelined(adm)
 	}
 	// Synchronous mode: the historical write path.
-	if err := req.Validate(); err != nil {
+	if err := req.ValidateShape(); err != nil {
 		return nil, err
 	}
-	if err := req.VerifyAllSigs(); err != nil {
+	if err := req.VerifyAllSigsAt(req.Hash()); err != nil {
 		return nil, err
 	}
 	if req.LedgerURI != l.cfg.URI {
@@ -312,7 +348,7 @@ func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
 // extra carries type-specific payloads (mutation descriptors, time
 // attestations).
 func (l *Ledger) appendLocked(req *journal.Request, extra []byte) (*journal.Receipt, error) {
-	adm, err := l.admitChecked(req, extra)
+	adm, err := l.admitChecked(req, extra, req.Hash())
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +379,13 @@ func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) 
 		l.failed = fmt.Errorf("ledger: sequenced jsn %d does not extend applied prefix %d", rec.JSN, l.nextJSN)
 		return l.failed
 	}
-	if _, err := l.journals.Append(rec.EncodeBytes()); err != nil {
+	// Encode on a pooled writer: Stream.Append copies the record, so the
+	// buffer can go straight back to the pool.
+	enc := wire.GetWriter()
+	rec.Encode(enc)
+	_, err := l.journals.Append(enc.Bytes())
+	wire.PutWriter(enc)
+	if err != nil {
 		// Nothing was applied; the engine can keep going (in pipelined
 		// mode the next unit's jsn check latches the failure instead).
 		return fmt.Errorf("ledger: journal stream: %w", err)
@@ -374,7 +416,7 @@ func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) 
 			return err
 		}
 	} else if l.cfg.SyncEvery > 0 && l.unsyncedApplied >= l.cfg.SyncEvery {
-		if err := l.syncAppliedLocked(); err != nil {
+		if err := l.appliedSyncLocked(); err != nil {
 			return err
 		}
 	}
@@ -465,7 +507,9 @@ func (l *Ledger) cutBlockLocked() error {
 	l.stateGen++
 	// A block cut is a commit point: the header and everything it covers
 	// must be durable before the cut is acknowledged (DESIGN.md §4.4).
-	return l.syncCommitLocked()
+	// Inside a pipelined group the flush is deferred to the group end —
+	// nothing is acknowledged before it runs (durability.go).
+	return l.commitPointSyncLocked()
 }
 
 // Header returns the block header at height.
@@ -543,11 +587,16 @@ func (l *Ledger) GetJournal(jsn uint64) (*journal.Record, error) {
 	}
 	occ := l.occulted[jsn]
 	l.mu.RUnlock()
-	raw, err := l.readJournalBytes(jsn)
+	// Zero-copy read: the frame lands in a pooled buffer and DecodeRecord
+	// copies out the few fields it keeps, so serving a journal allocates
+	// no transient payload slice. Proof serving (ProveExistence) instead
+	// uses readJournalBytes — ExistenceProof retains the raw record bytes.
+	rb, err := streamfs.ReadRecBuf(l.journals, jsn)
 	if err != nil {
-		return nil, err
+		return nil, l.mapJournalReadErr(jsn, err)
 	}
-	rec, err := journal.DecodeRecord(raw)
+	rec, err := journal.DecodeRecord(rb.Bytes())
+	rb.Release()
 	if err != nil {
 		return nil, err
 	}
@@ -562,15 +611,20 @@ func (l *Ledger) GetJournal(jsn uint64) (*journal.Record, error) {
 func (l *Ledger) readJournalBytes(jsn uint64) ([]byte, error) {
 	raw, err := l.journals.Read(jsn)
 	if err != nil {
-		l.mu.RLock()
-		base := l.base
-		l.mu.RUnlock()
-		if jsn < base {
-			return nil, fmt.Errorf("%w: jsn %d below pseudo genesis %d", ErrPurged, jsn, base)
-		}
-		return nil, fmt.Errorf("ledger: read journal %d: %w", jsn, err)
+		return nil, l.mapJournalReadErr(jsn, err)
 	}
 	return raw, nil
+}
+
+// mapJournalReadErr distinguishes a concurrent purge from real damage.
+func (l *Ledger) mapJournalReadErr(jsn uint64, err error) error {
+	l.mu.RLock()
+	base := l.base
+	l.mu.RUnlock()
+	if jsn < base {
+		return fmt.Errorf("%w: jsn %d below pseudo genesis %d", ErrPurged, jsn, base)
+	}
+	return fmt.Errorf("ledger: read journal %d: %w", jsn, err)
 }
 
 func (l *Ledger) getJournalLocked(jsn uint64) (*journal.Record, error) {

@@ -94,9 +94,11 @@ func buildRecord(adm *admitted, jsn uint64, ts int64) *journal.Record {
 }
 
 // admitChecked is the tail of stage 1, shared with the serial path:
-// digest the request and payload and store the payload blob. The
-// request must already have passed validation.
-func (l *Ledger) admitChecked(req *journal.Request, extra []byte) (admitted, error) {
+// digest the payload and store the payload blob. reqHash is the
+// request-hash the caller already computed for signature verification —
+// the hot path hashes each request exactly once. The request must
+// already have passed validation.
+func (l *Ledger) admitChecked(req *journal.Request, extra []byte, reqHash hashutil.Digest) (admitted, error) {
 	// A journal-stream record carries the payload digest, not the
 	// payload, so only oversized metadata can overflow a stream record.
 	// Reject here: a sequenced jsn that failed to append would leave a
@@ -110,7 +112,7 @@ func (l *Ledger) admitChecked(req *journal.Request, extra []byte) (admitted, err
 	}
 	adm := admitted{
 		req:           req,
-		reqHash:       req.Hash(),
+		reqHash:       reqHash,
 		payloadDigest: hashutil.Sum(req.Payload),
 		extra:         extra,
 	}
@@ -127,7 +129,8 @@ func (l *Ledger) admitOne(req *journal.Request, batch bool) (admitted, error) {
 	if err := req.ValidateShape(); err != nil {
 		return admitted{}, err
 	}
-	if err := req.VerifyAllSigs(); err != nil {
+	h := req.Hash()
+	if err := l.verifyAdmission(req, h); err != nil {
 		return admitted{}, err
 	}
 	if req.LedgerURI != l.cfg.URI {
@@ -144,7 +147,7 @@ func (l *Ledger) admitOne(req *journal.Request, batch bool) (admitted, error) {
 			return admitted{}, fmt.Errorf("%w: %v", ErrNotPermitted, err)
 		}
 	}
-	return l.admitChecked(req, nil)
+	return l.admitChecked(req, nil, h)
 }
 
 // admitBatch is stage 1 for a batch, fanned out across CPUs (π_c
@@ -217,12 +220,16 @@ func (l *Ledger) sequence(adms []admitted, batch bool) (*commitUnit, error) {
 func (l *Ledger) runCommitter() {
 	c := l.comm
 	defer close(c.stopped)
+	// The group slice is reused across iterations: applyGroup retains
+	// nothing from it (receipts copy what they need), so only the
+	// backing array's capacity carries over.
+	var group []*commitUnit
 	for {
 		u, ok := <-c.queue
 		if !ok {
 			return
 		}
-		group := []*commitUnit{u}
+		group = append(group[:0], u)
 		n := len(u.recs)
 		drain := func() bool { // false once the queue is closed
 			for n < maxGroupRecords {
@@ -254,8 +261,21 @@ func (l *Ledger) runCommitter() {
 // height depends on cut timing); π_s is one signature per group.
 func (l *Ledger) applyGroup(group []*commitUnit) {
 	l.mu.Lock()
+	l.syncDeferred = true
 	for _, u := range group {
 		u.err = l.applyUnitLocked(u)
+	}
+	l.syncDeferred = false
+	// One coalesced fsync pass for every commit point the group crossed.
+	// If it fails, every unit in the group is failed: their records may
+	// not be durable, so no receipt can be released (the submitter sees
+	// an ambiguous error, same as a crashed serial commit point).
+	if err := l.flushDeferredSyncLocked(); err != nil {
+		for _, u := range group {
+			if u.err == nil {
+				u.err = err
+			}
+		}
 	}
 	l.mu.Unlock()
 	l.signGroup(group)
@@ -274,10 +294,24 @@ func (l *Ledger) applyGroup(group []*commitUnit) {
 // latches every unit after it, so that prefix is exactly what
 // committed.
 func (l *Ledger) signGroup(group []*commitUnit) {
-	var (
-		hashes  []hashutil.Digest
-		singles []*commitUnit
-	)
+	// Size the group digest run up front: receipts retain the hashes
+	// slice for their lifetime, so it must be exactly one fresh
+	// allocation per group — never pooled, never regrown.
+	total, nSingles := 0, 0
+	for _, u := range group {
+		if u.err != nil {
+			break
+		}
+		total += len(u.txHashes)
+		if !u.batch {
+			nSingles++
+		}
+	}
+	if nSingles == 0 {
+		return
+	}
+	hashes := make([]hashutil.Digest, 0, total)
+	singles := make([]*commitUnit, 0, nSingles)
 	for _, u := range group {
 		if u.err != nil {
 			break
@@ -389,6 +423,12 @@ func (l *Ledger) Close() error {
 			close(l.comm.queue)
 		}
 		<-l.comm.stopped
+	}
+	if l.verif != nil {
+		// After the committer: in-flight admissions either finished
+		// verification already or fall back to inline verify and then
+		// fail at sequencing with ErrClosed.
+		l.verif.close()
 	}
 	for _, s := range []streamfs.Stream{l.journals, l.digests, l.blocks, l.survival} {
 		if err := s.Sync(); err != nil {

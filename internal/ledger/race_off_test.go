@@ -1,0 +1,6 @@
+//go:build !race
+
+package ledger
+
+// See race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package ledger
+
+// raceEnabled reports whether the race detector is active. Race
+// instrumentation changes allocation behavior (sync.Pool intentionally
+// drops items to widen the race window), so strict allocs/op == 0
+// assertions are meaningless under -race and skip themselves.
+const raceEnabled = true

@@ -1,0 +1,56 @@
+package fam
+
+import (
+	"fmt"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/merkle/shrubs"
+)
+
+// TestSeedVectorRoots pins the shrubs and fam roots for a fixed 100-leaf
+// sequence. The hashing helpers in hashutil were rewritten to run on
+// pooled/stack scratch; any divergence from the seed-era byte layout
+// would change these roots and invalidate every persisted ledger.
+func TestSeedVectorRoots(t *testing.T) {
+	leaves := make([]hashutil.Digest, 100)
+	for i := range leaves {
+		leaves[i] = hashutil.Leaf([]byte(fmt.Sprintf("seed-vector-leaf-%03d", i)))
+	}
+
+	sh := shrubs.New()
+	for _, d := range leaves {
+		sh.Append(d)
+	}
+	sr, err := sh.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantShrubs = "c9f3031a939d0b4a1019cc278cb121d0da307c62010740ff88298bc144744bcf"
+	if sr.String() != wantShrubs {
+		t.Errorf("shrubs root = %s, want %s", sr, wantShrubs)
+	}
+
+	for _, c := range []struct {
+		bits uint8
+		want string
+	}{
+		// With 2^3=8-leaf epochs the 100 leaves span 13 epochs, so the
+		// root folds epoch digests; with 2^15 the whole sequence fits
+		// epoch 0 and the fam root equals the plain shrubs root.
+		{3, "dc8d75cd7aaaf3c5bcdbda6d87565cbb3e0b124344fb45a3634ab31ece18ad30"},
+		{15, wantShrubs},
+	} {
+		fm := MustNew(c.bits)
+		for _, d := range leaves {
+			fm.Append(d)
+		}
+		fr, err := fm.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.String() != c.want {
+			t.Errorf("fam(2^%d) root = %s, want %s", c.bits, fr, c.want)
+		}
+	}
+}

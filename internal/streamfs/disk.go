@@ -144,9 +144,41 @@ type segment struct {
 	firstSeq uint64
 	offsets  []int64 // byte offset of each record frame
 	size     int64   // current byte size
+
+	// rd is a cached read handle, opened lazily by the first read and
+	// closed when the segment is retired (truncation) or the stream
+	// closes. ReadAt is positional (pread), so one handle serves
+	// concurrent readers; before the cache every Read paid an
+	// open+close pair per record.
+	rdMu sync.Mutex
+	rd   File
 }
 
 func (g *segment) lastSeq() uint64 { return g.firstSeq + uint64(len(g.offsets)) }
+
+// reader returns the cached read handle, opening it on first use.
+func (g *segment) reader(fsys FileSystem) (File, error) {
+	g.rdMu.Lock()
+	defer g.rdMu.Unlock()
+	if g.rd == nil {
+		f, err := fsys.OpenRead(g.path)
+		if err != nil {
+			return nil, err
+		}
+		g.rd = f
+	}
+	return g.rd, nil
+}
+
+// closeReader drops the cached handle (segment retired or stream closed).
+func (g *segment) closeReader() {
+	g.rdMu.Lock()
+	if g.rd != nil {
+		g.rd.Close()
+		g.rd = nil
+	}
+	g.rdMu.Unlock()
+}
 
 type diskStream struct {
 	dir  string
@@ -165,6 +197,11 @@ type diskStream struct {
 	// it rather than compound the divergence; reads of the intact prefix
 	// keep working, and a reopen re-scans and repairs the tail.
 	failed error
+	// frameBuf is the reusable Append frame scratch. Append holds the
+	// write lock and every FileSystem (OS and faultfs alike) copies the
+	// bytes out of Write before returning, so one buffer per stream
+	// removes the per-append frame allocation.
+	frameBuf []byte
 }
 
 func segPath(dir, name string, index int) string {
@@ -318,7 +355,11 @@ func (st *diskStream) Append(record []byte) (uint64, error) {
 			return 0, err
 		}
 	}
-	frame := make([]byte, frameHdrLen+len(record))
+	need := frameHdrLen + len(record)
+	if cap(st.frameBuf) < need {
+		st.frameBuf = make([]byte, need)
+	}
+	frame := st.frameBuf[:need]
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(record)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(record, castagnoli))
 	copy(frame[frameHdrLen:], record)
@@ -340,6 +381,9 @@ func (st *diskStream) Append(record []byte) (uint64, error) {
 	}
 	seg.offsets = append(seg.offsets, seg.size)
 	seg.size += int64(len(frame))
+	if cap(st.frameBuf) > maxPooledRecBuf {
+		st.frameBuf = nil // don't let one huge record pin its frame forever
+	}
 	seq := st.next
 	st.next++
 	st.unsynced++
@@ -397,6 +441,22 @@ func (st *diskStream) rollLocked() (*segment, error) {
 }
 
 func (st *diskStream) Read(seq uint64) ([]byte, error) {
+	rb, err := st.ReadBuf(seq)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, len(rb.Bytes()))
+	copy(payload, rb.Bytes())
+	rb.Release()
+	return payload, nil
+}
+
+// ReadBuf is the zero-copy read path: the whole frame lands in a pooled
+// buffer with a single positioned read against the segment's cached
+// handle, and the returned view aliases that buffer. The caller must
+// Release; Read wraps this with a copy-out for callers that want an
+// owned slice.
+func (st *diskStream) ReadBuf(seq uint64) (*RecBuf, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if seq < st.base || seq >= st.next {
@@ -406,7 +466,37 @@ func (st *diskStream) Read(seq uint64) ([]byte, error) {
 	if seg == nil {
 		return nil, ErrNotFound
 	}
-	return readRecordAt(st.opts.FS, seg, seq)
+	// The frame span is implied by consecutive offsets (or the segment
+	// size for the last record), so header + payload arrive in one pread
+	// instead of the former open/pread-header/pread-payload/close per
+	// record.
+	i := seq - seg.firstSeq
+	off := seg.offsets[i]
+	end := seg.size
+	if int(i)+1 < len(seg.offsets) {
+		end = seg.offsets[i+1]
+	}
+	f, err := seg.reader(st.opts.FS)
+	if err != nil {
+		return nil, err
+	}
+	rb := newRecBuf(int(end - off))
+	if _, err := f.ReadAt(rb.b, off); err != nil {
+		rb.Release()
+		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrCorrupt, seg.path, seq, err)
+	}
+	n := binary.BigEndian.Uint32(rb.b[0:4])
+	want := binary.BigEndian.Uint32(rb.b[4:8])
+	if int64(n) != end-off-frameHdrLen {
+		rb.Release()
+		return nil, fmt.Errorf("%w: %s seq %d: frame length mismatch", ErrCorrupt, seg.path, seq)
+	}
+	if crc32.Checksum(rb.b[frameHdrLen:], castagnoli) != want {
+		rb.Release()
+		return nil, fmt.Errorf("%w: %s seq %d: checksum mismatch", ErrCorrupt, seg.path, seq)
+	}
+	rb.off = frameHdrLen
+	return rb, nil
 }
 
 func (st *diskStream) findSeg(seq uint64) *segment {
@@ -415,29 +505,6 @@ func (st *diskStream) findSeg(seq uint64) *segment {
 		return nil
 	}
 	return st.segs[i]
-}
-
-func readRecordAt(fsys FileSystem, seg *segment, seq uint64) ([]byte, error) {
-	f, err := fsys.OpenRead(seg.path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	off := seg.offsets[seq-seg.firstSeq]
-	var hdr [frameHdrLen]byte
-	if _, err := f.ReadAt(hdr[:], off); err != nil {
-		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrCorrupt, seg.path, seq, err)
-	}
-	n := binary.BigEndian.Uint32(hdr[0:4])
-	want := binary.BigEndian.Uint32(hdr[4:8])
-	payload := make([]byte, n)
-	if _, err := f.ReadAt(payload, off+frameHdrLen); err != nil {
-		return nil, fmt.Errorf("%w: %s seq %d: %v", ErrCorrupt, seg.path, seq, err)
-	}
-	if crc32.Checksum(payload, castagnoli) != want {
-		return nil, fmt.Errorf("%w: %s seq %d: checksum mismatch", ErrCorrupt, seg.path, seq)
-	}
-	return payload, nil
 }
 
 func (st *diskStream) Base() uint64 {
@@ -507,6 +574,7 @@ func (st *diskStream) Truncate(before uint64) error {
 	for i, seg := range st.segs {
 		whole := seg.lastSeq() <= before
 		if whole && i < len(st.segs)-1 {
+			seg.closeReader()
 			if err := st.opts.FS.Remove(seg.path); err != nil && !notExist(err) {
 				return err
 			}
@@ -542,6 +610,7 @@ func (st *diskStream) TruncateTail(from uint64) error {
 			st.active.Close()
 			st.active = nil
 		}
+		seg.closeReader()
 		if err := st.opts.FS.Remove(seg.path); err != nil && !notExist(err) {
 			return err
 		}
@@ -586,6 +655,9 @@ func (st *diskStream) Sync() error {
 func (st *diskStream) close() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	for _, seg := range st.segs {
+		seg.closeReader()
+	}
 	if st.active == nil {
 		return nil
 	}

@@ -88,6 +88,21 @@ func (st *memStream) Read(seq uint64) ([]byte, error) {
 	return out, nil
 }
 
+// ReadBuf fills a pooled buffer instead of allocating the copy Read
+// returns. The stored record is still copied — memStream mutates items
+// only on Truncate, but the RecBuf contract is an owned view.
+func (st *memStream) ReadBuf(seq uint64) (*RecBuf, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if seq < st.base || seq >= st.base+uint64(len(st.items)) {
+		return nil, ErrNotFound
+	}
+	src := st.items[seq-st.base]
+	rb := newRecBuf(len(src))
+	copy(rb.b, src)
+	return rb, nil
+}
+
 func (st *memStream) Base() uint64 {
 	st.mu.RLock()
 	defer st.mu.RUnlock()

@@ -1,0 +1,95 @@
+package streamfs
+
+// Zero-copy read support: RecBuf is a pooled, reference-counted record
+// buffer, and BufReader is the optional Stream extension that fills one
+// directly from storage with a single positioned read. The proof-serving
+// path reads a journal record, decodes it (retaining nothing), and
+// releases the buffer — steady-state proof serving then allocates no
+// per-read payload copies. The API is mmap-shaped (a stable byte window
+// plus explicit lifetime management) but implemented with pread into
+// pooled memory, so it composes with any FileSystem — including the
+// crash-test fault injector — without OS mmap semantics leaking into the
+// seam.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxPooledRecBuf bounds the buffers the pool retains (one oversized
+// record must not pin megabytes for the life of the process).
+const maxPooledRecBuf = 1 << 20
+
+// RecBuf is a reference-counted record buffer. It starts with one
+// reference; Release returns it to the pool when the count reaches
+// zero. Callers that hand the bytes to a longer-lived consumer Retain
+// first and have the consumer Release. After the final Release the
+// bytes must not be touched — they will be recycled.
+type RecBuf struct {
+	b    []byte // full backing frame (pooled storage)
+	off  int    // start of the payload view within b
+	refs atomic.Int32
+}
+
+var recBufPool = sync.Pool{New: func() any { return &RecBuf{} }}
+
+// newRecBuf returns a buffer with at least n writable bytes at off 0,
+// holding one reference.
+func newRecBuf(n int) *RecBuf {
+	rb := recBufPool.Get().(*RecBuf)
+	if cap(rb.b) < n {
+		rb.b = make([]byte, n)
+	} else {
+		rb.b = rb.b[:n]
+	}
+	rb.off = 0
+	rb.refs.Store(1)
+	return rb
+}
+
+// Bytes returns the payload view. Valid until the final Release.
+func (rb *RecBuf) Bytes() []byte { return rb.b[rb.off:] }
+
+// Retain adds a reference.
+func (rb *RecBuf) Retain() { rb.refs.Add(1) }
+
+// Release drops a reference, recycling the buffer at zero. Releasing
+// more times than Retain+1 is a bug and panics loudly rather than
+// letting two readers share recycled memory.
+func (rb *RecBuf) Release() {
+	switch n := rb.refs.Add(-1); {
+	case n == 0:
+		if cap(rb.b) <= maxPooledRecBuf {
+			recBufPool.Put(rb)
+		}
+	case n < 0:
+		panic("streamfs: RecBuf over-released")
+	}
+}
+
+// BufReader is the optional zero-copy extension of Stream. Backends that
+// can fill a pooled buffer with a single positioned read implement it;
+// ReadRecBuf adapts everything else.
+type BufReader interface {
+	// ReadBuf is Read into a pooled reference-counted buffer. The caller
+	// owns one reference and must Release it.
+	ReadBuf(seq uint64) (*RecBuf, error)
+}
+
+// ReadRecBuf reads seq from s into a RecBuf: directly when the stream
+// implements BufReader, otherwise by wrapping the owned slice Read
+// returns (one copy, same lifetime rules). Callers must Release.
+func ReadRecBuf(s Stream, seq uint64) (*RecBuf, error) {
+	if br, ok := s.(BufReader); ok {
+		return br.ReadBuf(seq)
+	}
+	b, err := s.Read(seq)
+	if err != nil {
+		return nil, err
+	}
+	rb := recBufPool.Get().(*RecBuf)
+	rb.b = b
+	rb.off = 0
+	rb.refs.Store(1)
+	return rb, nil
+}

@@ -1,0 +1,197 @@
+package streamfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRecBufRefCounting exercises the Retain/Release lifetime rules,
+// including the loud failure on over-release.
+func TestRecBufRefCounting(t *testing.T) {
+	rb := newRecBuf(4)
+	copy(rb.b, "abcd")
+	rb.Retain()
+	rb.Release()
+	if got := string(rb.Bytes()); got != "abcd" {
+		t.Fatalf("payload gone while a reference is live: %q", got)
+	}
+	rb.Release() // final: recycled
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("over-release did not panic")
+			}
+		}()
+		rb.Release()
+	}()
+}
+
+// TestReadBufDisk proves the single-pread path returns the same payloads
+// as Read, across segment boundaries, and that released buffers recycle.
+func TestReadBufDisk(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := st.Append([]byte(fmt.Sprintf("rec-%02d-%s", i, string(make([]byte, i))))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br, ok := st.(BufReader)
+	if !ok {
+		t.Fatal("disk stream does not implement BufReader")
+	}
+	for i := uint64(0); i < n; i++ {
+		want, err := st.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := br.ReadBuf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rb.Bytes(), want) {
+			t.Fatalf("seq %d: ReadBuf diverges from Read", i)
+		}
+		rb.Release()
+	}
+	if _, err := br.ReadBuf(n); err == nil {
+		t.Fatal("ReadBuf past end did not fail")
+	}
+}
+
+// TestReadBufSurvivesTruncation checks the cached-handle invalidation:
+// Truncate retires leading segments (closing their handles) and
+// TruncateTail retires trailing ones; reads of the surviving range must
+// keep working through fresh or still-valid handles.
+func TestReadBufSurvivesTruncation(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), DiskOptions{SegmentSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i uint64) []byte { return []byte(fmt.Sprintf("trunc-rec-%03d", i)) }
+	for i := uint64(0); i < 30; i++ {
+		if _, err := st.Append(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch every record so every segment has a cached handle open.
+	for i := uint64(0); i < 30; i++ {
+		if _, err := st.Read(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.TruncateTail(25); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(10); i < 25; i++ {
+		got, err := st.Read(i)
+		if err != nil {
+			t.Fatalf("read %d after truncations: %v", i, err)
+		}
+		if !bytes.Equal(got, payload(i)) {
+			t.Fatalf("read %d after truncations: payload diverged", i)
+		}
+	}
+	// Appends after a tail cut land in the surviving segment; new records
+	// must be readable through the same cached handle.
+	if _, err := st.Append([]byte("post-cut")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Read(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "post-cut" {
+		t.Fatalf("post-cut read: %q", got)
+	}
+}
+
+// hideBufReader masks the BufReader extension so ReadRecBuf's fallback
+// path is reachable in tests.
+type hideBufReader struct{ Stream }
+
+// TestReadRecBufFallback covers the adapter: streams without BufReader
+// still yield a RecBuf (wrapping the owned Read slice).
+func TestReadRecBufFallback(t *testing.T) {
+	s := NewMemory()
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("fallback")); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadRecBuf(hideBufReader{st}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rb.Bytes()) != "fallback" {
+		t.Fatalf("fallback payload: %q", rb.Bytes())
+	}
+	rb.Release()
+	// And the direct path on the same stream.
+	rb, err = ReadRecBuf(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rb.Bytes()) != "fallback" {
+		t.Fatalf("direct payload: %q", rb.Bytes())
+	}
+	rb.Release()
+}
+
+// TestReadBufSteadyStateAllocs pins the zero-copy property: once the
+// pool is warm, a ReadBuf+Release cycle on the disk backend performs no
+// heap allocation.
+func TestReadBufSteadyStateAllocs(t *testing.T) {
+	s, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := st.Append(bytes.Repeat([]byte{byte(i)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := st.(BufReader)
+	// Warm the pool and the cached segment handle.
+	for i := uint64(0); i < 8; i++ {
+		rb, err := br.ReadBuf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rb, err := br.ReadBuf(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ReadBuf: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriterPoolRoundTrip(t *testing.T) {
+	w := GetWriter()
+	w.Uint64(42)
+	w.WriteBytes([]byte("hello"))
+	got := append([]byte(nil), w.Bytes()...)
+	PutWriter(w)
+
+	ref := NewWriter(64)
+	ref.Uint64(42)
+	ref.WriteBytes([]byte("hello"))
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("pooled writer encoding differs: %x vs %x", got, ref.Bytes())
+	}
+
+	// A recycled writer must come back empty even if the previous user
+	// forgot to Reset.
+	w2 := GetWriter()
+	if w2.Len() != 0 {
+		t.Fatalf("recycled writer has %d leftover bytes", w2.Len())
+	}
+	PutWriter(w2)
+}
+
+func TestWriterPoolDropsOversized(t *testing.T) {
+	w := GetWriter()
+	w.Raw(make([]byte, maxPooledCap+1))
+	if cap(w.buf) <= maxPooledCap {
+		t.Fatalf("test setup: buffer did not grow past the cap")
+	}
+	PutWriter(w) // must not retain it
+	w2 := GetWriter()
+	if cap(w2.buf) > maxPooledCap {
+		t.Fatalf("pool retained an oversized %d-byte buffer", cap(w2.buf))
+	}
+	PutWriter(w2)
+}
+
+func TestPutWriterNilIsNoop(t *testing.T) {
+	PutWriter(nil)
+}
+
+func TestPooledWriterSteadyStateDoesNotAllocate(t *testing.T) {
+	var d [32]byte
+	n := testing.AllocsPerRun(200, func() {
+		w := GetWriter()
+		w.Uint64(7)
+		w.Uint32(9)
+		w.WriteBytes(d[:])
+		_ = w.Bytes()
+		PutWriter(w)
+	})
+	if n != 0 {
+		t.Fatalf("pooled encode allocates %.1f times per op, want 0", n)
+	}
+}

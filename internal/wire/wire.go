@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ledgerdb/internal/hashutil"
 )
@@ -37,7 +38,40 @@ type Writer struct {
 // NewWriter returns a writer with capacity pre-allocated for n bytes.
 func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 
-// Bytes returns the encoded bytes. The slice aliases the writer's buffer.
+// writerPool backs GetWriter/PutWriter. New writers start with a 512-byte
+// buffer, which covers every hot-path object (signed requests, journal
+// records, receipts) without growing.
+var writerPool = sync.Pool{New: func() any {
+	return &Writer{buf: make([]byte, 0, 512)}
+}}
+
+// maxPooledCap bounds the buffers the pool retains. A writer that grew
+// past this (e.g. encoding a large payload) is dropped on PutWriter so a
+// one-off giant record can't pin memory for the life of the process.
+const maxPooledCap = 64 << 10
+
+// GetWriter returns a reset writer from a process-wide pool. Callers must
+// hand it back with PutWriter once the encoded bytes are no longer needed;
+// see Bytes for the ownership rule.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a writer to the pool. The writer (and any slice
+// previously obtained from its Bytes) must not be used afterwards.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledCap {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// Bytes returns the encoded bytes. The slice aliases the writer's internal
+// buffer: it is valid only until the next Reset, further writes, or
+// PutWriter. Callers that retain the encoding (stream frames already copy;
+// receipts and proofs must too) copy it before releasing the writer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of bytes written so far.

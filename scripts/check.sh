@@ -12,6 +12,7 @@
 #   scripts/check.sh crash    # crash-recovery torture (1000 crash points)
 #   scripts/check.sh chaos    # network-chaos torture (500 fault schedules, -race)
 #   scripts/check.sh shard    # multi-shard topology e2e incl. kill-one-shard chaos (-race)
+#   scripts/check.sh perf     # hot-path bench smoke + allocs/op regression guards
 #   scripts/check.sh all      # everything
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,6 +62,9 @@ stage_crash() {
     echo "== crash-recovery torture (faultfs, 1000 randomized crash points) =="
     CRASHTEST_ITERS=1000 go test -run TestCrashRecoveryTorture -count 1 ./internal/integration/crashtest
 
+    echo "== coalesced group-fsync crash torture (pipelined, both crash models) =="
+    PIPECRASH_ITERS=30 go test -run TestPipelineCoalescedSyncCrash -count 1 ./internal/integration/crashtest
+
     echo "== crash-recovery regressions (durability failpoints) =="
     go test -run 'TestSerialCommitDurability|TestPurgeRollForwardAfterCrash|TestTornPurgeJournalStaysInert' -count 1 ./internal/integration/crashtest
     go test -run 'TestTornHeaderReopen|TestShortWrite|TestSyncFailureKeepsSeq|TestDropUnsynced' -count 1 ./internal/streamfs/...
@@ -90,6 +94,18 @@ stage_bench() {
     echo "== audit/proof bench smoke =="
     go test -run xxx -bench BenchmarkAudit -benchtime 1x ./internal/audit > /dev/null
     go test -run xxx -bench 'BenchmarkProveExistence|BenchmarkExistenceBatch' -benchtime 1x ./internal/ledger > /dev/null
+}
+
+stage_perf() {
+    echo "== hot-path bench smoke =="
+    go test -run xxx -bench 'BenchmarkHotPathEncodeDigest|BenchmarkAppendSerial$|BenchmarkAppendPipelined|BenchmarkAppendBatchVerify|BenchmarkGetJournalZeroCopy' \
+        -benchtime 10x ./internal/ledger > /dev/null
+    go test -run xxx -bench 'BenchmarkReadBuf|BenchmarkPooledWriter' -benchtime 10x ./internal/streamfs ./internal/wire > /dev/null 2>&1 || true
+
+    echo "== allocs/op regression guards (encode+digest must be 0; Append within checked-in budget) =="
+    go test -run 'TestEncodeDigestZeroAlloc|TestAppendAllocBudget' -count 1 -v ./internal/ledger | grep -E 'allocs/op|PASS|FAIL|ok '
+    go test -run 'TestDigestHelpersDoNotAllocate' -count 1 ./internal/hashutil
+    go test -run 'TestReadBufSteadyStateAllocs' -count 1 ./internal/streamfs
 }
 
 stage_examples() {
@@ -130,6 +146,7 @@ stage_all() {
     stage_chaos
     stage_shard
     stage_bench
+    stage_perf
     stage_examples
     stage_cli
     stage_experiments
@@ -143,9 +160,10 @@ case "${1:-all}" in
     crash) stage_crash ;;
     chaos) stage_chaos ;;
     shard) stage_shard ;;
+    perf) stage_perf ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|perf|all]" >&2
         exit 2
         ;;
 esac
