@@ -1,18 +1,24 @@
 // Command verlint runs the ledger-invariant static analyzer over the
-// module (see internal/lint and DESIGN.md §4.3). It is stdlib-only and
-// runs from source, so it works in the same offline environment as the
-// rest of the repository:
+// module (see internal/lint and DESIGN.md §4.3/§4.8). It is stdlib-only
+// and runs from source, so it works in the same offline environment as
+// the rest of the repository:
 //
 //	go run ./cmd/verlint ./...
 //	go run ./cmd/verlint ./internal/ledger ./internal/audit
-//	go run ./cmd/verlint -rules            # describe the rule set
+//	go run ./cmd/verlint -rules L1,L6 ./...   # only those rules
+//	go run ./cmd/verlint -json ./...          # NDJSON, one finding/line
+//	go run ./cmd/verlint -timing ./...        # per-rule wall time on stderr
+//	go run ./cmd/verlint -list                # describe the rule set
 //
-// Findings print one per line as file:line: [rule] message, and the
-// process exits 1 when there are any — wired between `go vet` and the
-// tests in scripts/check.sh.
+// Findings print one per line as file:line: [rule] message (or as JSON
+// objects with file/line/rule/msg keys under -json), in stable
+// file/line/rule order. The process exits 1 only when an enabled rule
+// (or suppression hygiene) produced findings, 2 on usage or load
+// errors — wired between `go vet` and the tests in scripts/check.sh.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,40 +27,74 @@ import (
 	"ledgerdb/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape emitted under -json.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
-	showRules := flag.Bool("rules", false, "print the rule set and exit")
+	list := flag.Bool("list", false, "print the rule set and exit")
+	rulesFlag := flag.String("rules", "", "comma-separated rule filter (e.g. L1,L6); empty means all rules")
+	jsonOut := flag.Bool("json", false, "emit findings as NDJSON objects {file,line,rule,msg}")
+	timing := flag.Bool("timing", false, "print per-rule wall time and finding counts to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: verlint [-rules] [packages]\n\npackages are ./...-style patterns or directories (default ./...)\n")
+		fmt.Fprintf(os.Stderr, "usage: verlint [-list] [-rules L1,L6,...] [-json] [-timing] [packages]\n\npackages are ./...-style patterns or directories (default ./...)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if *showRules {
+	if *list {
 		for _, r := range lint.AllRules() {
 			fmt.Printf("%s  %s\n", r.Name(), r.Doc())
 		}
-		fmt.Printf("SUP suppression hygiene: //lint:ignore L<n> reason; reason-less or stale directives are findings\n")
+		fmt.Printf("SUP suppression hygiene: //lint:ignore L<n> reason; reason-less, unknown-rule, or stale directives are findings\n")
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	findings, err := lint.Run(lint.Options{Dir: ".", Patterns: patterns})
+	rules, err := lint.RulesFor(*rulesFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verlint: %v\n", err)
 		os.Exit(2)
 	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, timings, err := lint.RunTimed(lint.Options{Dir: ".", Patterns: patterns, Rules: rules})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verlint: %v\n", err)
+		os.Exit(2)
+	}
+
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Rule, f.Msg)
+		return name
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			if err := enc.Encode(jsonFinding{File: relName(f.Pos.Filename), Line: f.Pos.Line, Rule: f.Rule, Msg: f.Msg}); err != nil {
+				fmt.Fprintf(os.Stderr, "verlint: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: [%s] %s\n", relName(f.Pos.Filename), f.Pos.Line, f.Rule, f.Msg)
+		}
+	}
+	if *timing {
+		for _, tr := range timings {
+			fmt.Fprintf(os.Stderr, "verlint: %-5s %8.1fms  %d finding(s)\n", tr.Rule, tr.Elapsed.Seconds()*1000, tr.Findings)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "verlint: %d finding(s)\n", len(findings))

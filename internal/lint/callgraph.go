@@ -127,6 +127,8 @@ var l1SkipPackages = []string{"internal/streamfs"}
 
 type cgNode struct {
 	fn    *types.Func
+	decl  *ast.FuncDecl // declaration body (L7 inspects spawned functions)
+	pkg   *Package      // declaring package (for type info on decl)
 	calls []*types.Func // statically resolved module callees
 	// reach maps sink category -> human-readable chain ("a → b → Sign").
 	reach map[string]string
@@ -161,7 +163,7 @@ func buildCallGraph(ctx *Context, pkgs []*Package) *callGraph {
 }
 
 func (g *callGraph) scanBody(ctx *Context, pkg *Package, fd *ast.FuncDecl, fn *types.Func) *cgNode {
-	node := &cgNode{fn: fn, reach: make(map[string]string)}
+	node := &cgNode{fn: fn, decl: fd, pkg: pkg, reach: make(map[string]string)}
 	lits := funcLitRanges(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)

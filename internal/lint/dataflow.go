@@ -1,0 +1,252 @@
+package lint
+
+// Shared intraprocedural dataflow machinery for the v2 rules (L6-L9).
+//
+// The v1 rules (L1-L5) are syntactic: they classify single expressions
+// or lexical regions. The v2 rules reason about *paths* — "is this
+// pooled buffer released on every return?", "is this stream write
+// followed by a Sync before the success return?" — which needs three
+// shared pieces:
+//
+//   - body enumeration: every FuncDecl and every FuncLit is analyzed as
+//     its own body, because a literal's statements run under a different
+//     lifetime than its enclosing function's;
+//   - statement-spine chains: the stack of statement lists (blocks,
+//     case/comm clauses) from a body's root down to a position, which
+//     supports a sound-enough dominance test without building a CFG;
+//   - exit-point coverage: given an acquisition and a set of covering
+//     events (releases, syncs), decide whether every exit after the
+//     acquisition is preceded by an event on its path.
+//
+// The dominance approximation: an event E covers an exit X when E
+// precedes X in source order AND E's spine chain is a prefix of either
+// X's chain (classic AST dominance: E sits on X's path from the root)
+// or the acquisition's chain (E post-dominates the acquisition's own
+// block, so any path that leaves that block normally passed E; exits
+// branching off between the acquisition and E have positions before E
+// and are judged separately). This is exact for the straight-line and
+// if/else shapes the module uses, and errs toward reporting for
+// loop-crossing shapes — which is the right direction for a linter
+// with auditable //lint:ignore escape hatches.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcBody is one analyzable body: a FuncDecl or a FuncLit.
+type funcBody struct {
+	name string         // display name ("applyRecordLocked", "func literal")
+	decl *ast.FuncDecl  // nil for literals
+	lit  *ast.FuncLit   // nil for declarations
+	body *ast.BlockStmt // the statements
+	typ  *types.Signature
+}
+
+// collectBodies enumerates every function-like body in a file, outermost
+// first. Each FuncLit is its own entry; analyses over one body must skip
+// statements inside its nested literals (use nestedLits).
+func collectBodies(pkg *Package, file *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			fb := funcBody{name: fn.Name.Name, decl: fn, body: fn.Body}
+			if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+				fb.typ, _ = obj.Type().(*types.Signature)
+			}
+			out = append(out, fb)
+		case *ast.FuncLit:
+			fb := funcBody{name: "func literal", lit: fn, body: fn.Body}
+			if tv, ok := pkg.Info.Types[fn]; ok {
+				fb.typ, _ = tv.Type.(*types.Signature)
+			}
+			out = append(out, fb)
+		}
+		return true
+	})
+	return out
+}
+
+// nestedLits returns the position ranges of function literals strictly
+// inside body (the body itself, when it belongs to a literal, is not
+// included).
+func nestedLits(body *ast.BlockStmt) [][2]token.Pos {
+	return funcLitRanges(body)
+}
+
+// spineChain returns the stack of statement-list nodes (BlockStmt,
+// CaseClause, CommClause) from body down to pos, outermost first.
+// Positions inside nested function literals yield the chain down to the
+// literal's enclosing statement only — callers analyze literal interiors
+// as separate bodies.
+func spineChain(body *ast.BlockStmt, pos token.Pos) []ast.Node {
+	var chain []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Does not contain pos. (The root body always contains it.)
+			if n == body {
+				return true
+			}
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // interior belongs to another body
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			chain = append(chain, n)
+		}
+		return true
+	})
+	return chain
+}
+
+// chainPrefix reports whether a is a prefix of b.
+func chainPrefix(a, b []ast.Node) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// covEvent is a covering action (a release, a sync) at a position.
+type covEvent struct {
+	pos   token.Pos
+	chain []ast.Node
+}
+
+// exitPoint is one way control leaves a body: a return statement, or
+// the implicit fall-through at the body's end.
+type exitPoint struct {
+	pos   token.Pos
+	chain []ast.Node
+	ret   *ast.ReturnStmt // nil for the implicit end
+}
+
+// bodyExits enumerates every exit of body after the position `after`:
+// each return statement outside nested literals, plus the implicit end
+// when the body's last statement is not a return.
+func bodyExits(body *ast.BlockStmt, after token.Pos) []exitPoint {
+	lits := nestedLits(body)
+	var out []exitPoint
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= after || inRanges(ret.Pos(), lits) {
+			return true
+		}
+		out = append(out, exitPoint{pos: ret.Pos(), chain: spineChain(body, ret.Pos()), ret: ret})
+		return true
+	})
+	implicit := len(body.List) == 0
+	if n := len(body.List); n > 0 {
+		if _, isRet := body.List[n-1].(*ast.ReturnStmt); !isRet {
+			implicit = true
+		}
+	}
+	if implicit && body.End()-1 > after {
+		out = append(out, exitPoint{pos: body.End() - 1, chain: []ast.Node{body}})
+	}
+	return out
+}
+
+// coveredExit reports whether some event covers the exit, per the spine
+// dominance rule described at the top of the file.
+func coveredExit(acqPos token.Pos, acqChain []ast.Node, e exitPoint, events []covEvent) bool {
+	for _, ev := range events {
+		if ev.pos <= acqPos || ev.pos >= e.pos {
+			continue
+		}
+		if chainPrefix(ev.chain, e.chain) || chainPrefix(ev.chain, acqChain) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// successExit reports whether an exit is a success path for a function
+// whose last result is an error: a return whose final result is the nil
+// literal, an implicit fall-through, or any return when the signature
+// has no trailing error. Error-propagating returns are not success
+// exits — the operation failed and nothing was acknowledged.
+func successExit(sig *types.Signature, e exitPoint) bool {
+	if e.ret == nil {
+		return true
+	}
+	if sig == nil || sig.Results() == nil || sig.Results().Len() == 0 {
+		return true
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	if len(e.ret.Results) == 0 {
+		return true // bare return with named results: treated as success
+	}
+	return isNilIdent(e.ret.Results[len(e.ret.Results)-1])
+}
+
+// objOf resolves an identifier expression to its object, through
+// parentheses.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// errGuardRanges collects the body ranges of `if err != nil { ... }`
+// statements testing the given error object. Exits inside such a range
+// are the failed-acquisition path: the paired resource was never handed
+// out, so no release is owed there.
+func errGuardRanges(body *ast.BlockStmt, info *types.Info, errObj types.Object) [][2]token.Pos {
+	if errObj == nil {
+		return nil
+	}
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.NEQ {
+			return true
+		}
+		var errSide ast.Expr
+		switch {
+		case isNilIdent(bin.Y):
+			errSide = bin.X
+		case isNilIdent(bin.X):
+			errSide = bin.Y
+		default:
+			return true
+		}
+		if objOf(info, errSide) == errObj {
+			out = append(out, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}

@@ -57,7 +57,7 @@ func loadWants(t *testing.T, path string) map[int][]*expectation {
 // (one per rule, each with positive and negative cases) in a single
 // analyzer pass and diffs findings against the want annotations.
 func TestGolden(t *testing.T) {
-	fixtures := []string{"l1", "l2", "l3", "l4", "l5"}
+	fixtures := []string{"l1", "l2", "l3", "l4", "l5", "l6", "l7", "l8", "l9"}
 	patterns := make([]string, len(fixtures))
 	for i, f := range fixtures {
 		patterns[i] = "testdata/src/" + f
@@ -171,7 +171,7 @@ func TestSuppressions(t *testing.T) {
 		t.Errorf("surviving L3 finding at line %d, want %d (the unreasoned directive's clock read)", got, wantLine)
 	}
 
-	var unreasoned, stale, malformed int
+	var unreasoned, stale, malformed, unknown int
 	for _, f := range byRule["SUP"] {
 		switch {
 		case strings.Contains(f.Msg, "without a reason"):
@@ -183,15 +183,60 @@ func TestSuppressions(t *testing.T) {
 			stale++
 		case strings.Contains(f.Msg, "malformed lint:ignore"):
 			malformed++
+		case strings.Contains(f.Msg, "unknown rule"):
+			unknown++
 		default:
 			t.Errorf("unexpected SUP finding: %s", f)
 		}
 	}
-	if unreasoned != 1 || stale != 1 || malformed != 2 {
-		t.Errorf("SUP findings: unreasoned=%d stale=%d malformed=%d, want 1/1/2 (//lint:ignore SUP is itself malformed)", unreasoned, stale, malformed)
+	if unreasoned != 1 || stale != 1 || malformed != 1 || unknown != 2 {
+		t.Errorf("SUP findings: unreasoned=%d stale=%d malformed=%d unknown=%d, want 1/1/1/2 (//lint:ignore SUP and L42 both name unknown rules)", unreasoned, stale, malformed, unknown)
 	}
 	if len(findings) != len(byRule["L3"])+len(byRule["SUP"]) {
 		t.Errorf("unexpected non-L3/SUP findings: %v", findings)
+	}
+}
+
+// TestRuleFilter pins the -rules contract: only enabled rules report,
+// directives for known-but-disabled rules are inert (neither suppress
+// nor stale), and RunTimed accounts each enabled rule plus the load
+// phase.
+func TestRuleFilter(t *testing.T) {
+	rules, err := RulesFor("L6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RulesFor("L6,L42"); err == nil {
+		t.Fatal("RulesFor must reject an unknown rule name")
+	}
+
+	// The sup fixture carries L3 findings and L3/L4 directives; with only
+	// L6 enabled those directives are inert and nothing fires at all
+	// except the always-on directive hygiene (unknown-rule, malformed).
+	findings, timings, err := RunTimed(Options{Dir: ".", Patterns: []string{"testdata/src/sup"}, Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Rule != "SUP" {
+			t.Errorf("rule %s fired with only L6 enabled: %s", f.Rule, f)
+		}
+		if strings.Contains(f.Msg, "stale") {
+			t.Errorf("directive for a disabled rule reported stale: %s", f)
+		}
+	}
+	var sup int
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "unknown rule") || strings.Contains(f.Msg, "malformed") {
+			sup++
+		}
+	}
+	if sup != len(findings) || sup != 3 {
+		t.Errorf("want exactly 3 SUP findings (SUP, L42, bare directive) with only L6 on, got %v", findings)
+	}
+
+	if len(timings) != 2 || timings[0].Rule != "load" || timings[1].Rule != "L6" {
+		t.Errorf("timings = %+v, want [load L6]", timings)
 	}
 }
 

@@ -1,0 +1,464 @@
+package lint
+
+// L6 — pooled-buffer escape and leak detection.
+//
+// The zero-alloc hot paths (PR 7) hand out two kinds of pooled memory:
+// wire.GetWriter's sync.Pool'd encoders, whose Bytes() result aliases
+// the pooled array until wire.PutWriter recycles it, and streamfs's
+// refcounted RecBufs, whose Bytes() is valid only until Release drops
+// the last reference. Both contracts live in comments; L6 makes them
+// mechanical:
+//
+//   - every acquisition (GetWriter / ReadRecBuf / ReadBuf / newRecBuf)
+//     must be released, retained, or ownership-transferred on every path
+//     out of the acquiring body — including early error returns;
+//   - no Bytes() alias (nor anything assigned/sliced/appended from one)
+//     may be stored to a field, package variable, map, or channel,
+//     returned to the caller, placed in a composite literal, or captured
+//     by a goroutine. Passing an alias as a plain call argument is fine:
+//     the callee's use ends before the caller releases.
+//
+// Inside internal/wire and internal/streamfs the implementations
+// necessarily expose their own backing arrays, so parameter-based alias
+// tracking is disabled there; acquisition tracking still applies.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type ruleL6 struct{}
+
+func (ruleL6) Name() string { return "L6" }
+func (ruleL6) Doc() string {
+	return "pooled buffers (wire.GetWriter, streamfs RecBuf) are released on every path and their Bytes() aliases never escape"
+}
+
+// l6SkipParamTaint are the packages whose own implementations may expose
+// pooled backing arrays; parameter-originated alias tracking is off there.
+var l6SkipParamTaint = []string{"internal/wire", "internal/streamfs"}
+
+// l6Kind describes one pooled-resource family.
+type l6Kind struct {
+	noun    string // for messages
+	release string // the paired release call, for messages
+}
+
+var l6Kinds = map[string]l6Kind{
+	"writer": {noun: "wire buffer", release: "wire.PutWriter"},
+	"recbuf": {noun: "record buffer", release: "Release"},
+}
+
+// l6SourceOf classifies a call as a pool acquisition: returns the kind
+// key ("writer"/"recbuf") and a display name, or "".
+func l6SourceOf(info *types.Info, call *ast.CallExpr) (kind, src string) {
+	callee := calleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return "", ""
+	}
+	path := callee.Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "/internal/wire") && callee.Name() == "GetWriter":
+		return "writer", "wire.GetWriter"
+	case strings.HasSuffix(path, "/internal/streamfs") && callee.Name() == "ReadRecBuf":
+		return "recbuf", "streamfs.ReadRecBuf"
+	case strings.HasSuffix(path, "/internal/streamfs") && callee.Name() == "newRecBuf":
+		return "recbuf", "newRecBuf"
+	case callee.Name() == "ReadBuf":
+		if rs := resultTypes(info, call); rs != nil && rs.Len() > 0 && isNamedType(rs.At(0).Type(), "streamfs", "RecBuf") {
+			return "recbuf", "ReadBuf"
+		}
+	}
+	return "", ""
+}
+
+func (r ruleL6) Check(ctx *Context, pkg *Package) {
+	rel := ctx.relPath(pkg.Path)
+	paramTaint := true
+	for _, skip := range l6SkipParamTaint {
+		if rel == skip || strings.HasPrefix(rel, skip+"/") {
+			paramTaint = false
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, fb := range collectBodies(pkg, file) {
+			r.checkBody(ctx, pkg, fb, paramTaint)
+		}
+	}
+}
+
+// l6Acq is one pool acquisition bound to a local variable.
+type l6Acq struct {
+	obj    types.Object
+	errObj types.Object // the err of `x, err := ...`, when present
+	kind   string
+	src    string
+	pos    token.Pos
+	chain  []ast.Node
+}
+
+func (r ruleL6) checkBody(ctx *Context, pkg *Package, fb funcBody, paramTaint bool) {
+	info := pkg.Info
+	lits := nestedLits(fb.body)
+
+	var acqs []l6Acq
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || inRanges(as.Pos(), lits) {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, src := l6SourceOf(info, call)
+		if kind == "" {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			ctx.Report("L6", as.Pos(), "pooled %s from %s is discarded: nothing can release it (missing %s)",
+				l6Kinds[kind].noun, src, l6Kinds[kind].release)
+			return true
+		}
+		acq := l6Acq{obj: objOf(info, id), kind: kind, src: src, pos: as.Pos(), chain: spineChain(fb.body, as.Pos())}
+		if acq.obj == nil {
+			return true
+		}
+		if len(as.Lhs) == 2 {
+			if errID, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok && errID.Name != "_" {
+				acq.errObj = objOf(info, errID)
+			}
+		}
+		acqs = append(acqs, acq)
+		return true
+	})
+
+	for _, acq := range acqs {
+		r.checkRelease(ctx, pkg, fb, lits, acq)
+	}
+	r.checkEscapes(ctx, pkg, fb, acqs, paramTaint)
+}
+
+// handleSet computes the identifiers aliasing the acquired handle itself
+// (`w2 := w` makes w2 releasable in w's stead).
+func handleSet(info *types.Info, body *ast.BlockStmt, root types.Object) map[types.Object]bool {
+	handles := map[types.Object]bool{root: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				rhs, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+				if !ok || !handles[objOf(info, rhs)] {
+					continue
+				}
+				if lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					if o := objOf(info, lhs); o != nil && !handles[o] {
+						handles[o] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return handles
+}
+
+// checkRelease verifies the acquire/release pairing for one acquisition:
+// every exit after the acquisition must pass a release/retain, transfer
+// ownership (return the handle, store it, send it, hand it to a
+// goroutine), or sit on the acquisition's own failed-error path.
+func (r ruleL6) checkRelease(ctx *Context, pkg *Package, fb funcBody, lits [][2]token.Pos, acq l6Acq) {
+	info := pkg.Info
+	handles := handleSet(info, fb.body, acq.obj)
+	isHandle := func(e ast.Expr) bool {
+		return handles[objOf(info, e)]
+	}
+
+	var events []covEvent
+	addEvent := func(pos token.Pos) {
+		events = append(events, covEvent{pos: pos, chain: spineChain(fb.body, pos)})
+	}
+	transferred := make(map[*ast.ReturnStmt]bool)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Release" || sel.Sel.Name == "Retain") && isHandle(sel.X) {
+					addEvent(n.Pos())
+				}
+				if sel.Sel.Name == "PutWriter" && len(n.Args) > 0 && isHandle(n.Args[0]) {
+					addEvent(n.Pos())
+				}
+			} else if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "PutWriter" && len(n.Args) > 0 && isHandle(n.Args[0]) {
+				addEvent(n.Pos())
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if !isHandle(n.Rhs[i]) {
+					continue
+				}
+				switch ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					addEvent(n.Pos()) // ownership moved into longer-lived storage
+				}
+			}
+		case *ast.SendStmt:
+			if isHandle(n.Value) {
+				addEvent(n.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isHandle(el) {
+					addEvent(n.Pos())
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && usesAnyObj(info, lit, handles) {
+				addEvent(n.Pos())
+			}
+			for _, a := range n.Call.Args {
+				if isHandle(a) {
+					addEvent(n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isHandle(res) {
+					transferred[n] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Exits on the acquisition's own error path owe no release: the
+	// handle was never handed out. Guards after err is rebound to another
+	// call's result no longer refer to the acquisition.
+	errCut := token.Pos(1 << 60)
+	if acq.errObj != nil {
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Pos() <= acq.pos || as.Pos() >= errCut {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if objOf(info, lhs) == acq.errObj {
+					errCut = as.Pos()
+				}
+			}
+			return true
+		})
+	}
+	var exempt [][2]token.Pos
+	for _, rng := range errGuardRanges(fb.body, info, acq.errObj) {
+		if rng[0] < errCut {
+			exempt = append(exempt, rng)
+		}
+	}
+
+	k := l6Kinds[acq.kind]
+	name := acq.obj.Name()
+	acqLine := ctx.Loader.Fset.Position(acq.pos).Line
+	for _, e := range bodyExits(fb.body, acq.pos) {
+		if e.ret != nil && transferred[e.ret] {
+			continue
+		}
+		if inRanges(e.pos, exempt) {
+			continue
+		}
+		if coveredExit(acq.pos, acq.chain, e, events) {
+			continue
+		}
+		if e.ret != nil {
+			ctx.Report("L6", e.pos, "pooled %s %q (from %s, line %d) is not released on this return path (missing %s)",
+				k.noun, name, acq.src, acqLine, k.release)
+		} else {
+			ctx.Report("L6", acq.pos, "pooled %s %q from %s is never released before the function ends (missing %s)",
+				k.noun, name, acq.src, k.release)
+		}
+	}
+}
+
+// usesAnyObj reports whether any identifier under root resolves to one
+// of the given objects.
+func usesAnyObj(info *types.Info, root ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEscapes flags Bytes() aliases of pooled handles that outlive the
+// release: stores to fields/globals/maps, channel sends, returns,
+// composite literals, and goroutine captures.
+func (r ruleL6) checkEscapes(ctx *Context, pkg *Package, fb funcBody, acqs []l6Acq, paramTaint bool) {
+	info := pkg.Info
+
+	handles := make(map[types.Object]bool)
+	for _, acq := range acqs {
+		for o := range handleSet(info, fb.body, acq.obj) {
+			handles[o] = true
+		}
+	}
+	if paramTaint && fb.typ != nil {
+		addPooled := func(v *types.Var) {
+			if v != nil && (isNamedType(v.Type(), "wire", "Writer") || isNamedType(v.Type(), "streamfs", "RecBuf")) {
+				handles[v] = true
+			}
+		}
+		addPooled(fb.typ.Recv())
+		for i := 0; i < fb.typ.Params().Len(); i++ {
+			addPooled(fb.typ.Params().At(i))
+		}
+	}
+	if len(handles) == 0 {
+		return
+	}
+
+	tainted := make(map[types.Object]bool)
+	var isAlias func(e ast.Expr) bool
+	isAlias = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[objOf(info, e)]
+		case *ast.SliceExpr:
+			return isAlias(e.X)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Bytes" && handles[objOf(info, sel.X)] {
+					return true
+				}
+				return false
+			}
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+				// append's result may share the first argument's array;
+				// non-spread later args land in it by reference for
+				// slice-of-slice appends. A spread alias is copied out.
+				if isAlias(e.Args[0]) {
+					return true
+				}
+				for _, a := range e.Args[1:] {
+					if isAlias(a) && e.Ellipsis == token.NoPos {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// Propagate taint through local assignments and declarations.
+	for changed := true; changed; {
+		changed = false
+		taintLocal := func(lhs ast.Expr) {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				if o := objOf(info, id); o != nil && o.Parent() != o.Pkg().Scope() && !tainted[o] {
+					tainted[o] = true
+					changed = true
+				}
+			}
+		}
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						if isAlias(n.Rhs[i]) {
+							taintLocal(n.Lhs[i])
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Values {
+						if isAlias(n.Values[i]) {
+							taintLocal(n.Names[i])
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos token.Pos, how string) {
+		ctx.Report("L6", pos, "pooled-buffer alias %s: the backing array is recycled once the pooled owner is released", how)
+	}
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if !isAlias(n.Rhs[i]) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					report(n.Pos(), "stored to "+types.ExprString(lhs))
+				case *ast.IndexExpr:
+					if tv, ok := info.Types[lhs.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(n.Pos(), "stored in map "+types.ExprString(lhs.X))
+						}
+					}
+				case *ast.Ident:
+					if o := objOf(info, lhs); o != nil && o.Pkg() != nil && o.Parent() == o.Pkg().Scope() {
+						report(n.Pos(), "stored to package variable "+lhs.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isAlias(n.Value) {
+				report(n.Pos(), "sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isAlias(res) {
+					report(n.Pos(), "returned to the caller")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isAlias(el) {
+					report(el.Pos(), "stored in a composite literal")
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && usesAnyObj(info, lit, tainted) {
+				report(n.Pos(), "captured by a goroutine")
+			}
+			for _, a := range n.Call.Args {
+				if isAlias(a) {
+					report(n.Pos(), "passed to a goroutine")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,217 @@
+package lint
+
+// L7 — goroutine lifecycle discipline.
+//
+// PRs 5-7 grew long-lived goroutines (the shard coordinator's fold
+// loop, the admission verifier pool, the pipelined committer) whose
+// shutdown story is a convention: every spawn is joined through a
+// WaitGroup, a done-channel close, or draining a channel the owner
+// closes. L7 makes the convention checkable:
+//
+//   - every `go` statement must be provably joinable: the spawned body
+//     (or, one call deep, the module function it delegates to) must
+//     contain a completion signal — WaitGroup.Done, a close(), a
+//     channel send, or a range-over-channel drain loop;
+//   - a spawn inside a loop must be bounded: ranging over a non-channel
+//     collection and counted three-clause for loops are bounded pools;
+//     `for {}`/condition-only/range-over-channel loops need a visible
+//     semaphore (a channel send or an Acquire call before the spawn).
+//
+// Package main is out of scope: a process's top-level daemons are
+// joined by process exit, and cmd binaries wire signal handling
+// instead. Deliberate detached spawns elsewhere go through
+// l7Allowlist, keyed by the module-relative function containing the
+// `go` statement.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type ruleL7 struct{}
+
+func (ruleL7) Name() string { return "L7" }
+func (ruleL7) Doc() string {
+	return "every go statement is provably joinable and loop spawns are bounded by a pool or semaphore"
+}
+
+// l7Allowlist names functions whose spawns are deliberately detached;
+// keys are module-relative "pkg.func", values say why.
+var l7Allowlist = map[string]string{
+	// The golden fixture demonstrating the allowlist escape hatch.
+	"internal/lint/testdata/src/l7.allowlistedDetach": "fixture: the named-allowlist escape hatch under test",
+}
+
+func (r ruleL7) Check(ctx *Context, pkg *Package) {
+	if pkg.Pkg.Name() == "main" {
+		return
+	}
+	rel := ctx.relPath(pkg.Path)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, allowed := l7Allowlist[rel+"."+fd.Name.Name]; allowed {
+				continue
+			}
+			r.checkFunc(ctx, pkg, fd)
+		}
+	}
+}
+
+func (r ruleL7) checkFunc(ctx *Context, pkg *Package, fd *ast.FuncDecl) {
+	// Walk with an explicit ancestor stack so each go statement can see
+	// its enclosing loops.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		if gs, ok := n.(*ast.GoStmt); ok {
+			r.checkSpawn(ctx, pkg, gs, stack)
+		}
+		return true
+	})
+}
+
+func (r ruleL7) checkSpawn(ctx *Context, pkg *Package, gs *ast.GoStmt, stack []ast.Node) {
+	// Loop boundedness: find the innermost enclosing loop.
+	for i := len(stack) - 1; i >= 0; i-- {
+		var loopBody *ast.BlockStmt
+		unbounded := false
+		kind := ""
+		switch l := stack[i].(type) {
+		case *ast.RangeStmt:
+			loopBody, kind = l.Body, "range"
+			if tv, ok := pkg.Info.Types[l.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					unbounded = true
+					kind = "range-over-channel"
+				}
+			}
+		case *ast.ForStmt:
+			loopBody, kind = l.Body, "for"
+			unbounded = l.Init == nil || l.Cond == nil || l.Post == nil
+		default:
+			continue
+		}
+		if unbounded && !semaphoreBefore(loopBody, gs) {
+			ctx.Report("L7", gs.Pos(),
+				"goroutine spawned in an unbounded %s loop: bound it with a counted worker pool or acquire a semaphore token before the spawn", kind)
+		}
+		break // only the innermost loop is judged
+	}
+
+	// Joinability: the spawned body must carry a completion signal.
+	var where string
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if r.joinable(ctx, pkg, fun.Body, 1) {
+			return
+		}
+		where = "the spawned func literal"
+	default:
+		callee := calleeOf(pkg.Info, gs.Call)
+		if callee != nil {
+			if node, ok := ctx.graph.nodes[callee]; ok && node.decl != nil {
+				if r.joinable(ctx, node.pkg, node.decl.Body, 1) {
+					return
+				}
+				where = shortFuncName(callee)
+				break
+			}
+		}
+		ctx.Report("L7", gs.Pos(),
+			"goroutine target cannot be resolved statically: spawn a module function or literal whose completion is observable")
+		return
+	}
+	ctx.Report("L7", gs.Pos(),
+		"goroutine is not provably joinable: %s has no WaitGroup.Done, close, channel send, or range-over-channel drain", where)
+}
+
+// joinable scans a spawned body (including nested literals — a deferred
+// closure doing the close still runs on this goroutine) for a completion
+// signal. depth allows one hop through a module callee for bodies that
+// merely delegate.
+func (r ruleL7) joinable(ctx *Context, pkg *Package, body *ast.BlockStmt, depth int) bool {
+	found := false
+	var callees []*cgNode
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" {
+					if tv, ok := pkg.Info.Types[sel.X]; ok && isNamedType(tv.Type, "sync", "WaitGroup") {
+						found = true
+						return false
+					}
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			if callee := calleeOf(pkg.Info, n); callee != nil && depth > 0 {
+				if node, ok := ctx.graph.nodes[callee]; ok && node.decl != nil {
+					callees = append(callees, node)
+				}
+			}
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	for _, node := range callees {
+		if r.joinable(ctx, node.pkg, node.decl.Body, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// semaphoreBefore reports whether the loop body acquires a visible token
+// before the spawn: a channel send, a channel receive, or a call to a
+// method named Acquire, lexically before gs and outside gs's own call.
+func semaphoreBefore(loopBody *ast.BlockStmt, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() >= gs.Pos() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Acquire" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

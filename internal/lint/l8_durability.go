@@ -1,0 +1,241 @@
+package lint
+
+// L8 — durability ordering on the commit path.
+//
+// The ledger's correctness argument (DESIGN.md §4.4, machine-checked
+// here after PR 7's coalesced group fsync) hinges on a write-then-sync
+// order: bytes appended to the commit streams — journals, digests,
+// blocks, survival — must be on disk before the receipt that
+// acknowledges them is released. L8 checks the shape inside
+// internal/ledger: any function that appends directly to one of the
+// commit streams must reach a member of the sync family
+// (durability.go's syncCommitLocked / commitPointSyncLocked /
+// appliedSyncLocked / syncAppliedLocked / flushDeferredSyncLocked, or a
+// raw stream Sync) on every success path after the first append.
+// Error-propagating returns are exempt: a failed operation acknowledges
+// nothing. Returning the result of a sync-reaching call (cutBlockLocked
+// style) counts as covered.
+//
+// Sync-reachability is propagated over internal/ledger's own call graph
+// by name, independently of L1's module graph — L1 deliberately makes
+// the allowlisted sync sections transparent, which is exactly the
+// information L8 needs intact.
+//
+// Deliberate exceptions go through l8Allowlist: SyncEvery batching
+// means applyRecordLocked may return without a sync because the commit
+// point that releases receipts is cut (and synced) elsewhere.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type ruleL8 struct{}
+
+func (ruleL8) Name() string { return "L8" }
+func (ruleL8) Doc() string {
+	return "commit-path stream appends are followed by a Sync on every success path before receipts are released"
+}
+
+// l8SyncNames is the durability family seeded from
+// internal/ledger/durability.go's sync sections.
+var l8SyncNames = map[string]bool{
+	"Sync":                    true,
+	"syncCommitLocked":        true,
+	"commitPointSyncLocked":   true,
+	"appliedSyncLocked":       true,
+	"syncAppliedLocked":       true,
+	"flushDeferredSyncLocked": true,
+}
+
+// l8CommitStreams are the receiver fields whose Append is a commit-path
+// write.
+var l8CommitStreams = map[string]bool{
+	"journals": true, "digests": true, "blocks": true, "survival": true,
+}
+
+// l8Allowlist names commit-path functions that intentionally return
+// without a sync; keys are module-relative "pkg.func", values say why.
+var l8Allowlist = map[string]string{
+	// SyncEvery batches record flushes: applyRecordLocked's plain return
+	// is mid-group, before any receipt is released; the group's commit
+	// point (cutBlockLocked / the pipeline group end) performs the fsync
+	// that covers it (DESIGN.md §4.4).
+	"internal/ledger.applyRecordLocked": "SyncEvery batching: the group commit point syncs before receipts are released",
+	// The golden fixture demonstrating the allowlist escape hatch.
+	"internal/lint/testdata/src/l8.batchedApply": "fixture: the named-allowlist escape hatch under test",
+}
+
+func (r ruleL8) Check(ctx *Context, pkg *Package) {
+	rel := ctx.relPath(pkg.Path)
+	if rel != "internal/ledger" && !isTestdata(pkg.Path) {
+		return
+	}
+
+	// Intra-package sync reachability over resolved function objects.
+	// Name matching alone would collide (Ledger.Append reaches sync, the
+	// in-memory accumulator's fam.Append does not).
+	type fnInfo struct {
+		sync  bool
+		calls map[*types.Func]bool
+	}
+	fns := make(map[*types.Func]*fnInfo)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{calls: make(map[*types.Func]bool)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if l8SyncNames[calleeName(call)] {
+					fi.sync = true
+				} else if callee := calleeOf(pkg.Info, call); callee != nil && callee.Pkg() == pkg.Pkg {
+					fi.calls[callee] = true
+				}
+				return true
+			})
+			fns[fn] = fi
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if fi.sync {
+				continue
+			}
+			for c := range fi.calls {
+				if target, ok := fns[c]; ok && target.sync {
+					fi.sync = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	reachesSync := func(call *ast.CallExpr) bool {
+		if l8SyncNames[calleeName(call)] {
+			return true
+		}
+		callee := calleeOf(pkg.Info, call)
+		if callee == nil {
+			return false
+		}
+		fi, ok := fns[callee]
+		return ok && fi.sync
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, allowed := l8Allowlist[rel+"."+fd.Name.Name]; allowed {
+				continue
+			}
+			r.checkFunc(ctx, pkg, fd, reachesSync)
+		}
+	}
+}
+
+// calleeName extracts the syntactic callee name of a call ("Sync" for
+// l.blocks.Sync(), "cutBlockLocked" for l.cutBlockLocked()).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// commitAppendPos returns the position of a call when it is a direct
+// commit-stream append (x.journals.Append(...)), or NoPos.
+func commitAppendPos(call *ast.CallExpr) token.Pos {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Append" {
+		return token.NoPos
+	}
+	field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !l8CommitStreams[field.Sel.Name] {
+		return token.NoPos
+	}
+	return call.Pos()
+}
+
+func (r ruleL8) checkFunc(ctx *Context, pkg *Package, fd *ast.FuncDecl, reachesSync func(*ast.CallExpr) bool) {
+	lits := funcLitRanges(fd.Body)
+
+	// First direct commit-stream append outside closures.
+	first := token.NoPos
+	stream := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inRanges(call.Pos(), lits) {
+			return true
+		}
+		if pos := commitAppendPos(call); pos != token.NoPos && (first == token.NoPos || pos < first) {
+			first = pos
+			stream = ast.Unparen(call.Fun).(*ast.SelectorExpr).X.(*ast.SelectorExpr).Sel.Name
+		}
+		return true
+	})
+	if first == token.NoPos {
+		return
+	}
+	firstChain := spineChain(fd.Body, first)
+
+	// Sync events after the append; a return whose expression itself
+	// reaches sync covers that exit directly.
+	var events []covEvent
+	syncReturns := make(map[*ast.ReturnStmt]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !inRanges(n.Pos(), lits) && reachesSync(n) {
+				events = append(events, covEvent{pos: n.Pos(), chain: spineChain(fd.Body, n.Pos())})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && reachesSync(call) {
+					syncReturns[n] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var fnSig *types.Signature
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		fnSig, _ = obj.Type().(*types.Signature)
+	}
+	for _, e := range bodyExits(fd.Body, first) {
+		if e.ret != nil && syncReturns[e.ret] {
+			continue
+		}
+		if !successExit(fnSig, e) {
+			continue
+		}
+		if coveredExit(first, firstChain, e, events) {
+			continue
+		}
+		pos := e.pos
+		if e.ret == nil {
+			pos = first
+		}
+		ctx.Report("L8", pos,
+			"commit-path write to %s (line %d) is not followed by a Sync on this success path: bytes must be durable before the receipt is released",
+			stream+".Append", ctx.Loader.Fset.Position(first).Line)
+	}
+}

@@ -7,12 +7,13 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one rule violation at a source position.
 type Finding struct {
 	Pos  token.Position
-	Rule string // "L1".."L5", or "SUP" for suppression misuse
+	Rule string // "L1".."L9", or "SUP" for suppression misuse
 	Msg  string
 }
 
@@ -33,7 +34,50 @@ type Rule interface {
 
 // AllRules returns the full rule set in order.
 func AllRules() []Rule {
-	return []Rule{ruleL1{}, ruleL2{}, ruleL3{}, ruleL4{}, ruleL5{}}
+	return []Rule{ruleL1{}, ruleL2{}, ruleL3{}, ruleL4{}, ruleL5{}, ruleL6{}, ruleL7{}, ruleL8{}, ruleL9{}}
+}
+
+// RulesFor resolves a comma-separated rule filter ("L1,L6") against the
+// full set. An empty filter means all rules.
+func RulesFor(filter string) ([]Rule, error) {
+	filter = strings.TrimSpace(filter)
+	if filter == "" {
+		return AllRules(), nil
+	}
+	byName := make(map[string]Rule)
+	for _, r := range AllRules() {
+		byName[r.Name()] = r
+	}
+	var out []Rule
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ","))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty rule filter")
+	}
+	return out, nil
+}
+
+// RuleNames returns the names of the full rule set, in order.
+func RuleNames() []string {
+	rules := AllRules()
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return names
 }
 
 // Context carries shared analysis state across rules: the loader (for
@@ -98,26 +142,42 @@ type Options struct {
 	Rules []Rule
 }
 
+// RuleTiming is one row of RunTimed's per-rule accounting: wall time and
+// finding count across all target packages. The pseudo-rule "load"
+// accounts for parsing, type-checking, and call-graph construction.
+type RuleTiming struct {
+	Rule     string
+	Elapsed  time.Duration
+	Findings int
+}
+
 // Run loads the requested packages, applies every rule, then applies
 // //lint:ignore suppressions. Findings come back sorted by position.
 func Run(opts Options) ([]Finding, error) {
+	findings, _, err := RunTimed(opts)
+	return findings, err
+}
+
+// RunTimed is Run plus per-rule timing (for check.sh's lint stage).
+func RunTimed(opts Options) ([]Finding, []RuleTiming, error) {
 	dir := opts.Dir
 	if dir == "" {
 		dir = "."
 	}
+	loadStart := time.Now()
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	paths, err := loader.ExpandPatterns(dir, opts.Patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var targets []*Package
 	for _, p := range paths {
 		pkg, err := loader.LoadPath(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		targets = append(targets, pkg)
 	}
@@ -130,14 +190,22 @@ func Run(opts Options) ([]Finding, error) {
 	// plus their module dependencies), so L1 reachability sees through
 	// cross-package helpers.
 	ctx.graph = buildCallGraph(ctx, loader.Loaded())
-	for _, pkg := range targets {
-		for _, r := range rules {
+	timings := []RuleTiming{{Rule: "load", Elapsed: time.Since(loadStart)}}
+	enabled := make(map[string]bool)
+	for _, r := range rules {
+		enabled[r.Name()] = true
+		ruleStart := time.Now()
+		before := len(ctx.findings)
+		for _, pkg := range targets {
 			r.Check(ctx, pkg)
 		}
+		timings = append(timings, RuleTiming{
+			Rule: r.Name(), Elapsed: time.Since(ruleStart), Findings: len(ctx.findings) - before,
+		})
 	}
 	findings := ctx.findings
 	for _, pkg := range targets {
-		findings = applySuppressions(loader.Fset, pkg, findings)
+		findings = applySuppressions(loader.Fset, pkg, findings, enabled)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -152,7 +220,7 @@ func Run(opts Options) ([]Finding, error) {
 		}
 		return findings[i].Rule < findings[j].Rule
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // ---- shared type helpers ----

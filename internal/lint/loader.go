@@ -2,11 +2,11 @@
 // the ledger-specific invariants that PRs 1–2 left implicit. It is built
 // only on the standard library (go/ast, go/parser, go/types) so the
 // module stays offline and dependency-free; cmd/verlint is the CLI and
-// DESIGN.md §4.3 maps every rule to the paper section it protects.
+// DESIGN.md §4.3/§4.8 map every rule to the paper section it protects.
 //
 // The analyzer loads packages from source: module-local imports resolve
 // recursively through the same loader, standard-library imports through
-// the stdlib source importer. Each rule (l1_locks.go … l5_copylocks.go)
+// the stdlib source importer. Each rule (l1_locks.go … l9_context.go)
 // walks the typed ASTs and reports Findings; //lint:ignore suppressions
 // (suppress.go) are applied afterwards so that unused or reason-less
 // suppressions are themselves findings.
@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -49,25 +50,43 @@ type Loader struct {
 	loading map[string]bool     // cycle guard
 }
 
-// NewLoader finds the module root at or above dir and prepares a loader.
+// loaderCache memoizes fully constructed loaders by module root, so
+// repeated Run calls in one process (the golden tests, a filtered rerun,
+// check.sh's stages) parse and type-check the module and its stdlib
+// imports once instead of per invocation. Sources are assumed immutable
+// for the process lifetime — true for a one-shot linter and for tests.
+var loaderCache = struct {
+	mu     sync.Mutex
+	byRoot map[string]*Loader
+}{byRoot: make(map[string]*Loader)}
+
+// NewLoader finds the module root at or above dir and returns the
+// process-wide loader for that module, creating it on first use.
 func NewLoader(dir string) (*Loader, error) {
 	root, modPath, err := findModule(dir)
 	if err != nil {
 		return nil, err
+	}
+	loaderCache.mu.Lock()
+	defer loaderCache.mu.Unlock()
+	if l, ok := loaderCache.byRoot[root]; ok {
+		return l, nil
 	}
 	// The stdlib source importer honours build.Default. Cgo-flavoured
 	// files cannot be type-checked without running the cgo tool, so force
 	// the pure-Go variants (net's Go resolver etc.).
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
-	return &Loader{
+	l := &Loader{
 		Fset:       fset,
 		ModuleRoot: root,
 		ModulePath: modPath,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
-	}, nil
+	}
+	loaderCache.byRoot[root] = l
+	return l, nil
 }
 
 func findModule(dir string) (root, path string, err error) {

@@ -12,15 +12,20 @@ import (
 //
 // silences findings of that one rule on the directive's own line or the
 // line immediately below (so it works both as a trailing comment and on
-// its own line above the statement). Two misuses are themselves
+// its own line above the statement). Three misuses are themselves
 // findings, reported under the SUP pseudo-rule:
 //
 //   - a directive with no reason (the reason is the audit trail — F*
-//     lemmas don't get admitted without a justification either), and
+//     lemmas don't get admitted without a justification either),
+//   - a directive naming a rule that does not exist (a typo'd ID would
+//     otherwise silently suppress nothing forever), and
 //   - a stale directive that suppresses nothing (the code it excused has
 //     been fixed or moved; leaving it invites silent rot).
 //
-// SUP findings cannot themselves be suppressed.
+// A directive naming a real rule that is disabled by the current -rules
+// filter is inert: it neither suppresses nor counts as stale, so
+// partial runs don't flag directives owned by the other rules. SUP
+// findings cannot themselves be suppressed.
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\b\s*(.*)$`)
 
 type directive struct {
@@ -30,8 +35,9 @@ type directive struct {
 }
 
 // applySuppressions filters pkg's findings through its //lint:ignore
-// directives and appends SUP findings for reason-less or stale ones.
-func applySuppressions(fset *token.FileSet, pkg *Package, findings []Finding) []Finding {
+// directives and appends SUP findings for reason-less, unknown-rule, or
+// stale ones. enabled is the set of rule names that actually ran.
+func applySuppressions(fset *token.FileSet, pkg *Package, findings []Finding, enabled map[string]bool) []Finding {
 	var directives []directive
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -55,13 +61,23 @@ func applySuppressions(fset *token.FileSet, pkg *Package, findings []Finding) []
 	if len(directives) == 0 {
 		return findings
 	}
-	validRule := regexp.MustCompile(`^L[1-5]$`)
+	known := make(map[string]bool)
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
 	suppressed := make([]bool, len(findings))
 	for _, d := range directives {
 		switch {
-		case d.rule == "" || !validRule.MatchString(d.rule):
+		case d.rule == "":
 			findings = append(findings, Finding{Pos: d.pos, Rule: "SUP",
 				Msg: "malformed lint:ignore: want //lint:ignore L<n> reason"})
+			continue
+		case !known[d.rule]:
+			findings = append(findings, Finding{Pos: d.pos, Rule: "SUP",
+				Msg: "lint:ignore names unknown rule " + d.rule + ": known rules are " + strings.Join(RuleNames(), ",")})
+			continue
+		case !enabled[d.rule]:
+			// The rule exists but did not run: the directive is inert.
 			continue
 		case d.reason == "":
 			// An unreasoned directive does not suppress: the reason is

@@ -19,7 +19,7 @@ func drops() {
 	VerifyThing()      // want "L2: result of VerifyThing dropped"
 	_ = VerifyThing()  // want "L2: verdict of VerifyThing discarded with _"
 	doIO()             // want "L2: error from doIO dropped on the floor"
-	go doIO()          // want "L2: go error from doIO dropped on the floor"
+	go doIO()          // want "L2: go error from doIO dropped on the floor" "L7: goroutine is not provably joinable"
 	_, _ = CheckPair() // want "L2: verdict of CheckPair discarded with _"
 }
 

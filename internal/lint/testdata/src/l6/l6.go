@@ -1,0 +1,89 @@
+// Package l6 is the golden fixture for pooled-buffer escape and leak
+// detection (rule L6): wire.GetWriter / streamfs RecBuf acquisitions
+// must be released on every path, and Bytes() aliases must not outlive
+// the release.
+package l6
+
+import (
+	"errors"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/wire"
+)
+
+type holder struct {
+	raw []byte
+}
+
+var global []byte
+
+var errEmpty = errors.New("empty record")
+
+// Blessed: linear acquire → use → release; the alias only ever appears
+// as a call argument, whose use ends before the release.
+func encodeOK(vals []uint64) hashutil.Digest {
+	enc := wire.GetWriter()
+	for _, v := range vals {
+		enc.Uint64(v)
+	}
+	d := hashutil.Journal(enc.Bytes())
+	wire.PutWriter(enc)
+	return d
+}
+
+// Blessed: a deferred release covers every exit, and spreading the
+// alias into append copies the bytes out of the pooled array.
+func copyOK(v uint64) []byte {
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+	enc.Uint64(v)
+	return append([]byte(nil), enc.Bytes()...)
+}
+
+// Blessed: returning the refcounted buffer itself transfers ownership
+// to the caller, and the failed-acquisition path owes no release.
+func readThrough(s streamfs.Stream, seq uint64) (*streamfs.RecBuf, error) {
+	rb, err := streamfs.ReadRecBuf(s, seq)
+	if err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+// Every way an alias can outlive the pooled owner.
+func escapes(h *holder, m map[string][]byte, sink chan []byte, done chan struct{}) []byte {
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+	enc.Uint64(1)
+	b := enc.Bytes()
+	h.raw = b      // want "L6: pooled-buffer alias stored to h.raw"
+	global = b     // want "L6: pooled-buffer alias stored to package variable global"
+	m["k"] = b[2:] // want "L6: pooled-buffer alias stored in map m"
+	sink <- b      // want "L6: pooled-buffer alias sent on a channel"
+	go func() {    // want "L6: pooled-buffer alias captured by a goroutine"
+		_ = len(b)
+		done <- struct{}{}
+	}()
+	return b // want "L6: pooled-buffer alias returned to the caller"
+}
+
+// A release on one path does not excuse the other: the strict return
+// leaks the refcount.
+func leakOnError(s streamfs.Stream, seq uint64, strict bool) error {
+	rb, err := streamfs.ReadRecBuf(s, seq)
+	if err != nil {
+		return err
+	}
+	if strict && len(rb.Bytes()) == 0 {
+		return errEmpty // want "L6: pooled record buffer \"rb\" .* is not released on this return path"
+	}
+	rb.Release()
+	return nil
+}
+
+// No release anywhere: reported at the acquisition.
+func leakForgotten(v uint64) { // implicit fall-through exit
+	enc := wire.GetWriter() // want "L6: pooled wire buffer \"enc\" from wire.GetWriter is never released"
+	enc.Uint64(v)
+}

@@ -1,0 +1,78 @@
+// Package l7 is the golden fixture for goroutine lifecycle discipline
+// (rule L7): every spawn is provably joinable and loop spawns are
+// bounded by a pool or semaphore.
+package l7
+
+import "sync"
+
+// Blessed: WaitGroup-joined workers in a counted loop.
+func pooledWorkers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Blessed: a done-channel close owned by the spawned body.
+func closerOwned() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// Blessed: spawning a named module function whose body signals.
+func runAndClose(done chan struct{}) {
+	go drain(done)
+}
+
+func drain(done chan struct{}) {
+	defer close(done)
+}
+
+// Blessed: an unbounded intake loop gated by a semaphore token; each
+// worker signals completion by sending its result.
+func semaphored(jobs <-chan int, sem chan struct{}, results chan<- int) {
+	for j := range jobs {
+		sem <- struct{}{}
+		go func() {
+			results <- j
+			<-sem
+		}()
+	}
+}
+
+// A func-typed value cannot be proven joinable.
+func detached(f func()) {
+	go f() // want "L7: goroutine target cannot be resolved statically"
+}
+
+// Nothing observes completion.
+func leaked() {
+	go func() { // want "L7: goroutine is not provably joinable"
+		for range make([]int, 8) {
+		}
+	}()
+}
+
+// Every received job leaks an unaccounted goroutine.
+func spawner(jobs <-chan int, results chan<- int) {
+	for j := range jobs {
+		go func() { // want "L7: goroutine spawned in an unbounded range-over-channel loop"
+			results <- j
+		}()
+	}
+}
+
+// allowlistedDetach is the named-allowlist escape hatch: a deliberate
+// detached spawn that l7Allowlist blesses with a written reason.
+func allowlistedDetach(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}

@@ -1,0 +1,83 @@
+// Package l8 is the golden fixture for commit-path durability ordering
+// (rule L8): a write to a commit stream (journals/digests/blocks/
+// survival fields) must be followed by a member of the sync family on
+// every success path.
+package l8
+
+import "errors"
+
+// stream is a minimal stand-in for streamfs.Stream.
+type stream struct{ n uint64 }
+
+func (s *stream) Append(p []byte) (uint64, error) { s.n++; return s.n - 1, nil }
+func (s *stream) Sync() error                     { return nil }
+
+type ledger struct {
+	journals *stream
+	blocks   *stream
+	dirty    bool
+}
+
+var errShut = errors.New("shut")
+
+// syncCommitLocked is this fixture's member of the durability family:
+// the name matches durability.go's sync sections.
+func (l *ledger) syncCommitLocked() error {
+	if err := l.journals.Sync(); err != nil {
+		return err
+	}
+	return l.blocks.Sync()
+}
+
+// Blessed: the success exit returns the sync call itself.
+func (l *ledger) commitOne(p []byte) error {
+	if _, err := l.journals.Append(p); err != nil {
+		return err
+	}
+	return l.syncCommitLocked()
+}
+
+// Blessed: a top-level sync post-dominates the append loop; error
+// returns propagate a failure that acknowledged nothing.
+func (l *ledger) commitBatch(ps [][]byte) error {
+	for _, p := range ps {
+		if _, err := l.journals.Append(p); err != nil {
+			return err
+		}
+	}
+	if err := l.syncCommitLocked(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// The success return skips the sync entirely.
+func (l *ledger) commitUnsafe(p []byte) error {
+	if _, err := l.journals.Append(p); err != nil {
+		return err
+	}
+	l.dirty = true
+	return nil // want "L8: commit-path write to journals.Append"
+}
+
+// One branch syncs, the fall-through branch forgets.
+func (l *ledger) commitBranch(p []byte, cut bool) error {
+	if _, err := l.blocks.Append(p); err != nil {
+		return err
+	}
+	if cut {
+		return l.syncCommitLocked()
+	}
+	return nil // want "L8: commit-path write to blocks.Append"
+}
+
+// batchedApply is the named-allowlist escape hatch: l8Allowlist blesses
+// its unsynced success return the way SyncEvery batching is blessed in
+// internal/ledger.
+func (l *ledger) batchedApply(p []byte) error {
+	if _, err := l.journals.Append(p); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package l9 is the golden fixture for context discipline (rule L9):
+// no context.Background/TODO outside allowlisted roots, no bare
+// time.Sleep where a ctx-aware select belongs.
+package l9
+
+import (
+	"context"
+	"time"
+)
+
+// Blessed: the caller's ctx flows in and gates the timer.
+func waitOK(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// A severed cancellation chain and a blocking sleep.
+func pollBad(d time.Duration) context.Context {
+	time.Sleep(d)               // want "L9: bare time.Sleep blocks shutdown"
+	return context.Background() // want "L9: context.Background severs the caller's cancellation chain"
+}
+
+func todoBad() context.Context {
+	return context.TODO() // want "L9: context.TODO severs the caller's cancellation chain"
+}
+
+// rootBackground is the named-allowlist escape hatch: the one place
+// this fixture's API mints a root context, mirroring the client's
+// documented nil-Context default.
+func rootBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}

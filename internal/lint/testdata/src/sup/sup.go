@@ -30,5 +30,10 @@ func staleIgnore() int {
 //lint:ignore SUP be quiet
 func notARule() {}
 
+// A typo'd rule ID must be rejected, not silently ignored forever.
+//
+//lint:ignore L42 fixture: no such rule exists
+func unknownRule() {}
+
 //lint:ignore
 func malformed() {}

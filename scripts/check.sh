@@ -26,8 +26,12 @@ stage_lint() {
     echo "== vet =="
     go vet ./...
 
-    echo "== verlint (L1-L5 verification invariants) =="
-    go run ./cmd/verlint ./...
+    echo "== verlint (L1-L9 verification invariants, per-rule timing on stderr) =="
+    # JSON mode piped through a tiny jq-free parser so failures print
+    # clickable file:line locations; pipefail preserves verlint's exit
+    # status through the pipe.
+    go run ./cmd/verlint -json -timing ./... |
+        sed -E 's/^\{"file":"([^"]*)","line":([0-9]+),"rule":"([^"]*)","msg":"(.*)"\}$/\1:\2: [\3] \4/'
 }
 
 stage_tests() {
