@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"ledgerdb/internal/client"
+	"ledgerdb/internal/index"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/server"
 	"ledgerdb/internal/shard"
@@ -127,6 +128,29 @@ func main() {
 		engines[i] = openEngine(i)
 	}
 
+	// Sidecar query indexes, one per shard. The store is separate from
+	// the ledger streams (index = cache): deleting Dir[/shard-i]/index
+	// and restarting rebuilds the projections from the journal stream.
+	openIndex := func(i int) *index.Index {
+		store := streamfs.NewMemory()
+		if *dir != "" {
+			d := *dir
+			if nShards > 1 {
+				d = filepath.Join(d, fmt.Sprintf("shard-%d", i))
+			}
+			var err error
+			store, err = streamfs.OpenDisk(filepath.Join(d, "index"), streamfs.DiskOptions{SyncEvery: 256})
+			if err != nil {
+				log.Fatalf("open index store %d: %v", i, err)
+			}
+		}
+		ix, err := index.Open(engines[i], store)
+		if err != nil {
+			log.Fatalf("open index %d: %v", i, err)
+		}
+		return ix
+	}
+
 	// Periodic time-notary finalization (Protocol 3 every Δτ).
 	go func() {
 		ticker := time.NewTicker(*dtau)
@@ -147,6 +171,7 @@ func main() {
 	var coord *shard.Coordinator
 	if nShards == 1 {
 		shardSrvs[0] = server.NewWithOptions(engines[0], tl, srvOpts)
+		shardSrvs[0].Index = openIndex(0)
 		front = shardSrvs[0]
 	} else {
 		// Sharded topology: each engine behind its own hardened HTTP
@@ -165,6 +190,7 @@ func main() {
 		backends := make([]server.ShardBackend, nShards)
 		for i, l := range engines {
 			srv := server.NewWithOptions(l, tl, srvOpts)
+			srv.Index = openIndex(i)
 			shardSrvs[i] = srv
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {

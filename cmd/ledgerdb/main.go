@@ -16,6 +16,10 @@
 //	verify-anchored <jsn>        fam-aoa verification under the live anchor
 //	verify-state <key>           verifiable world-state read
 //	verify-clue <clue>           client-side lineage verification
+//	query prefix <P> [limit]     verified rich read: clues starting with P
+//	query time <from> <to> [limit]   verified rich read: commit ts in [from,to)
+//	query signer <hexpk> [limit] verified rich read: records signed by a key
+//	absence [-prefix] <clue>     verified proof that no live clue matches
 //	anchor-time                  run one time-notary round
 //	state                        fetch and verify the signed state
 //
@@ -30,6 +34,7 @@ import (
 	"strconv"
 
 	"ledgerdb/internal/client"
+	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/sig"
 )
 
@@ -38,7 +43,7 @@ func main() {
 	lspHex := flag.String("lsp", "", "pinned LSP public key (hex); empty = trust on first use")
 	keySeed := flag.String("key-seed", "", "deterministic client key seed (testing); empty = fresh key")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-batch|verify-anchored|verify-state|verify-clue|anchor-time|state> [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-batch|verify-anchored|verify-state|verify-clue|query|absence|anchor-time|state> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -168,6 +173,45 @@ func main() {
 		for _, rec := range recs {
 			fmt.Printf("  jsn %-6d ts %-12d %s\n", rec.JSN, rec.Timestamp, rec.TxHash().Short())
 		}
+	case "query":
+		q := queryFromArgs(args)
+		recs, err := cli.QueryRecords(q)
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		if len(recs) == 0 {
+			if q.Kind == ledger.QueryByPrefix {
+				fmt.Printf("VERIFIED EMPTY: no live clue starts with %q (authenticated absence)\n", q.Prefix)
+			} else {
+				fmt.Println("no matches (empty time/signer replies carry no absence proof)")
+			}
+			break
+		}
+		fmt.Printf("VERIFIED query %s: %d journals, every one proven against the signed state\n", q.Kind, len(recs))
+		for _, rec := range recs {
+			fmt.Printf("  jsn %-6d ts %-12d clues %v  %s\n", rec.JSN, rec.Timestamp, rec.Clues, rec.TxHash().Short())
+		}
+	case "absence":
+		prefix := false
+		if len(args) > 0 && args[0] == "-prefix" {
+			prefix, args = true, args[1:]
+		}
+		if len(args) != 1 {
+			fail("absence needs a clue name (optionally after -prefix)")
+		}
+		proofs, err := cli.VerifyAbsence(args[0], prefix)
+		if client.IsPresent(err) {
+			fail("clue %q is PRESENT in the ledger", args[0])
+		}
+		if err != nil {
+			fail("VERIFICATION FAILED: %v", err)
+		}
+		what := "clue"
+		if prefix {
+			what = "clue prefix"
+		}
+		fmt.Printf("VERIFIED ABSENT: no live %s %q (%d shard proof(s) against the signed clue-set root)\n",
+			what, args[0], len(proofs))
 	case "anchor-time":
 		r, err := cli.AnchorTime()
 		if err != nil {
@@ -185,6 +229,57 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// queryFromArgs parses the query subcommand's arguments:
+// prefix <P> [limit] | time <from> <to> [limit] | signer <hexpk> [limit].
+func queryFromArgs(args []string) ledger.Query {
+	if len(args) == 0 {
+		fail("query needs a kind: prefix|time|signer")
+	}
+	var q ledger.Query
+	rest := args[1:]
+	switch args[0] {
+	case "prefix":
+		q.Kind = ledger.QueryByPrefix
+		if len(rest) == 0 {
+			fail("query prefix needs a clue prefix")
+		}
+		q.Prefix, rest = rest[0], rest[1:]
+	case "time":
+		q.Kind = ledger.QueryByTime
+		if len(rest) < 2 {
+			fail("query time needs <from> <to>")
+		}
+		var err error
+		if q.From, err = strconv.ParseInt(rest[0], 10, 64); err != nil {
+			fail("bad from %q", rest[0])
+		}
+		if q.To, err = strconv.ParseInt(rest[1], 10, 64); err != nil {
+			fail("bad to %q", rest[1])
+		}
+		rest = rest[2:]
+	case "signer":
+		q.Kind = ledger.QueryBySigner
+		if len(rest) == 0 {
+			fail("query signer needs a hex public key")
+		}
+		pk, err := sig.ParsePublicKey(rest[0])
+		if err != nil {
+			fail("bad signer key: %v", err)
+		}
+		q.Signer, rest = pk, rest[1:]
+	default:
+		fail("unknown query kind %q (want prefix|time|signer)", args[0])
+	}
+	if len(rest) > 0 {
+		n, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			fail("bad limit %q", rest[0])
+		}
+		q.Limit = n
+	}
+	return q
 }
 
 func argJSN(args []string) uint64 {

@@ -39,6 +39,28 @@ var (
 	ErrHTTP = errors.New("client: request failed")
 )
 
+// APIError is a non-OK HTTP reply from the server, preserving the
+// numeric status code. Callers that forward a backend error onward —
+// the shard router fanning a request out through this client — need
+// the code structurally (server.writeErr probes for HTTPStatus), not
+// flattened into the message where a 410/451/403 would collapse to
+// 500. It unwraps to ErrHTTP, and Error() keeps the historical
+// "client: request failed: <status>: <message>" shape.
+type APIError struct {
+	Status     int    // numeric HTTP status code
+	StatusText string // e.g. "410 Gone"
+	Message    string // server envelope error text
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", ErrHTTP.Error(), e.StatusText, e.Message)
+}
+
+func (e *APIError) Unwrap() error { return ErrHTTP }
+
+// HTTPStatus returns the reply's status code.
+func (e *APIError) HTTPStatus() int { return e.Status }
+
 // IdempotencyKeyHeader carries the client-computed request hash on
 // append POSTs so the server can dedup a retried submission whose first
 // response was lost.
@@ -153,6 +175,7 @@ type envelope struct {
 	Proof   string   `json:"proof"`
 	Payload string   `json:"payload"`
 	JSNs    []uint64 `json:"jsns"`
+	Result  string   `json:"result"`
 	Error   string   `json:"error"`
 	LSPKey  string   `json:"lsp_key"`
 	URI     string   `json:"uri"`
@@ -165,6 +188,7 @@ type envelope struct {
 	Shard    *int              `json:"shard"`
 	Shards   int               `json:"shards"`
 	Receipts map[string]string `json:"receipts"`
+	Results  map[string]string `json:"results"`
 	CoordKey string            `json:"coord_key"`
 }
 
@@ -317,7 +341,7 @@ func (c *Client) callIdem(method, path string, body any, idem string) (*reply, e
 		case err == nil && rep.status == http.StatusOK:
 			return rep, nil
 		case err == nil:
-			lastErr = fmt.Errorf("%w: %s: %s", ErrHTTP, rep.httpStatus, rep.env.Error)
+			lastErr = &APIError{Status: rep.status, StatusText: rep.httpStatus, Message: rep.env.Error}
 			if !retryableStatus(rep.status) {
 				return nil, lastErr
 			}

@@ -1,0 +1,140 @@
+package cmtree
+
+// The sorted clue-commitment tree ("absence tree"): a keyed-hash-tree
+// style Merkle commitment over the SORTED set of live clue names, built
+// per state generation and folded into SignedState next to the fam
+// root. Because leaves are sorted and the committed count fixes the
+// tree shape, two ADJACENT authenticated leaves (pred < q < succ) prove
+// that q is not in the set — an offline-verifiable "no such clue", the
+// reply shape a plain CM-Tree lookup cannot authenticate.
+//
+// Shape: binary, odd-promote — a level's unpaired last node is carried
+// up unchanged. Level sizes are therefore a pure function of the leaf
+// count (s0 = count, s_{k+1} = ceil(s_k / 2)), so a verifier holding
+// only (root, count) from the signed state knows at every level whether
+// a sibling must be consumed from the path. Leaves are domain-separated
+// from interior nodes via hashutil.Leaf / hashutil.Node.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ledgerdb/internal/hashutil"
+)
+
+// AbsenceTree is the immutable sorted commitment over one clue-name
+// set. Build once per (clue-set version, purge base); readers share it.
+type AbsenceTree struct {
+	names  []string
+	levels [][]hashutil.Digest // levels[0] = leaf digests, last = [root]
+}
+
+// BuildAbsenceTree commits to the given name set. The input is copied
+// and sorted; duplicates are not expected (callers pass set-derived
+// slices) but would only waste leaves, not break soundness.
+func BuildAbsenceTree(names []string) *AbsenceTree {
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+	t := &AbsenceTree{names: sorted}
+	if len(sorted) == 0 {
+		return t
+	}
+	level := make([]hashutil.Digest, len(sorted))
+	for i, n := range sorted {
+		level[i] = hashutil.Leaf([]byte(n))
+	}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]hashutil.Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashutil.Node(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // odd promote
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the commitment; hashutil.Zero for the empty set.
+func (t *AbsenceTree) Root() hashutil.Digest {
+	if len(t.levels) == 0 {
+		return hashutil.Zero
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// Count returns the number of committed names.
+func (t *AbsenceTree) Count() uint64 { return uint64(len(t.names)) }
+
+// Name returns the committed name at sorted index i.
+func (t *AbsenceTree) Name(i int) string { return t.names[i] }
+
+// Path returns the sibling path authenticating leaf i against Root().
+// Odd-promote levels where the node has no sibling contribute nothing.
+func (t *AbsenceTree) Path(i int) []hashutil.Digest {
+	var path []hashutil.Digest
+	for k := 0; k+1 < len(t.levels); k++ {
+		level := t.levels[k]
+		if i^1 < len(level) { // sibling exists (i^1 flips the low bit)
+			path = append(path, level[i^1])
+		}
+		i >>= 1
+	}
+	return path
+}
+
+// Locate finds the neighborhood of query q in the sorted set: the index
+// of the first name >= q, and whether a committed name is covered by q
+// (equal to it when prefix is false; having q as a prefix when prefix
+// is true). When !present, pred = at-1 and succ = at bracket q.
+func (t *AbsenceTree) Locate(q string, prefix bool) (at int, present bool) {
+	at = sort.SearchStrings(t.names, q)
+	if at < len(t.names) {
+		if prefix {
+			present = strings.HasPrefix(t.names[at], q)
+		} else {
+			present = t.names[at] == q
+		}
+	}
+	return at, present
+}
+
+// VerifyAbsencePath recomputes the root from a claimed (index, name,
+// path) triple. count is the committed leaf count from the signed
+// state; the level sizes it induces determine exactly when a path
+// element is consumed, so a path of the wrong length fails.
+func VerifyAbsencePath(root hashutil.Digest, count, index uint64, name string, path []hashutil.Digest) error {
+	if count == 0 || index >= count {
+		return fmt.Errorf("%w: absence leaf index %d of %d", ErrBadProof, index, count)
+	}
+	h := hashutil.Leaf([]byte(name))
+	size, i, used := count, index, 0
+	for size > 1 {
+		if i^1 < size { // sibling present at this level
+			if used >= len(path) {
+				return fmt.Errorf("%w: absence path too short", ErrBadProof)
+			}
+			if i&1 == 0 {
+				h = hashutil.Node(h, path[used])
+			} else {
+				h = hashutil.Node(path[used], h)
+			}
+			used++
+		}
+		size = (size + 1) / 2
+		i >>= 1
+	}
+	if used != len(path) {
+		return fmt.Errorf("%w: absence path has %d extra siblings", ErrBadProof, len(path)-used)
+	}
+	if h != root {
+		return fmt.Errorf("%w: absence path does not reach the committed clue-set root", ErrBadProof)
+	}
+	return nil
+}

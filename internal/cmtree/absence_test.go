@@ -1,0 +1,158 @@
+package cmtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"ledgerdb/internal/hashutil"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("clue-%03d", i)
+	}
+	return out
+}
+
+func TestAbsenceTreeEmpty(t *testing.T) {
+	at := BuildAbsenceTree(nil)
+	if at.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", at.Count())
+	}
+	if at.Root() != hashutil.Zero {
+		t.Fatalf("empty root = %s, want zero", at.Root())
+	}
+	if err := VerifyAbsencePath(at.Root(), 0, 0, "x", nil); err == nil {
+		t.Fatal("VerifyAbsencePath against an empty tree must fail")
+	}
+}
+
+// TestAbsenceTreePathsVerify checks every leaf of every tree size up to
+// a few levels deep: the authenticated path must verify against (root,
+// count, index) and nothing else.
+func TestAbsenceTreePathsVerify(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		at := BuildAbsenceTree(names(n))
+		if at.Count() != uint64(n) {
+			t.Fatalf("n=%d: Count = %d", n, at.Count())
+		}
+		for i := 0; i < n; i++ {
+			path := at.Path(i)
+			if err := VerifyAbsencePath(at.Root(), uint64(n), uint64(i), at.Name(i), path); err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+			// Wrong index, wrong name, and truncated path must all fail.
+			if err := VerifyAbsencePath(at.Root(), uint64(n), uint64((i+1)%n), at.Name(i), path); err == nil && n > 1 {
+				t.Fatalf("n=%d leaf %d: verified under wrong index", n, i)
+			}
+			if err := VerifyAbsencePath(at.Root(), uint64(n), uint64(i), "not-a-clue", path); err == nil {
+				t.Fatalf("n=%d leaf %d: verified under wrong name", n, i)
+			}
+			if len(path) > 0 {
+				if err := VerifyAbsencePath(at.Root(), uint64(n), uint64(i), at.Name(i), path[:len(path)-1]); err == nil {
+					t.Fatalf("n=%d leaf %d: verified with truncated path", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAbsenceTreeTamperedSibling(t *testing.T) {
+	at := BuildAbsenceTree(names(16))
+	path := at.Path(5)
+	path[0][3] ^= 0xFF
+	if err := VerifyAbsencePath(at.Root(), 16, 5, at.Name(5), path); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("err = %v, want ErrBadProof", err)
+	}
+}
+
+func TestAbsenceTreeSortsInput(t *testing.T) {
+	a := BuildAbsenceTree([]string{"zebra", "apple", "mango"})
+	b := BuildAbsenceTree([]string{"apple", "mango", "zebra"})
+	if a.Root() != b.Root() {
+		t.Fatal("root must not depend on input order")
+	}
+	if a.Name(0) != "apple" || a.Name(2) != "zebra" {
+		t.Fatalf("names not sorted: %q %q", a.Name(0), a.Name(2))
+	}
+}
+
+func TestAbsenceTreeLocate(t *testing.T) {
+	at := BuildAbsenceTree([]string{"b", "d", "f"})
+	cases := []struct {
+		q       string
+		prefix  bool
+		at      int
+		present bool
+	}{
+		{"a", false, 0, false},
+		{"b", false, 0, true},
+		{"c", false, 1, false},
+		{"f", false, 2, true},
+		{"g", false, 3, false},
+		{"b", true, 0, true},  // exact live clue matches its own prefix
+		{"c", true, 1, false}, // nothing starts with "c"
+	}
+	for _, c := range cases {
+		gotAt, gotPresent := at.Locate(c.q, c.prefix)
+		if gotAt != c.at || gotPresent != c.present {
+			t.Fatalf("Locate(%q, %v) = (%d, %v), want (%d, %v)", c.q, c.prefix, gotAt, gotPresent, c.at, c.present)
+		}
+	}
+	// A prefix query is "present" when any live clue starts with it.
+	at2 := BuildAbsenceTree([]string{"invoice/2024", "invoice/2025"})
+	if _, present := at2.Locate("invoice/", true); !present {
+		t.Fatal("prefix with live extensions must locate as present")
+	}
+	if _, present := at2.Locate("invoice/", false); present {
+		t.Fatal("exact lookup of a non-clue must locate as absent")
+	}
+}
+
+// TestLiveNames pins the purge interaction: cmtree retains purged clues
+// (pseudo-genesis keeps lineage verifiable), but the absence commitment
+// must only cover clues whose latest jsn survived the purge base.
+func TestLiveNames(t *testing.T) {
+	tr := New()
+	tr.Insert("old", 1, digOf("old", 1))
+	tr.Insert("both", 2, digOf("both", 2))
+	tr.Insert("both", 7, digOf("both", 7))
+	tr.Insert("new", 9, digOf("new", 9))
+	got := tr.LiveNames(5)
+	want := []string{"both", "new"}
+	if len(got) != len(want) {
+		t.Fatalf("LiveNames(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LiveNames(5) = %v, want %v", got, want)
+		}
+	}
+	if !sort.StringsAreSorted(tr.LiveNames(0)) {
+		t.Fatal("LiveNames must be sorted")
+	}
+}
+
+// TestVersionBumpsOnNewNameOnly pins the state-cache invalidation rule:
+// the clue-set version moves only when a NEW clue name appears, so
+// appends to existing clues reuse the cached absence tree.
+func TestVersionBumpsOnNewNameOnly(t *testing.T) {
+	tr := New()
+	v0 := tr.Version()
+	tr.Insert("k", 1, digOf("k", 1))
+	v1 := tr.Version()
+	if v1 == v0 {
+		t.Fatal("new name must bump the version")
+	}
+	tr.Insert("k", 2, digOf("k", 2))
+	if tr.Version() != v1 {
+		t.Fatal("appending to an existing clue must not bump the version")
+	}
+	tr.Insert("k2", 3, digOf("k2", 3))
+	if tr.Version() == v1 {
+		t.Fatal("second new name must bump the version")
+	}
+}

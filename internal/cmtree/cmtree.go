@@ -49,9 +49,10 @@ type clueState struct {
 // serialized internally (the ledger engine additionally serializes
 // appends through its committer).
 type Tree struct {
-	mu    sync.RWMutex
-	trie  *mpt.Trie
-	clues map[string]*clueState
+	mu      sync.RWMutex
+	trie    *mpt.Trie
+	clues   map[string]*clueState
+	version uint64 // bumped when the clue NAME set changes (first insert of a name)
 }
 
 // New returns an empty CM-Tree.
@@ -93,17 +94,25 @@ func (s *Snapshot) RootHash() hashutil.Digest { return s.trie.RootHash() }
 // Insert performs the two-step CM-Tree insertion of §IV-B3: append the
 // journal digest to the clue's CM-Tree2 (top-down step), then write the
 // new frontier into CM-Tree1 and rehash its path (bottom-up step).
-func (t *Tree) Insert(clue string, jsn uint64, digest hashutil.Digest) {
+// It reports the clue's previous last jsn (existed false for a first
+// insert): callers tracking liveness — the absence-tree cache — use it
+// to spot a purged clue coming back to life, which changes the live
+// set without changing the name-set version.
+func (t *Tree) Insert(clue string, jsn uint64, digest hashutil.Digest) (prevLast uint64, existed bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st, ok := t.clues[clue]
 	if !ok {
 		st = &clueState{acc: shrubs.New()}
 		t.clues[clue] = st
+		t.version++
+	} else if n := len(st.jsns); n > 0 {
+		prevLast, existed = st.jsns[n-1], true
 	}
 	st.acc.Append(digest)
 	st.jsns = append(st.jsns, jsn)
 	t.trie = t.trie.Put([]byte(clue), shrubs.EncodeFrontier(st.acc.Frontier()))
+	return prevLast, existed
 }
 
 // Count returns the number of journals recorded under a clue (zero for
@@ -139,6 +148,36 @@ func (t *Tree) Names() []string {
 	out := make([]string, 0, len(t.clues))
 	for c := range t.clues {
 		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version returns a counter that changes whenever the clue NAME set
+// grows. Per-clue appends do not bump it, so a cached sorted-set
+// commitment (AbsenceTree) keyed on the version stays valid across
+// appends to existing clues and costs nothing on the hot append path.
+func (t *Tree) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// LiveNames returns, sorted, the clue names whose LAST journal is at or
+// above base — the pseudo-genesis point after a purge. The CM-Tree
+// itself retains purged clues (the pseudo-genesis snapshot re-seeds the
+// full index so historical clue proofs stay anchored), so the absence
+// commitment must filter to the live set: a clue whose every journal
+// was purged is absent for query purposes. Per-clue jsn lists are
+// appended in increasing order, so liveness is a single tail check.
+func (t *Tree) LiveNames(base uint64) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.clues))
+	for c, st := range t.clues {
+		if n := len(st.jsns); n > 0 && st.jsns[n-1] >= base {
+			out = append(out, c)
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,233 @@
+package shardtest
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/sig"
+)
+
+// TestShardedQueryAndAbsence drives the rich-read surface through the
+// router: a prefix query fans to every shard and merges independently
+// verified per-shard results; exact absence routes to the one shard
+// that would own the clue; prefix absence needs all shards to prove
+// their clue sets clean; and asking for the absence of a live clue is
+// refused with the 409 the client classifies as "present".
+func TestShardedQueryAndAbsence(t *testing.T) {
+	tp := newTopology(t, 3)
+
+	type doc struct {
+		shard   int
+		jsn     uint64
+		clue    string
+		payload string
+	}
+	var docs []doc
+	seen := make(map[int]bool)
+	for i := 0; i < 24; i++ {
+		clue := fmt.Sprintf("inv/%03d", i)
+		payload := fmt.Sprintf("doc-%d", i)
+		s, rc, err := tp.cli.AppendRouted([]byte(payload), clue)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		docs = append(docs, doc{shard: s, jsn: rc.JSN, clue: clue, payload: payload})
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("24 clues landed on %d shard(s); want spread", len(seen))
+	}
+
+	// Prefix query through the router: every committed clue comes back,
+	// each shard's result verified against the pinned LSP key.
+	recs, err := tp.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "inv/"})
+	if err != nil {
+		t.Fatalf("routed prefix query: %v", err)
+	}
+	if len(recs) != len(docs) {
+		t.Fatalf("prefix query returned %d records, want %d", len(recs), len(docs))
+	}
+	got := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		for _, c := range rec.Clues {
+			got[c] = true
+		}
+		if !strings.HasPrefix(rec.Clues[0], "inv/") {
+			t.Fatalf("non-matching clue %q in verified result", rec.Clues[0])
+		}
+	}
+	for _, d := range docs {
+		if !got[d.clue] {
+			t.Fatalf("clue %q missing from routed prefix query", d.clue)
+		}
+	}
+
+	// Signer query: everything in this topology is signed by the one
+	// member key, so the fan-out covers all shards.
+	recs, err = tp.cli.QueryRecords(ledger.Query{Kind: ledger.QueryBySigner, Signer: tp.cli.Key.Public()})
+	if err != nil {
+		t.Fatalf("routed signer query: %v", err)
+	}
+	if len(recs) != len(docs) {
+		t.Fatalf("signer query returned %d records, want %d", len(recs), len(docs))
+	}
+
+	// Exact absence of a clue nobody wrote: one proof, from the shard
+	// that would own it (the client re-derives the route itself).
+	proofs, err := tp.cli.VerifyAbsence("inv/999", false)
+	if err != nil {
+		t.Fatalf("exact absence: %v", err)
+	}
+	if len(proofs) != 1 {
+		t.Fatalf("exact absence returned %d proofs, want 1", len(proofs))
+	}
+
+	// Prefix absence needs every shard's word: 3 proofs for 3 shards.
+	proofs, err = tp.cli.VerifyAbsence("never-used/", true)
+	if err != nil {
+		t.Fatalf("prefix absence: %v", err)
+	}
+	if len(proofs) != 3 {
+		t.Fatalf("prefix absence returned %d proofs, want 3", len(proofs))
+	}
+
+	// A live clue is not absent: the owning shard's 409 travels through
+	// the router's error path intact.
+	if _, err := tp.cli.VerifyAbsence(docs[0].clue, false); !client.IsPresent(err) {
+		t.Fatalf("absence of live clue: err = %v, want 409 present", err)
+	}
+
+	tp.crossShardAudit()
+}
+
+// TestRouterPurgeStatusCodes is the regression for the router's error
+// mapping: a record purged on its shard must come back as 410 Gone from
+// the router's global-proof handler (not a generic 500), the same remap
+// server.writeErr performs on the shard surface — and a query for the
+// purged clue must return a verifiable absence, never a stale index
+// hit.
+func TestRouterPurgeStatusCodes(t *testing.T) {
+	tp := newTopology(t, 3)
+
+	victimClue := "purge-victim"
+	s, rc, err := tp.cli.AppendRouted([]byte("radioactive"), victimClue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad the victim's shard so the purge point stays below the ledger
+	// size and a survivor record remains to query afterwards.
+	survivorClue := ""
+	for i := 0; survivorClue == ""; i++ {
+		clue := fmt.Sprintf("survivor-%d", i)
+		if tp.part.ShardOfClue(clue) == s {
+			if _, _, err := tp.cli.AppendRouted([]byte("keep"), clue); err != nil {
+				t.Fatal(err)
+			}
+			survivorClue = clue
+		}
+	}
+
+	// Before the purge the global proof serves 200.
+	proofURL := fmt.Sprintf("%s/v1/proof-global/%d/%d", tp.routerTS.URL, s, rc.JSN)
+	resp, err := http.Get(proofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-purge proof-global status = %d, want 200", resp.StatusCode)
+	}
+
+	// Purge everything below the survivor on the victim's shard, signed
+	// by the DBA and the member whose journals are erased.
+	desc := &ledger.PurgeDescriptor{URI: topoURI, Point: rc.JSN + 1, ErasePayloads: true}
+	ms := sig.NewMultiSig(desc.Digest())
+	for _, kp := range []*sig.KeyPair{sig.GenerateDeterministic("shardtest-dba"), tp.cli.Key} {
+		if err := ms.SignWith(kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tp.engine(s).Purge(desc, ms); err != nil {
+		t.Fatalf("purge shard %d: %v", s, err)
+	}
+
+	// The regression: the router must answer 410 Gone, not 500.
+	resp, err = http.Get(proofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("post-purge proof-global status = %d, want %d", resp.StatusCode, http.StatusGone)
+	}
+
+	// The purged clue is provably absent through the router, and a
+	// query for it returns a verified empty reply, not a stale hit.
+	if _, err := tp.cli.VerifyAbsence(victimClue, false); err != nil {
+		t.Fatalf("absence of purged clue: %v", err)
+	}
+	recs, err := tp.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: victimClue})
+	if err != nil {
+		t.Fatalf("query for purged clue: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("query for purged clue returned %d stale records", len(recs))
+	}
+
+	// The survivor is untouched.
+	recs, err = tp.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: survivorClue})
+	if err != nil {
+		t.Fatalf("query for survivor: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("survivor query returned %d records, want 1", len(recs))
+	}
+}
+
+// TestRouterOccultStatusCode pins the occult semantics across the two
+// surfaces: the shard's payload endpoint answers 451, while the global
+// proof path deliberately degrades to a digest-only 200 — occulting
+// seals content, never existence.
+func TestRouterOccultStatusCode(t *testing.T) {
+	tp := newTopology(t, 2)
+
+	s, rc, err := tp.cli.AppendRouted([]byte("sealed"), "occult-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := &ledger.OccultDescriptor{URI: topoURI, JSN: rc.JSN}
+	ms := sig.NewMultiSig(desc.Digest())
+	if err := ms.SignWith(sig.GenerateDeterministic("shardtest-dba")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.engine(s).Occult(desc, ms); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/payload/%d", tp.srvs[s].URL, rc.JSN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnavailableForLegalReasons {
+		t.Fatalf("occulted payload status = %d, want %d", resp.StatusCode, http.StatusUnavailableForLegalReasons)
+	}
+
+	// The global proof path still serves 200 — the proof degrades to
+	// digest-only rather than erroring, and existence keeps verifying.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/proof-global/%d/%d?payload=1", tp.routerTS.URL, s, rc.JSN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("occulted proof-global status = %d, want 200 digest-only", resp.StatusCode)
+	}
+	if _, _, err := tp.cli.VerifyExistenceGlobal(s, rc.JSN, false); err != nil {
+		t.Fatalf("digest-only proof after occult: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"ledgerdb/internal/audit"
 	"ledgerdb/internal/client"
 	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/index"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/logicalclock"
@@ -57,6 +58,14 @@ func (b *swapBackend) SubmitBatch(reqs []*journal.Request) (*ledger.BatchReceipt
 	return b.get().SubmitBatch(reqs)
 }
 
+func (b *swapBackend) Query(q ledger.Query) (*ledger.QueryResult, error) {
+	return b.get().Query(q)
+}
+
+func (b *swapBackend) ProveAbsence(name string, prefix bool) (*ledger.AbsenceProof, error) {
+	return b.get().ProveAbsence(name, prefix)
+}
+
 // topology is one full sharded deployment under test.
 type topology struct {
 	t      *testing.T
@@ -94,9 +103,16 @@ func (tp *topology) engineConfig(i int) ledger.Config {
 }
 
 // shardService stands up shard i's HTTP surface and the hardened client
-// the router forwards through.
+// the router forwards through. Each service carries a fresh sidecar
+// index (memory-backed, rebuilt cold from the engine at open), so every
+// restart also exercises the index-is-cache rebuild path.
 func (tp *topology) shardService(i int) (*httptest.Server, *client.Client) {
 	srv := server.NewWithOptions(tp.engine(i), tp.tl, server.Options{MaxInFlight: 64})
+	ix, err := index.Open(tp.engine(i), streamfs.NewMemory())
+	if err != nil {
+		tp.t.Fatalf("open index for shard %d: %v", i, err)
+	}
+	srv.Index = ix
 	ts := httptest.NewServer(srv)
 	cli := &client.Client{
 		BaseURL:      ts.URL,

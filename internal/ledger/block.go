@@ -78,19 +78,23 @@ type SignedState struct {
 	JournalRoot hashutil.Digest
 	ClueRoot    hashutil.Digest
 	StateRoot   hashutil.Digest
+	ClueCount   uint64          // live clue names committed in ClueSetRoot
+	ClueSetRoot hashutil.Digest // sorted clue-set (absence tree) root
 	Timestamp   int64
 	LSPPK       sig.PublicKey
 	LSPSig      sig.Signature
 }
 
 func (s *SignedState) signedDigest() hashutil.Digest {
-	w := wire.NewWriter(192)
-	w.String("ledgerdb/state/v1")
+	w := wire.NewWriter(224)
+	w.String("ledgerdb/state/v2")
 	w.String(s.URI)
 	w.Uvarint(s.JSN)
 	w.Digest(s.JournalRoot)
 	w.Digest(s.ClueRoot)
 	w.Digest(s.StateRoot)
+	w.Uvarint(s.ClueCount)
+	w.Digest(s.ClueSetRoot)
 	w.Int64(s.Timestamp)
 	sig.EncodePublicKey(w, s.LSPPK)
 	return hashutil.Sum(w.Bytes())
@@ -128,6 +132,8 @@ func (s *SignedState) Encode(w *wire.Writer) {
 	w.Digest(s.JournalRoot)
 	w.Digest(s.ClueRoot)
 	w.Digest(s.StateRoot)
+	w.Uvarint(s.ClueCount)
+	w.Digest(s.ClueSetRoot)
 	w.Int64(s.Timestamp)
 	sig.EncodePublicKey(w, s.LSPPK)
 	sig.EncodeSignature(w, s.LSPSig)
@@ -141,6 +147,8 @@ func DecodeSignedState(r *wire.Reader) (*SignedState, error) {
 		JournalRoot: r.Digest(),
 		ClueRoot:    r.Digest(),
 		StateRoot:   r.Digest(),
+		ClueCount:   r.Uvarint(),
+		ClueSetRoot: r.Digest(),
 		Timestamp:   r.Int64(),
 		LSPPK:       sig.DecodePublicKey(r),
 		LSPSig:      sig.DecodeSignature(r),

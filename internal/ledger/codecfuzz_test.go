@@ -64,6 +64,10 @@ func buildProofCodecs(t *testing.T) []proofCodec {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ap, err := e.ledger.ProveAbsence("M", false) // sorts between "K" and "solo-0": both neighbors set
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	return []proofCodec{
 		{
@@ -128,6 +132,38 @@ func buildProofCodecs(t *testing.T) []proofCodec {
 					parts = append(parts, recordClaims(t, b.Items[i].RecordBytes), b.Items[i].Payload)
 				}
 				return claimBytes(parts...)
+			},
+		},
+		{
+			name:     "absence",
+			enc:      ap.EncodeBytes(),
+			decode:   func(b []byte) (any, error) { return DecodeAbsenceProof(b) },
+			reencode: func(v any) []byte { return v.(*AbsenceProof).EncodeBytes() },
+			verify:   func(v any) error { return VerifyAbsence(lsp, v.(*AbsenceProof)) },
+			// Name/Prefix are the question echo, not a claim: the client
+			// binds them to the question it asked (decodeVerifiedAbsence),
+			// and any echo the proof still verifies under is itself a true
+			// absence statement about the same committed gap — e.g. the
+			// exact proof for "M" upgraded to the prefix question, which
+			// the verifier re-checks against the successor. The
+			// authenticated answer is the neighbor set and the signed
+			// state.
+			claims: func(v any) []byte {
+				p := v.(*AbsenceProof)
+				w := newTestWriter()
+				w.Bool(p.HasPred)
+				if p.HasPred {
+					w.String(p.Pred)
+					w.Uvarint(p.PredIndex)
+					w.DigestSlice(p.PredPath)
+				}
+				w.Bool(p.HasSucc)
+				if p.HasSucc {
+					w.String(p.Succ)
+					w.Uvarint(p.SuccIndex)
+					w.DigestSlice(p.SuccPath)
+				}
+				return claimBytes(w.Bytes(), stateBytes(p.State))
 			},
 		},
 	}

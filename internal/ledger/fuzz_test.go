@@ -12,9 +12,10 @@ import (
 	"ledgerdb/internal/wire"
 )
 
-// Native go test -fuzz targets for the three wire formats that cross the
-// trust boundary most often: existence proofs, clue lineage bundles, and
-// receipts. The deterministic sweeps in codecfuzz_test.go enumerate
+// Native go test -fuzz targets for the four wire formats that cross the
+// trust boundary most often: existence proofs, clue lineage bundles,
+// receipts, and absence proofs. The deterministic sweeps in
+// codecfuzz_test.go enumerate
 // every 1-byte truncation and flip of a VALID encoding; the fuzzer
 // complements them by mutating far off the valid manifold, where
 // structural fields (counts, lengths) take adversarial values.
@@ -32,8 +33,8 @@ import (
 // with LEDGERDB_REGEN_FUZZ_CORPUS=1 go test -run TestRegenFuzzCorpus.
 
 // buildFuzzSeeds builds one small ledger and returns valid encodings of
-// the three fuzzed formats.
-func buildFuzzSeeds(tb testing.TB) (existence, clueBundle, receipt []byte) {
+// the four fuzzed formats.
+func buildFuzzSeeds(tb testing.TB) (existence, clueBundle, receipt, absence []byte) {
 	tb.Helper()
 	e := newEnv(tb, nil)
 	var rc *journal.Receipt
@@ -48,13 +49,17 @@ func buildFuzzSeeds(tb testing.TB) (existence, clueBundle, receipt []byte) {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	ap, err := e.ledger.ProveAbsence("J", false) // between genesis and "K": both neighbors present
+	if err != nil {
+		tb.Fatal(err)
+	}
 	w := wire.NewWriter(256)
 	rc.Encode(w)
-	return ep.EncodeBytes(), cb.EncodeBytes(), w.Bytes()
+	return ep.EncodeBytes(), cb.EncodeBytes(), w.Bytes(), ap.EncodeBytes()
 }
 
 func FuzzDecodeExistenceProof(f *testing.F) {
-	seed, _, _ := buildFuzzSeeds(f)
+	seed, _, _, _ := buildFuzzSeeds(f)
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -74,7 +79,7 @@ func FuzzDecodeExistenceProof(f *testing.F) {
 }
 
 func FuzzDecodeClueBundle(f *testing.F) {
-	_, seed, _ := buildFuzzSeeds(f)
+	_, seed, _, _ := buildFuzzSeeds(f)
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -94,7 +99,7 @@ func FuzzDecodeClueBundle(f *testing.F) {
 }
 
 func FuzzDecodeReceipt(f *testing.F) {
-	_, _, seed := buildFuzzSeeds(f)
+	_, _, seed, _ := buildFuzzSeeds(f)
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -118,6 +123,29 @@ func FuzzDecodeReceipt(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAbsenceProof covers the newest boundary format: the
+// authenticated-absence proof, whose neighbor paths and indices take
+// adversarial values far off the sorted-commitment manifold.
+func FuzzDecodeAbsenceProof(f *testing.F) {
+	_, _, _, seed := buildFuzzSeeds(f)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeAbsenceProof(data)
+		if err != nil {
+			return
+		}
+		enc := p.EncodeBytes()
+		p2, err := DecodeAbsenceProof(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted proof failed: %v", err)
+		}
+		if !bytes.Equal(p2.EncodeBytes(), enc) {
+			t.Fatal("absence proof encoding is not a fixpoint")
+		}
+	})
+}
+
 // TestRegenFuzzCorpus rewrites the valid-proof seed entries of the
 // checked-in corpus. Gated behind an env var because the ECDSA
 // signatures inside the encodings are randomized, so every run produces
@@ -126,11 +154,12 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	if os.Getenv("LEDGERDB_REGEN_FUZZ_CORPUS") == "" {
 		t.Skip("set LEDGERDB_REGEN_FUZZ_CORPUS=1 to rewrite the testdata/fuzz seed corpus")
 	}
-	existence, clueBundle, receipt := buildFuzzSeeds(t)
+	existence, clueBundle, receipt, absence := buildFuzzSeeds(t)
 	for name, data := range map[string][]byte{
 		"FuzzDecodeExistenceProof": existence,
 		"FuzzDecodeClueBundle":     clueBundle,
 		"FuzzDecodeReceipt":        receipt,
+		"FuzzDecodeAbsenceProof":   absence,
 	} {
 		dir := filepath.Join("testdata", "fuzz", name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {

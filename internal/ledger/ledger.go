@@ -194,6 +194,11 @@ type Ledger struct {
 	// caches one signed state per generation (statecache.go).
 	stateGen  uint64
 	stateSigs stateCache
+
+	// clueSet caches the sorted clue-set (absence) commitment, keyed on
+	// (clue name-set version, purge base) rather than stateGen: plain
+	// appends to existing clues never invalidate it (statecache.go).
+	clueSet clueSetCache
 }
 
 // Open creates or recovers a ledger over the given stores.
@@ -397,7 +402,11 @@ func (l *Ledger) applyRecordLocked(rec *journal.Record, txHash hashutil.Digest) 
 	l.payloadRefs[rec.PayloadDigest]++
 	l.fam.Append(txHash)
 	for _, c := range rec.Clues {
-		l.clues.Insert(c, rec.JSN, txHash)
+		if prevLast, existed := l.clues.Insert(c, rec.JSN, txHash); existed && prevLast < l.base {
+			// A fully-purged clue just came back to life: the committed
+			// live set changed without a name-set version bump.
+			l.clueSet.invalidate()
+		}
 	}
 	if len(rec.StateKey) > 0 {
 		l.state = l.state.Put(rec.StateKey, encodeStateValue(rec.JSN, rec.PayloadDigest))
@@ -553,12 +562,15 @@ func (l *Ledger) stateLocked() (*SignedState, error) {
 	if err != nil {
 		return nil, err
 	}
+	cset := l.clueSet.get(l.clues, l.base)
 	skel := SignedState{
 		URI:         l.cfg.URI,
 		JSN:         l.nextJSN,
 		JournalRoot: jroot,
 		ClueRoot:    l.clues.RootHash(),
 		StateRoot:   l.state.RootHash(),
+		ClueCount:   cset.Count(),
+		ClueSetRoot: cset.Root(),
 		Timestamp:   l.cfg.Clock(),
 	}
 	if l.cfg.DisableStateCache {

@@ -3,6 +3,7 @@ package ledger
 import (
 	"sync"
 
+	"ledgerdb/internal/cmtree"
 	"ledgerdb/internal/sig"
 )
 
@@ -30,6 +31,49 @@ func (c *stateCache) get(gen uint64) *SignedState {
 		return c.st
 	}
 	return nil
+}
+
+// clueSetCache memoizes the sorted clue-set (absence) commitment. Key
+// is (clue name-set version, purge base), NOT stateGen: the committed
+// name set only changes when a brand-new clue appears or a purge moves
+// the pseudo-genesis, so the O(clues) rebuild is amortized across every
+// append to existing clues. The one transition that key misses is a
+// RESURRECTION — a clue whose whole lineage was purged (last jsn below
+// base) receiving a fresh append: no new name, same base, but the live
+// set grows. The apply path detects it from Insert's previous-last-jsn
+// and calls invalidate. Like stateCache, it has its own mutex (after
+// l.mu in lock order) doubling as a single-flight gate — safe to
+// consult from stateLocked under a read lock, where ledger fields may
+// not be mutated. Callers hold l.mu, so (version, base) cannot move
+// between the key read and the rebuild.
+type clueSetCache struct {
+	mu      sync.Mutex
+	version uint64
+	base    uint64
+	tree    *cmtree.AbsenceTree
+}
+
+// invalidate drops the cached commitment; the next get rebuilds from
+// the current live set. Called under l.mu (write) when a purged clue
+// comes back to life.
+func (c *clueSetCache) invalidate() {
+	c.mu.Lock()
+	c.tree = nil
+	c.mu.Unlock()
+}
+
+// get returns the commitment for the tree's current name set filtered
+// to jsns at or above base, rebuilding on key change.
+func (c *clueSetCache) get(t *cmtree.Tree, base uint64) *cmtree.AbsenceTree {
+	version := t.Version()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tree != nil && c.version == version && c.base == base {
+		return c.tree
+	}
+	tree := cmtree.BuildAbsenceTree(t.LiveNames(base))
+	c.version, c.base, c.tree = version, base, tree
+	return tree
 }
 
 // signAndStore signs skel for generation gen, unless a racing caller

@@ -33,11 +33,14 @@ func (ruleL3) Doc() string {
 
 // l3ClockScope is where raw clock reads are forbidden (module-relative).
 // benchkit and the CLIs read wall time legitimately (stopwatches, real
-// deployments); tsa IS a clock authority and injects its own.
+// deployments); tsa IS a clock authority and injects its own. The query
+// index is in scope because a rebuild must be a pure function of the
+// journal stream — its timestamps are the committed record timestamps,
+// which already flow from the injected ledger Config.Clock.
 var l3ClockScope = []string{
 	"internal/ledger", "internal/audit", "internal/journal",
 	"internal/cmtree", "internal/mpt", "internal/merkle",
-	"internal/tledger", "internal/timepeg",
+	"internal/tledger", "internal/timepeg", "internal/index",
 }
 
 func (ruleL3) Check(ctx *Context, pkg *Package) {

@@ -1,0 +1,198 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/index"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/server"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+)
+
+// newQueryStack is newStack plus a sidecar index attached to the
+// service, standing up the full single-node rich-read surface.
+func newQueryStack(t *testing.T) *stack {
+	t.Helper()
+	s := newStack(t)
+	s.srv.Close() // rebuild the service with the index wired in
+	srv := server.New(s.ledger, s.tl)
+	ix, err := index.Open(s.ledger, streamfs.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Index = ix
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	s.srv = ts
+	s.cli.BaseURL = ts.URL
+	return s
+}
+
+// TestEndToEndQueryKinds exercises all three query kinds over HTTP with
+// client-side verification: the service's index picks the candidates,
+// the proofs make them trustworthy.
+func TestEndToEndQueryKinds(t *testing.T) {
+	s := newQueryStack(t)
+	for i := 0; i < 12; i++ {
+		if _, err := s.cli.Append([]byte(fmt.Sprintf("doc-%d", i)), fmt.Sprintf("q/%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Prefix, with payloads riding the proof batch.
+	recs, err := s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "q/0", WithPayload: true})
+	if err != nil {
+		t.Fatalf("prefix query: %v", err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("prefix q/0 matched %d records, want 10", len(recs))
+	}
+
+	// Limit truncates and still verifies.
+	recs, err = s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "q/", Limit: 5})
+	if err != nil {
+		t.Fatalf("limited query: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("limit 5 returned %d records", len(recs))
+	}
+
+	// Signer: every record carries the one client key.
+	all, err := s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryBySigner, Signer: s.cli.Key.Public()})
+	if err != nil {
+		t.Fatalf("signer query: %v", err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("signer query returned %d records, want 12", len(all))
+	}
+
+	// Time window straddling the middle records, bounds read from the
+	// proven records themselves (the clock also ticks on block cuts, so
+	// timestamps are not dense).
+	from, to := all[4].Timestamp, all[7].Timestamp+1
+	recs, err = s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByTime, From: from, To: to})
+	if err != nil {
+		t.Fatalf("time query: %v", err)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("time window [%d,%d) returned %d records, want >= 4", from, to, len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Timestamp < from || rec.Timestamp >= to {
+			t.Fatalf("record at %d outside verified window [%d,%d)", rec.Timestamp, from, to)
+		}
+	}
+}
+
+// TestEndToEndQueryAbsence pins the authenticated-absence surface: an
+// empty prefix reply carries a verifiable absence proof, exact absence
+// works standalone, and asking about a live clue is a 409 the client
+// classifies as present.
+func TestEndToEndQueryAbsence(t *testing.T) {
+	s := newQueryStack(t)
+	if _, err := s.cli.Append([]byte("x"), "exists"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty prefix reply: zero records, no error — VerifyQueryResult
+	// refused to accept emptiness without the absence proof.
+	recs, err := s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "ghost/"})
+	if err != nil {
+		t.Fatalf("empty prefix query: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("ghost prefix returned %d records", len(recs))
+	}
+
+	// Standalone absence, exact and prefix.
+	if _, err := s.cli.ProveAbsence("ghost", false); err != nil {
+		t.Fatalf("exact absence: %v", err)
+	}
+	if _, err := s.cli.ProveAbsence("ghost/", true); err != nil {
+		t.Fatalf("prefix absence: %v", err)
+	}
+
+	// A live clue is present, not absent.
+	if _, err := s.cli.ProveAbsence("exists", false); !client.IsPresent(err) {
+		t.Fatalf("absence of live clue: err = %v, want 409 present", err)
+	}
+}
+
+// TestEndToEndPurgeThenQuery is the single-node HTTP half of the
+// purge-then-query regression: after a purge the service's live-tailing
+// index must stop serving the erased records and the clue must become
+// provably absent.
+func TestEndToEndPurgeThenQuery(t *testing.T) {
+	s := newQueryStack(t)
+	for i := 0; i < 4; i++ {
+		if _, err := s.cli.Append([]byte(fmt.Sprintf("secret-%d", i)), "doomed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := s.cli.Append([]byte("keep"), "kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-purge: the doomed clue queries and is NOT absent.
+	recs, err := s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("pre-purge query returned %d records, want 4", len(recs))
+	}
+
+	desc := &ledger.PurgeDescriptor{URI: "ledger://e2e", Point: r.JSN, ErasePayloads: true}
+	ms := sig.NewMultiSig(desc.Digest())
+	for _, name := range []string{"e2e-dba", "e2e-client"} {
+		if err := ms.SignWith(sig.GenerateDeterministic(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.cli.Purge(desc, ms); err != nil {
+		t.Fatalf("purge: %v", err)
+	}
+
+	// Post-purge: verified empty reply, provable absence, survivor intact.
+	recs, err = s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "doomed"})
+	if err != nil {
+		t.Fatalf("post-purge query: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("post-purge query served %d stale records", len(recs))
+	}
+	if _, err := s.cli.ProveAbsence("doomed", false); err != nil {
+		t.Fatalf("absence of purged clue: %v", err)
+	}
+	recs, err = s.cli.QueryRecords(ledger.Query{Kind: ledger.QueryByPrefix, Prefix: "kept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("survivor query returned %d records, want 1", len(recs))
+	}
+}
+
+// TestQueryWithoutIndex pins the degraded mode: a service with no index
+// attached answers /v1/query with 501 (absence still works — it needs
+// only the ledger).
+func TestQueryWithoutIndex(t *testing.T) {
+	s := newStack(t)
+	resp, err := http.Get(s.srv.URL + "/v1/query?kind=prefix&prefix=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("query without index: status = %d, want 501", resp.StatusCode)
+	}
+	if _, err := s.cli.ProveAbsence("anything", false); err != nil {
+		t.Fatalf("absence without index: %v", err)
+	}
+}

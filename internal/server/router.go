@@ -21,14 +21,17 @@ import (
 	"ledgerdb/internal/sig"
 )
 
-// ShardBackend is one shard's append path as the router sees it. The
-// hardened *client.Client satisfies it (SubmitRequest/SubmitBatch
-// forward pre-signed requests verbatim); the indirection exists because
-// the client package's own tests stand up servers, so server cannot
-// import client.
+// ShardBackend is one shard's append and rich-read path as the router
+// sees it. The hardened *client.Client satisfies it (SubmitRequest/
+// SubmitBatch forward pre-signed requests verbatim; Query/ProveAbsence
+// fetch and re-verify proof-carrying reads); the indirection exists
+// because the client package's own tests stand up servers, so server
+// cannot import client.
 type ShardBackend interface {
 	SubmitRequest(req *journal.Request) (*journal.Receipt, error)
 	SubmitBatch(reqs []*journal.Request) (*ledger.BatchReceipt, []hashutil.Digest, error)
+	Query(q ledger.Query) (*ledger.QueryResult, error)
+	ProveAbsence(name string, prefix bool) (*ledger.AbsenceProof, error)
 }
 
 // Router fronts a sharded deployment: requests in, shard-routed appends
@@ -54,6 +57,8 @@ func NewRouter(coord *shard.Coordinator, part *shard.Partitioner, backends []Sha
 	rt.mux.HandleFunc("POST /v1/append-batch", rt.handleAppendBatch)
 	rt.mux.HandleFunc("GET /v1/global", rt.handleGlobal)
 	rt.mux.HandleFunc("GET /v1/proof-global/{shard}/{jsn}", rt.handleProofGlobal)
+	rt.mux.HandleFunc("GET /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("GET /v1/absence", rt.handleAbsence)
 	rt.mux.HandleFunc("GET /v1/shard-of", rt.handleShardOf)
 	rt.mux.HandleFunc("GET /v1/info", rt.handleInfo)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -224,6 +229,84 @@ func (rt *Router) handleProofGlobal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &Envelope{Proof: b64(p.EncodeBytes())})
+}
+
+// handleQuery fans a rich read to every shard — a prefix, time range,
+// or signer can match records anywhere — and replies with one
+// verifiable QueryResult per shard. Each result is anchored to that
+// shard's own signed state, so the client verifies them independently;
+// the router adds routing, never trust.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := queryFromURL(r.URL.Query())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type result struct {
+		shard int
+		blob  []byte
+		err   error
+	}
+	n := len(rt.Backends)
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for i := range rt.Backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := rt.Backends[i].Query(q)
+			if err != nil {
+				results <- result{shard: i, err: err}
+				return
+			}
+			results <- result{shard: i, blob: res.EncodeBytes()}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	out := make(map[string]string, n)
+	for res := range results {
+		if res.err != nil {
+			writeErr(w, fmt.Errorf("shard %d: %w", res.shard, res.err))
+			return
+		}
+		out[strconv.Itoa(res.shard)] = b64(res.blob)
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Results: out, Shards: n})
+}
+
+// handleAbsence serves authenticated absence through the topology: an
+// exact clue routes to its owning shard (the partitioner pins where it
+// WOULD live, so one shard's answer is total), while a prefix fans to
+// every shard — the prefix is absent iff each shard proves it absent
+// from its own clue set.
+func (rt *Router) handleAbsence(w http.ResponseWriter, r *http.Request) {
+	name, prefix, err := absenceFromURL(r.URL.Query())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !prefix {
+		i := rt.Part.ShardOfClue(name)
+		ap, err := rt.Backends[i].ProveAbsence(name, false)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &Envelope{Result: b64(ap.EncodeBytes()), Shard: &i})
+		return
+	}
+	n := len(rt.Backends)
+	out := make(map[string]string, n)
+	for i := range rt.Backends {
+		ap, err := rt.Backends[i].ProveAbsence(name, true)
+		if err != nil {
+			writeErr(w, fmt.Errorf("shard %d: %w", i, err))
+			return
+		}
+		out[strconv.Itoa(i)] = b64(ap.EncodeBytes())
+	}
+	writeJSON(w, http.StatusOK, &Envelope{Results: out, Shards: n})
 }
 
 // handleShardOf tells a client which shard owns a clue, so shard-local

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/index"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/merkle/fam"
@@ -30,10 +31,15 @@ type Server struct {
 	// TLedger, when set, serves time anchoring: POST /v1/anchor-time
 	// submits the current state digest through Protocol 4.
 	TLedger *tledger.TLedger
-	mux     *http.ServeMux
-	opts    Options
-	gate    gate
-	idem    *idemTable
+	// Index, when set, serves rich queries: GET /v1/query answers
+	// prefix/time/signer reads with proof-carrying results. Absence
+	// proofs (GET /v1/absence) come straight from the ledger and work
+	// without it.
+	Index *index.Index
+	mux   *http.ServeMux
+	opts  Options
+	gate  gate
+	idem  *idemTable
 	// testStall, when set, runs after admission and before dispatch —
 	// the seam load-shed tests use to hold slots occupied.
 	testStall func(r *http.Request)
@@ -64,6 +70,8 @@ func NewWithOptions(l *ledger.Ledger, tl *tledger.TLedger, opts Options) *Server
 	s.mux.HandleFunc("POST /v1/anchor-time", s.handleAnchorTime)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/stateproof", s.handleStateProof)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/absence", s.handleAbsence)
 	s.mux.HandleFunc("POST /v1/admin/purge", s.handlePurge)
 	s.mux.HandleFunc("POST /v1/admin/occult", s.handleOccult)
 	return s
@@ -78,6 +86,7 @@ type Envelope struct {
 	Proof   string   `json:"proof,omitempty"`
 	Payload string   `json:"payload,omitempty"`
 	JSNs    []uint64 `json:"jsns,omitempty"`
+	Result  string   `json:"result,omitempty"` // b64 QueryResult / AbsenceProof
 	Error   string   `json:"error,omitempty"`
 
 	URI    string `json:"uri,omitempty"`
@@ -91,6 +100,7 @@ type Envelope struct {
 	Shard    *int              `json:"shard,omitempty"`    // routed shard index
 	Shards   int               `json:"shards,omitempty"`   // topology width
 	Receipts map[string]string `json:"receipts,omitempty"` // shard idx → b64 batch receipt
+	Results  map[string]string `json:"results,omitempty"`  // shard idx → b64 QueryResult / AbsenceProof
 	CoordKey string            `json:"coord_key,omitempty"`
 }
 
@@ -110,7 +120,17 @@ func writeJSON(w http.ResponseWriter, status int, env *Envelope) {
 // well-behaved clients pace themselves).
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var coded interface{ HTTPStatus() int }
 	switch {
+	case errors.As(err, &coded):
+		// A forwarded backend error (the router fanning out through the
+		// hardened client) already carries its mapped status — 410
+		// purged, 451 occulted, 403 forbidden — and must not be
+		// flattened back to 500.
+		status = coded.HTTPStatus()
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
 	case errors.Is(err, ledger.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ledger.ErrPurged):
@@ -128,6 +148,10 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, journal.ErrBadRequest), errors.Is(err, journal.ErrDecode):
 		status = http.StatusBadRequest
 	case errors.Is(err, tledger.ErrStale), errors.Is(err, tledger.ErrFuture):
+		status = http.StatusConflict
+	case errors.Is(err, ledger.ErrPresent):
+		// Absence was requested for a clue that is live: a definitive
+		// conflict — the right call is an existence query.
 		status = http.StatusConflict
 	case errors.Is(err, ledger.ErrClosed):
 		// The commit pipeline is draining (shutdown); clients may retry

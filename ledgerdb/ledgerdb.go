@@ -25,6 +25,7 @@ import (
 	"ledgerdb/internal/audit"
 	"ledgerdb/internal/ca"
 	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/index"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
 	"ledgerdb/internal/shard"
@@ -83,6 +84,14 @@ type (
 	GlobalState = shard.GlobalState
 	// GlobalProof is the cross-shard record → global-root proof.
 	GlobalProof = shard.GlobalProof
+	// Query is a rich read (by clue prefix, time range, or signer).
+	Query = ledger.Query
+	// QueryResult is a proof-carrying rich-read reply.
+	QueryResult = ledger.QueryResult
+	// AbsenceProof is an authenticated "no such clue" statement.
+	AbsenceProof = ledger.AbsenceProof
+	// Index is the rebuildable sidecar behind the rich-query layer.
+	Index = index.Index
 )
 
 // Journal types.
@@ -91,6 +100,13 @@ const (
 	TypePurge  = journal.TypePurge
 	TypeOccult = journal.TypeOccult
 	TypeTime   = journal.TypeTime
+)
+
+// Query kinds.
+const (
+	QueryByPrefix = ledger.QueryByPrefix
+	QueryByTime   = ledger.QueryByTime
+	QueryBySigner = ledger.QueryBySigner
 )
 
 // Re-exported constructors and pure verification functions.
@@ -103,6 +119,12 @@ var (
 	VerifyClue = ledger.VerifyClue
 	// VerifyGlobal is the client-side cross-shard verification.
 	VerifyGlobal = shard.VerifyGlobal
+	// VerifyQueryResult is the client-side rich-read verification.
+	VerifyQueryResult = ledger.VerifyQueryResult
+	// VerifyAbsenceProof is the client-side absence verification.
+	VerifyAbsenceProof = ledger.VerifyAbsence
+	// OpenIndex opens (or rebuilds) a sidecar query index over a ledger.
+	OpenIndex = index.Open
 	// Audit runs the Dasein-complete audit (§V).
 	Audit = audit.Audit
 	// GenerateKey creates a fresh identity.
@@ -167,6 +189,7 @@ type DiskOptions = streamfs.DiskOptions
 type Stack struct {
 	Ledger      *ledger.Ledger   // shard 0 — the whole ledger in single-node mode
 	Shards      []*ledger.Ledger // all shards, in partition order
+	Indexes     []*index.Index   // per-shard rich-query sidecars, same order
 	Partitioner *shard.Partitioner
 	Coordinator *shard.Coordinator
 	TLedger     *tledger.TLedger
@@ -176,8 +199,9 @@ type Stack struct {
 	LSP         *sig.KeyPair
 	DBA         *sig.KeyPair
 
-	uri   string
-	clock func() int64
+	uri       string
+	clock     func() int64
+	idxStores []streamfs.Store // sidecar stores, closed with the stack
 
 	closeOnce sync.Once
 	closeErr  error
@@ -216,6 +240,21 @@ func (w shardWiring) openShardStorage(i, total int) (streamfs.Store, streamfs.Bl
 		return nil, nil, err
 	}
 	return store, blobs, nil
+}
+
+// openIndexStorage opens shard i's sidecar index store. It lives beside
+// the ledger streams (Dir[/shard-<i>]/index) but is deliberately a
+// separate store: the index is cache, so deleting just this directory
+// and reopening rebuilds it from the journal stream.
+func (w shardWiring) openIndexStorage(i, total int) (streamfs.Store, error) {
+	if w.opts.Dir == "" {
+		return streamfs.NewMemory(), nil
+	}
+	dir := w.opts.Dir
+	if total > 1 {
+		dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+	}
+	return streamfs.OpenDisk(filepath.Join(dir, "index"), w.opts.Disk)
 }
 
 // buildShardLedger wires one engine instance — the reusable per-shard
@@ -339,6 +378,26 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		}
 		shards[i] = l
 	}
+	closeAll := func() {
+		for _, built := range shards {
+			built.Close()
+		}
+	}
+	indexes := make([]*index.Index, nShards)
+	idxStores := make([]streamfs.Store, nShards)
+	for i, l := range shards {
+		st, err := wiring.openIndexStorage(i, nShards)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ledgerdb: shard %d index store: %w", i, err)
+		}
+		ix, err := index.Open(l, st)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ledgerdb: shard %d index: %w", i, err)
+		}
+		indexes[i], idxStores[i] = ix, st
+	}
 	coord := shard.NewCoordinator(opts.URI, shards, coordKey, clock)
 	if opts.FoldInterval > 0 {
 		coord.Start(opts.FoldInterval)
@@ -346,6 +405,8 @@ func NewStack(opts StackOptions) (*Stack, error) {
 	return &Stack{
 		Ledger:      shards[0],
 		Shards:      shards,
+		Indexes:     indexes,
+		idxStores:   idxStores,
 		Partitioner: part,
 		Coordinator: coord,
 		TLedger:     tl,
@@ -405,6 +466,63 @@ func (s *Stack) VerifyExistenceGlobal(shardIdx int, jsn uint64) (*Record, []byte
 		return nil, nil, err
 	}
 	return rec, p.Record.Payload, nil
+}
+
+// QueryShard runs a rich read against one shard's sidecar index and
+// returns the raw proof-carrying result (what a remote verifier would
+// receive).
+func (s *Stack) QueryShard(i int, q Query) (*QueryResult, error) {
+	return s.Indexes[i].Query(q)
+}
+
+// QueryRecords runs a rich read across every shard and returns the
+// verified records, grouped by shard in partition order, ascending jsn
+// within each. Every shard's result is re-verified against the LSP key
+// before anything is returned — the index only nominates, the proofs
+// decide.
+func (s *Stack) QueryRecords(q Query) ([]*Record, error) {
+	var out []*Record
+	for i, ix := range s.Indexes {
+		res, err := ix.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("ledgerdb: shard %d query: %w", i, err)
+		}
+		recs, err := ledger.VerifyQueryResult(s.LSP.Public(), q, res)
+		if err != nil {
+			return nil, fmt.Errorf("ledgerdb: shard %d query verification: %w", i, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// VerifyAbsence establishes that no live clue equals name (or starts
+// with it when prefix is set), returning the verified proofs a skeptic
+// can re-check offline. An exact clue only ever lives on its partition
+// shard, so one proof suffices; a prefix needs every shard to prove its
+// own clue set clean.
+func (s *Stack) VerifyAbsence(name string, prefix bool) ([]*AbsenceProof, error) {
+	shardIdxs := []int{0}
+	if prefix {
+		shardIdxs = make([]int, len(s.Shards))
+		for i := range shardIdxs {
+			shardIdxs[i] = i
+		}
+	} else if len(s.Shards) > 1 {
+		shardIdxs[0] = s.Partitioner.ShardOfClue(name)
+	}
+	proofs := make([]*AbsenceProof, 0, len(shardIdxs))
+	for _, i := range shardIdxs {
+		ap, err := s.Shards[i].ProveAbsence(name, prefix)
+		if err != nil {
+			return nil, fmt.Errorf("ledgerdb: shard %d absence: %w", i, err)
+		}
+		if err := ledger.VerifyAbsence(s.LSP.Public(), ap); err != nil {
+			return nil, fmt.Errorf("ledgerdb: shard %d absence verification: %w", i, err)
+		}
+		proofs = append(proofs, ap)
+	}
+	return proofs, nil
 }
 
 // Member is a certified ledger user bound to a stack.
@@ -674,6 +792,9 @@ func (s *Stack) Audit() (*AuditReport, error) {
 		agg.Occults += r.Occults
 		agg.SignaturesChecked += r.SignaturesChecked
 	}
+	if err := s.AuditIndexes(); err != nil {
+		return nil, err
+	}
 	if len(reports) == 1 {
 		agg.TimeBounds = reports[0].TimeBounds
 		return agg, nil
@@ -682,6 +803,19 @@ func (s *Stack) Audit() (*AuditReport, error) {
 		return nil, err
 	}
 	return agg, nil
+}
+
+// AuditIndexes is the rich-query leg of the audit: every shard's sidecar
+// projections are cross-checked against a fresh replay of that shard's
+// journal stream (index.CrossCheck). A corrupted or stale sidecar
+// surfaces here as index.ErrMismatch naming the projection.
+func (s *Stack) AuditIndexes() error {
+	for i, ix := range s.Indexes {
+		if err := ix.CrossCheck(); err != nil {
+			return fmt.Errorf("ledgerdb: shard %d index audit: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // AuditShards audits each shard and returns the per-shard reports.
@@ -797,10 +931,18 @@ func (s *Stack) URI() string { return s.uri }
 func (s *Stack) Close() error {
 	s.closeOnce.Do(func() {
 		s.Coordinator.Stop()
-		errs := make([]error, len(s.Shards))
+		var errs []error
 		for i, l := range s.Shards {
 			if err := l.Close(); err != nil {
-				errs[i] = fmt.Errorf("ledgerdb: shard %d close: %w", i, err)
+				errs = append(errs, fmt.Errorf("ledgerdb: shard %d close: %w", i, err))
+			}
+		}
+		for i, st := range s.idxStores {
+			if st == nil {
+				continue
+			}
+			if err := st.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("ledgerdb: shard %d index close: %w", i, err))
 			}
 		}
 		s.closeErr = errors.Join(errs...)

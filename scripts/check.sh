@@ -12,6 +12,7 @@
 #   scripts/check.sh crash    # crash-recovery torture (1000 crash points)
 #   scripts/check.sh chaos    # network-chaos torture (500 fault schedules, -race)
 #   scripts/check.sh shard    # multi-shard topology e2e incl. kill-one-shard chaos (-race)
+#   scripts/check.sh query    # rich-query layer: index + absence tests (-race), crash + fuzz smoke
 #   scripts/check.sh perf     # hot-path bench smoke + allocs/op regression guards
 #   scripts/check.sh all      # everything
 set -euo pipefail
@@ -91,6 +92,22 @@ stage_shard() {
     go test -run xxx -fuzz FuzzRoute -fuzztime 10s ./internal/shard > /dev/null
 }
 
+stage_query() {
+    echo "== rich-query layer: sidecar index + clue-set commitment (-race) =="
+    go test -race -timeout 600s -count 1 ./internal/index ./internal/cmtree
+    go test -race -timeout 600s -run 'TestAbsence|TestQuery|TestVerifyQueryResult' -count 1 ./internal/ledger
+
+    echo "== query/absence e2e (single node + sharded router) =="
+    go test -race -timeout 600s -run 'TestEndToEndQuery|TestEndToEndPurgeThenQuery|TestQueryWithoutIndex' -count 1 ./internal/server
+    go test -race -timeout 600s -run 'TestShardedQueryAndAbsence|TestRouterPurgeStatusCodes|TestRouterOccultStatusCode' -count 1 ./internal/integration/shardtest
+
+    echo "== index crash convergence (mid-rebuild, mid-tail) =="
+    go test -run 'TestIndexCrash' -count 1 ./internal/integration/crashtest
+
+    echo "== absence proof fuzz smoke =="
+    go test -run xxx -fuzz FuzzDecodeAbsenceProof -fuzztime 10s ./internal/ledger > /dev/null
+}
+
 stage_bench() {
     echo "== pipeline bench smoke =="
     go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
@@ -132,6 +149,8 @@ stage_cli() {
     /tmp/ldb-check -server http://127.0.0.1:18421 verify 1 2>/dev/null
     /tmp/ldb-check -server http://127.0.0.1:18421 verify-anchored 1 2>/dev/null
     /tmp/ldb-check -server http://127.0.0.1:18421 verify-clue trail 2>/dev/null
+    /tmp/ldb-check -server http://127.0.0.1:18421 query prefix trail 2>/dev/null
+    /tmp/ldb-check -server http://127.0.0.1:18421 absence no-such-clue 2>/dev/null
     kill $SRV
 }
 
@@ -149,6 +168,7 @@ stage_all() {
     stage_crash
     stage_chaos
     stage_shard
+    stage_query
     stage_bench
     stage_perf
     stage_examples
@@ -164,10 +184,11 @@ case "${1:-all}" in
     crash) stage_crash ;;
     chaos) stage_chaos ;;
     shard) stage_shard ;;
+    query) stage_query ;;
     perf) stage_perf ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|perf|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|query|perf|all]" >&2
         exit 2
         ;;
 esac
