@@ -22,9 +22,14 @@
 //	absence [-prefix] <clue>     verified proof that no live clue matches
 //	anchor-time                  run one time-notary round
 //	state                        fetch and verify the signed state
+//	bundle export <jsn> [-payload] [-o file]   export an offline proof bundle
+//	bundle verify <file>         verify a bundle OFFLINE (-lsp required, no server)
 //
 // Without -lsp the key is discovered from the server (trust on first
-// use) and printed so it can be pinned for later invocations.
+// use) and printed so it can be pinned for later invocations. The one
+// exception is `bundle verify`, which never touches the network: the
+// bundle file plus the pinned -lsp key (and optionally -tsa keys) are
+// the entire trust base.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"ledgerdb/internal/client"
 	"ledgerdb/internal/ledger"
@@ -41,15 +47,23 @@ import (
 func main() {
 	serverURL := flag.String("server", "http://localhost:8420", "ledgerdb-server base URL")
 	lspHex := flag.String("lsp", "", "pinned LSP public key (hex); empty = trust on first use")
+	tsaHex := flag.String("tsa", "", "comma-separated pinned TSA public keys (hex) for bundle verify; empty = any TSA")
 	keySeed := flag.String("key-seed", "", "deterministic client key seed (testing); empty = fresh key")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-batch|verify-anchored|verify-state|verify-clue|query|absence|anchor-time|state> [args]\n")
+		fmt.Fprintf(os.Stderr, "usage: ledgerdb [flags] <info|append|get|payload|verify|verify-batch|verify-anchored|verify-state|verify-clue|query|absence|anchor-time|state|bundle> [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// `bundle verify` runs before any server contact — it is the whole
+	// point of the bundle that no server is needed (or trusted).
+	if flag.Arg(0) == "bundle" && flag.NArg() >= 2 && flag.Arg(1) == "verify" {
+		bundleVerify(*lspHex, *tsaHex, flag.Args()[2:])
+		return
 	}
 
 	var key *sig.KeyPair
@@ -218,6 +232,16 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Printf("time journal committed at jsn %d\n", r.JSN)
+	case "bundle":
+		if len(args) == 0 {
+			fail("bundle needs a subcommand: export|verify")
+		}
+		switch args[0] {
+		case "export":
+			bundleExport(cli, args[1:])
+		default:
+			fail("unknown bundle subcommand %q (want export|verify)", args[0])
+		}
 	case "state":
 		st, err := cli.State()
 		if err != nil {
@@ -280,6 +304,105 @@ func queryFromArgs(args []string) ledger.Query {
 		q.Limit = n
 	}
 	return q
+}
+
+// bundleExport fetches a proof bundle (verified against the pinned LSP
+// key by the client before it is accepted) and writes its wire form to
+// a file, ready to be mailed to a verifier with no ledger access.
+// Args: <jsn> [-payload] [-o file]; -o - writes to stdout.
+func bundleExport(cli *client.Client, args []string) {
+	if len(args) == 0 {
+		fail("bundle export needs a jsn")
+	}
+	jsn, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		fail("bad jsn %q", args[0])
+	}
+	withPayload := false
+	out := fmt.Sprintf("bundle-%d.ldbp", jsn)
+	for rest := args[1:]; len(rest) > 0; {
+		switch rest[0] {
+		case "-payload":
+			withPayload, rest = true, rest[1:]
+		case "-o":
+			if len(rest) < 2 {
+				fail("-o needs a file name")
+			}
+			out, rest = rest[1], rest[2:]
+		default:
+			fail("unknown bundle export argument %q", rest[0])
+		}
+	}
+	b, err := cli.FetchBundle(jsn, withPayload)
+	if err != nil {
+		fail("%v", err)
+	}
+	raw := b.EncodeBytes()
+	if out == "-" {
+		if _, err := os.Stdout.Write(raw); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fail("%v", err)
+	}
+	when := "no time chain (record younger than the last anchor)"
+	if b.TimeRecordBytes != nil {
+		when = "when-chain attached (time journal + TSA attestation)"
+	}
+	fmt.Printf("exported jsn %d -> %s (%dB)\n  payload included: %v\n  %s\n  verify offline with: ledgerdb -lsp %s bundle verify %s\n",
+		jsn, out, len(raw), b.Payload != nil, when, cli.LSP.Hex(), out)
+}
+
+// bundleVerify is the fully-offline leg: read the file, check every
+// signature and hash path against the pinned keys, print what the
+// bundle proves. No client, no server, no network.
+func bundleVerify(lspHex, tsaHex string, args []string) {
+	if lspHex == "" {
+		fail("bundle verify is offline: -lsp <hex> is required (there is no server to discover it from)")
+	}
+	lsp, err := sig.ParsePublicKey(lspHex)
+	if err != nil {
+		fail("parse -lsp: %v", err)
+	}
+	var tsaKeys []sig.PublicKey
+	if tsaHex != "" {
+		for _, h := range strings.Split(tsaHex, ",") {
+			pk, err := sig.ParsePublicKey(strings.TrimSpace(h))
+			if err != nil {
+				fail("parse -tsa: %v", err)
+			}
+			tsaKeys = append(tsaKeys, pk)
+		}
+	}
+	if len(args) != 1 {
+		fail("bundle verify needs exactly one bundle file")
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		fail("%v", err)
+	}
+	b, err := ledger.DecodeProofBundle(raw)
+	if err != nil {
+		fail("%v", err)
+	}
+	rec, ta, err := ledger.VerifyBundle(b, lsp, tsaKeys)
+	if err != nil {
+		fail("VERIFICATION FAILED: %v", err)
+	}
+	fmt.Printf("VERIFIED OFFLINE jsn %d\n  tx-hash   %s\n  signer    %s\n  clues     %v\n  payload   %dB present=%v\n",
+		rec.JSN, rec.TxHash().Short(), rec.ClientPK, rec.Clues, rec.PayloadSize, b.Payload != nil)
+	if ta != nil {
+		trust := "any TSA (pin with -tsa to restrict)"
+		if len(tsaKeys) > 0 {
+			trust = "pinned TSA key"
+		}
+		fmt.Printf("  when      committed at or before TSA time %d (%s)\n", ta.Timestamp, trust)
+	} else {
+		fmt.Println("  when      unanchored: record is newer than the bundle's last time journal")
+	}
+	fmt.Printf("  anchored to LSP-signed checkpoint at jsn %d\n", b.State.JSN)
 }
 
 func argJSN(args []string) uint64 {

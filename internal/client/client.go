@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -190,6 +191,12 @@ type envelope struct {
 	Receipts map[string]string `json:"receipts"`
 	Results  map[string]string `json:"results"`
 	CoordKey string            `json:"coord_key"`
+
+	// Replication fields (pull frames and health watermarks).
+	Frame      string  `json:"frame"`
+	Generation *uint64 `json:"generation"`
+	Jsn        *uint64 `json:"jsn"`
+	Watermark  *uint64 `json:"watermark"`
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -761,6 +768,66 @@ func (c *Client) Info() (uri string, size, base, height uint64, err error) {
 		return "", 0, 0, 0, err
 	}
 	return rep.env.URI, rep.env.Size, rep.env.Base, rep.env.Height, nil
+}
+
+// PullFrame fetches one sealed replication frame for stream starting at
+// offset from (max 0 lets the server pick its ceiling). It returns the
+// frame's raw bytes: the replica puller decodes and digest-verifies them
+// itself, so the codec check happens exactly once, at the trust
+// boundary. Calls run under ctx end to end.
+func (c *Client) PullFrame(ctx context.Context, stream string, from uint64, max int) ([]byte, error) {
+	path := fmt.Sprintf("/v1/replica/pull?stream=%s&from=%d&max=%d", url.QueryEscape(stream), from, max)
+	rep, err := c.WithContext(ctx).call("GET", path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.blob(rep.env.Frame, "frame")
+}
+
+// StateCtx is State under an explicit context (the replica puller's
+// checkpoint fetch).
+func (c *Client) StateCtx(ctx context.Context) (*ledger.SignedState, error) {
+	return c.WithContext(ctx).State()
+}
+
+// FetchBundle downloads a self-contained offline proof bundle for one
+// journal and verifies it against the pinned LSP key before returning
+// it (no TSA pin at this layer — the offline verifier applies its own).
+func (c *Client) FetchBundle(jsn uint64, withPayload bool) (*ledger.ProofBundle, error) {
+	path := fmt.Sprintf("/v1/bundle/%d", jsn)
+	if withPayload {
+		path += "?payload=1"
+	}
+	rep, err := c.call("GET", path, nil)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := rep.blob(rep.env.Proof, "bundle")
+	if err != nil {
+		return nil, err
+	}
+	b, err := ledger.DecodeProofBundle(raw)
+	if err != nil {
+		return nil, rep.tamper("bundle decode", err)
+	}
+	if _, _, err := ledger.VerifyBundle(b, c.LSP, nil); err != nil {
+		return nil, rep.tamper("bundle verification", err)
+	}
+	return b, nil
+}
+
+// Health reads the service's /healthz watermark fields: the applied
+// journal frontier (jsn) and the newest verified checkpoint (watermark).
+// On a follower, jsn-watermark is the staleness the service admits to.
+func (c *Client) Health() (generation, jsn, watermark uint64, err error) {
+	rep, err := c.call("GET", "/healthz", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if rep.env.Generation == nil || rep.env.Jsn == nil || rep.env.Watermark == nil {
+		return 0, 0, 0, rep.tamper("health shape", fmt.Errorf("%w: health reply missing watermark fields", ErrHTTP))
+	}
+	return *rep.env.Generation, *rep.env.Jsn, *rep.env.Watermark, nil
 }
 
 // DiscoverLSP fetches the service's advertised LSP key. Pinning a key

@@ -1,0 +1,332 @@
+package chaostest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"ledgerdb/internal/client"
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/netchaos"
+	"ledgerdb/internal/replica"
+	"ledgerdb/internal/server"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+)
+
+// replicated is a primary/follower pair with a netchaos proxy on the
+// follower's pull path: the only wire that can be cut is the
+// replication wire, which is exactly what a network partition between
+// data centers looks like to a read replica.
+type replicated struct {
+	t     *testing.T
+	repro string
+
+	primary *ledger.Ledger
+	lsp     *sig.KeyPair
+	cliKey  *sig.KeyPair
+	nonce   uint64
+
+	follower *ledger.Ledger
+	puller   *replica.Puller
+	proxy    *netchaos.Proxy
+	fcli     *client.Client // reads against the follower's own server
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+func (r *replicated) fatalf(format string, args ...any) {
+	r.t.Helper()
+	r.t.Fatalf("%s\n%s", fmt.Sprintf(format, args...), r.repro)
+}
+
+func newReplicated(t *testing.T, repro string) *replicated {
+	t.Helper()
+	const uri = "ledger://partition"
+	r := &replicated{
+		t:      t,
+		repro:  repro,
+		lsp:    sig.GenerateDeterministic("partition-lsp"),
+		cliKey: sig.GenerateDeterministic("partition-client"),
+	}
+	dba := sig.GenerateDeterministic("partition-dba").Public()
+	clock := logicalclock.New(500_000)
+	var err error
+	r.primary, err = ledger.Open(ledger.Config{
+		URI:           uri,
+		FractalHeight: 4,
+		BlockSize:     8,
+		Clock:         clock.Tick,
+		LSP:           r.lsp,
+		DBA:           dba,
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.primary.Close() })
+	psrv := httptest.NewServer(server.New(r.primary, nil))
+	t.Cleanup(psrv.Close)
+
+	r.follower, err = ledger.Open(ledger.Config{
+		URI:           uri,
+		FractalHeight: 4,
+		BlockSize:     8,
+		Clock:         clock.Tick,
+		ApplyOnly:     true,
+		PrimaryLSP:    r.lsp.Public(),
+		DBA:           dba,
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.follower.Close() })
+
+	// The pull path: hardened client over the chaos proxy. Tight retry
+	// budget — the puller has its own jittered backoff loop above it.
+	r.proxy = netchaos.NewProxy(http.DefaultTransport)
+	pullCli := &client.Client{
+		BaseURL:      psrv.URL,
+		HTTP:         &http.Client{Transport: r.proxy},
+		Key:          sig.GenerateDeterministic("partition-puller"),
+		LSP:          r.lsp.Public(),
+		URI:          uri,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		Timeout:      5 * time.Second,
+	}
+	r.puller, err = replica.New(replica.Config{
+		Source:       replica.ClientSource(pullCli),
+		Ledger:       r.follower,
+		Interval:     time.Millisecond,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   10 * time.Millisecond,
+		Batch:        16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower's own read surface, with a fault-free client pinned
+	// to the PRIMARY's LSP key — replica reads carry primary-signed
+	// proofs or they carry nothing.
+	fsrv := httptest.NewServer(server.New(r.follower, nil))
+	t.Cleanup(fsrv.Close)
+	r.fcli = &client.Client{
+		BaseURL: fsrv.URL,
+		Key:     r.cliKey,
+		LSP:     r.lsp.Public(),
+		URI:     uri,
+		Timeout: 5 * time.Second,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		r.puller.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-r.done
+	})
+	return r
+}
+
+// append commits one signed journal directly on the primary.
+func (r *replicated) append(payload string) *journal.Receipt {
+	r.t.Helper()
+	r.nonce++
+	req := &journal.Request{
+		LedgerURI: "ledger://partition",
+		Type:      journal.TypeNormal,
+		Clues:     []string{"partition"},
+		Payload:   []byte(payload),
+		Nonce:     r.nonce,
+	}
+	if err := req.Sign(r.cliKey); err != nil {
+		r.t.Fatal(err)
+	}
+	rcpt, err := r.primary.Append(req)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return rcpt
+}
+
+// waitConverged blocks until the follower is level with the primary's
+// current frontier (size, checkpoint, and base), or the deadline hits.
+func (r *replicated) waitConverged() {
+	r.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := r.puller.Status()
+		if st.CaughtUp &&
+			r.follower.Size() >= r.primary.Size() &&
+			st.CheckpointJSN >= r.primary.Size() &&
+			r.follower.Base() >= r.primary.Base() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.fatalf("follower never converged: primary %d/%d, status %+v",
+		r.primary.Size(), r.primary.Base(), r.puller.Status())
+}
+
+// cut partitions the replication wire: every pull from now on is
+// answered 503 locally by the proxy, never reaching the primary.
+func (r *replicated) cut() {
+	r.proxy.Arm(netchaos.Fault{
+		Kind: netchaos.KindBurst5xx,
+		N:    r.proxy.Stats().Requests + 1,
+		Arg:  1 << 30,
+	})
+}
+
+// heal reconnects it.
+func (r *replicated) heal() { r.proxy.Clear() }
+
+// waitDegraded blocks until the puller has noticed the partition.
+func (r *replicated) waitDegraded() {
+	r.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.puller.Status().Degraded {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.fatalf("puller never reported Degraded after the cut")
+}
+
+// TestPartitionTolerantReads drives seeded partition/heal cycles against
+// a replicating pair and checks the CAP posture the design promises:
+// the cut-off follower keeps serving verifiable (stale) reads and
+// honestly reports its staleness; after the heal it converges to the
+// primary's exact frontier; and no append the primary accepted is ever
+// missing from the converged follower.
+func TestPartitionTolerantReads(t *testing.T) {
+	seed := int64(envInt("CHAOSTEST_SEED", 0xC4A05))
+	repro := fmt.Sprintf("repro: CHAOSTEST_SEED=%d go test -run TestPartitionTolerantReads ./internal/integration/chaostest", seed)
+	rng := rand.New(rand.NewSource(seed))
+	r := newReplicated(t, repro)
+
+	var receipts []*journal.Receipt
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			receipts = append(receipts, r.append(fmt.Sprintf("doc-%d", len(receipts))))
+		}
+	}
+
+	appendN(8 + rng.Intn(8))
+	r.waitConverged()
+
+	cycles := 3
+	if testing.Short() {
+		cycles = 1
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Remember what the follower can prove before the cut.
+		provable := r.puller.Status().CheckpointJSN
+
+		r.cut()
+		r.waitDegraded()
+
+		// The primary moves on; the follower cannot see it.
+		appendN(4 + rng.Intn(10))
+
+		// (a) Every journal under the follower's checkpoint still serves
+		// a proof that verifies against the pinned primary LSP key —
+		// through the follower's own HTTP surface, while partitioned.
+		for probe := 0; probe < 3; probe++ {
+			jsn := uint64(rng.Int63n(int64(provable)))
+			rec, _, err := r.fcli.VerifyExistence(jsn, false)
+			if err != nil {
+				r.fatalf("cycle %d: partitioned read of jsn %d: %v", cycle, jsn, err)
+			}
+			if rec.JSN != jsn {
+				r.fatalf("cycle %d: partitioned read of jsn %d returned %d", cycle, jsn, rec.JSN)
+			}
+		}
+
+		// (b) The staleness is honest: the health watermark stays at the
+		// checkpoint, visibly behind the primary's frontier.
+		_, jsn, watermark, err := r.fcli.Health()
+		if err != nil {
+			r.fatalf("cycle %d: follower health: %v", cycle, err)
+		}
+		if watermark != provable {
+			r.fatalf("cycle %d: watermark %d, checkpoint before cut %d", cycle, watermark, provable)
+		}
+		if primarySize := r.primary.Size(); watermark >= primarySize {
+			r.fatalf("cycle %d: watermark %d not behind primary %d", cycle, watermark, primarySize)
+		}
+		if jsn < watermark {
+			r.fatalf("cycle %d: applied %d below watermark %d", cycle, jsn, watermark)
+		}
+
+		// (c) Reads past the frontier fail cleanly, they do not lie.
+		if _, _, err := r.fcli.VerifyExistence(r.primary.Size()-1, false); err == nil {
+			r.fatalf("cycle %d: partitioned follower served a journal it cannot have", cycle)
+		}
+
+		r.heal()
+		r.waitConverged()
+
+		// (d) Converged means converged: same frontier, same fam root
+		// behind both signed states.
+		pst, err := r.primary.State()
+		if err != nil {
+			r.fatalf("cycle %d: primary state: %v", cycle, err)
+		}
+		fst, err := r.follower.State()
+		if err != nil {
+			r.fatalf("cycle %d: follower state: %v", cycle, err)
+		}
+		if fst.JSN != pst.JSN || fst.JournalRoot != pst.JournalRoot {
+			r.fatalf("cycle %d: diverged: follower %d/%s, primary %d/%s",
+				cycle, fst.JSN, fst.JournalRoot.Short(), pst.JSN, pst.JournalRoot.Short())
+		}
+	}
+
+	// (e) No receipt lost: every append the primary ever acknowledged
+	// verifies against the converged follower.
+	for _, rcpt := range receipts {
+		rec, _, err := r.fcli.VerifyExistence(rcpt.JSN, false)
+		if err != nil {
+			r.fatalf("post-heal verify(%d): %v", rcpt.JSN, err)
+		}
+		if rec.TxHash() != rcpt.TxHash {
+			r.fatalf("post-heal verify(%d): record differs from receipt", rcpt.JSN)
+		}
+	}
+}
+
+// TestPartitionReplayPinned replays one seed from the environment, the
+// same repro contract the torture test uses.
+func TestPartitionReplayPinned(t *testing.T) {
+	s := os.Getenv("PARTITION_SEED")
+	if s == "" {
+		t.Skip("set PARTITION_SEED to replay a specific schedule")
+	}
+	seed, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad PARTITION_SEED %q", s)
+	}
+	t.Setenv("CHAOSTEST_SEED", s)
+	_ = seed
+	TestPartitionTolerantReads(t)
+}

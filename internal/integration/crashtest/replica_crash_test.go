@@ -1,0 +1,419 @@
+package crashtest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"ledgerdb/internal/journal"
+	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/logicalclock"
+	"ledgerdb/internal/replica"
+	"ledgerdb/internal/sig"
+	"ledgerdb/internal/streamfs"
+	"ledgerdb/internal/streamfs/faultfs"
+	"ledgerdb/internal/tsa"
+)
+
+const replicaURI = "ledger://replica-crash"
+
+// replicaDurable is the follower-side parity floor: the frontier observed
+// at a moment when every byte the follower had written was fsync-covered.
+// Whichever crash mode hits later, the reopened follower must hold at
+// least this prefix.
+type replicaDurable struct {
+	size, base, height uint64
+}
+
+// replicaHarness owns one follower-crash iteration: a healthy in-memory
+// primary carrying a seeded workload, and the knobs shared by every
+// follower disk in the iteration (so the probe catch-up and the crashed
+// catch-up write byte-identical sequences).
+type replicaHarness struct {
+	t     *testing.T
+	rng   *rand.Rand
+	repro string
+
+	clock  *logicalclock.Clock
+	stamp  *tsa.Authority
+	lsp    *sig.KeyPair
+	dba    *sig.KeyPair
+	client *sig.KeyPair
+
+	primary *ledger.Ledger
+
+	segSize   int64
+	diskSync  int
+	cfgSync   int
+	blockSize int
+	batch     int
+
+	nonce   uint64
+	normals []uint64
+}
+
+func (h *replicaHarness) fatalf(format string, args ...interface{}) {
+	h.t.Helper()
+	h.t.Fatalf("%s\n%s", fmt.Sprintf(format, args...), h.repro)
+}
+
+func newReplicaHarness(t *testing.T, rng *rand.Rand, repro string) *replicaHarness {
+	h := &replicaHarness{
+		t:      t,
+		rng:    rng,
+		repro:  repro,
+		clock:  logicalclock.New(2_000_000),
+		lsp:    sig.GenerateDeterministic("replica-crash/lsp"),
+		dba:    sig.GenerateDeterministic("replica-crash/dba"),
+		client: sig.GenerateDeterministic("replica-crash/client"),
+		// Small segments so the crash cut lands on segment headers as
+		// well as record frames; mixed sync cadences so DropUnsynced
+		// has an unsynced tail to drop.
+		segSize:   int64(96 + 96*rng.Intn(4)),
+		diskSync:  rng.Intn(3),
+		cfgSync:   rng.Intn(4),
+		blockSize: 3 + rng.Intn(4),
+		batch:     2 + rng.Intn(6),
+	}
+	h.stamp = tsa.New("replica-crash-tsa", tsa.Options{Clock: h.clock.Now})
+	var err error
+	h.primary, err = ledger.Open(ledger.Config{
+		URI:           replicaURI,
+		FractalHeight: 3,
+		BlockSize:     h.blockSize,
+		Clock:         h.clock.Tick,
+		LSP:           h.lsp,
+		DBA:           h.dba.Public(),
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+	})
+	if err != nil {
+		h.fatalf("open primary: %v", err)
+	}
+	t.Cleanup(func() { h.primary.Close() })
+	return h
+}
+
+// openFollower builds an apply-only ledger over a faultfs disk, with the
+// iteration's fixed segment/sync knobs so every follower in the iteration
+// writes the same byte sequence for the same pulled prefix.
+func (h *replicaHarness) openFollower(d *faultfs.Disk) (*ledger.Ledger, error) {
+	store, err := streamfs.OpenDisk("streams", streamfs.DiskOptions{
+		SegmentSize: h.segSize, SyncEvery: h.diskSync, FS: d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ledger.Open(ledger.Config{
+		URI:           replicaURI,
+		FractalHeight: 3,
+		BlockSize:     h.blockSize,
+		Clock:         h.clock.Tick,
+		ApplyOnly:     true,
+		PrimaryLSP:    h.lsp.Public(),
+		DBA:           h.dba.Public(),
+		Store:         store,
+		Blobs:         streamfs.NewMemoryBlobs(),
+		SyncEvery:     h.cfgSync,
+	})
+}
+
+func (h *replicaHarness) newPuller(l *ledger.Ledger) *replica.Puller {
+	pl, err := replica.New(replica.Config{
+		Source: replica.LedgerSource(h.primary),
+		Ledger: l,
+		Batch:  h.batch,
+	})
+	if err != nil {
+		h.fatalf("replica.New: %v", err)
+	}
+	return pl
+}
+
+// appendPrimary commits one signed journal on the primary, mirroring the
+// main torture workload's shape (clues, state keys, shared payloads).
+func (h *replicaHarness) appendPrimary() {
+	h.nonce++
+	req := &journal.Request{LedgerURI: replicaURI, Type: journal.TypeNormal, Nonce: h.nonce}
+	if h.rng.Intn(100) < 70 {
+		req.Clues = []string{clueNames[h.rng.Intn(len(clueNames))]}
+	}
+	if h.rng.Intn(100) < 30 {
+		req.StateKey = []byte(fmt.Sprintf("acct-%d", h.rng.Intn(5)))
+	}
+	req.Payload = []byte(fmt.Sprintf("payload-%d", h.nonce))
+	if err := req.Sign(h.client); err != nil {
+		h.fatalf("sign: %v", err)
+	}
+	rcpt, err := h.primary.Append(req)
+	if err != nil {
+		h.fatalf("primary append: %v", err)
+	}
+	h.normals = append(h.normals, rcpt.JSN)
+}
+
+// workload drives the primary through ops weighted operations so the
+// replicated streams carry everything the follower's recovery machinery
+// must survive: appends, block cuts, time anchors, occults, and purges
+// with survivors (the base-moving case that forces follower resync).
+func (h *replicaHarness) workload(ops int) {
+	for i := 0; i < ops; i++ {
+		var err error
+		switch n := h.rng.Intn(100); {
+		case n < 60:
+			h.appendPrimary()
+		case n < 72:
+			_, err = h.primary.CutBlock()
+		case n < 80:
+			_, err = h.primary.AnchorTimeWith(h.stamp.Stamp)
+		case n < 88:
+			if len(h.normals) == 0 {
+				continue
+			}
+			desc := &ledger.OccultDescriptor{
+				URI: replicaURI,
+				JSN: h.normals[h.rng.Intn(len(h.normals))],
+			}
+			ms := sig.NewMultiSig(desc.Digest())
+			if e := ms.SignWith(h.dba); e != nil {
+				h.fatalf("sign occult: %v", e)
+			}
+			_, err = h.primary.Occult(desc, ms)
+		default:
+			base, size := h.primary.Base(), h.primary.Size()
+			if size-base < 6 {
+				continue
+			}
+			desc := &ledger.PurgeDescriptor{
+				URI:   replicaURI,
+				Point: base + 1 + uint64(h.rng.Intn(int(size-base-1))),
+			}
+			for _, jsn := range h.normals {
+				if jsn >= base && jsn < desc.Point && len(desc.Survivors) < 2 && h.rng.Intn(3) == 0 {
+					desc.Survivors = append(desc.Survivors, jsn)
+				}
+			}
+			ms := sig.NewMultiSig(desc.Digest())
+			if e := ms.SignWith(h.dba); e != nil {
+				h.fatalf("sign purge: %v", e)
+			}
+			if e := ms.SignWith(h.client); e != nil {
+				h.fatalf("sign purge: %v", e)
+			}
+			_, err = h.primary.Purge(desc, ms)
+		}
+		if err != nil && !benign(err) {
+			h.fatalf("primary workload op: %v", err)
+		}
+	}
+}
+
+// converged is the same frontier predicate the ledgerdb Stack uses for
+// WaitCaughtUp: size, checkpoint, and base all level with the primary.
+func (h *replicaHarness) converged(pl *replica.Puller, l *ledger.Ledger) bool {
+	st := pl.Status()
+	return st.CaughtUp &&
+		l.Size() >= h.primary.Size() &&
+		st.CheckpointJSN >= h.primary.Size() &&
+		l.Base() >= h.primary.Base()
+}
+
+// drive runs catch-up rounds until the follower converges or its disk
+// crashes, recording the durable floor at every fully-synced moment.
+// Returns the last durable observation (nil if none was reached).
+func (h *replicaHarness) drive(pl *replica.Puller, l *ledger.Ledger, d *faultfs.Disk) *replicaDurable {
+	var durable *replicaDurable
+	for round := 0; round < 10_000; round++ {
+		err := pl.RunOnce(context.Background())
+		if d.Crashed() {
+			return durable
+		}
+		if err != nil {
+			h.fatalf("catch-up round on healthy disk: %v", err)
+		}
+		if d.AllSynced() {
+			durable = &replicaDurable{size: l.Size(), base: l.Base(), height: l.Height()}
+		}
+		if h.converged(pl, l) {
+			return durable
+		}
+	}
+	h.fatalf("catch-up never converged: primary %d/%d, status %+v",
+		h.primary.Size(), h.primary.Base(), pl.Status())
+	return nil
+}
+
+// verifyFollower reopens the frozen follower image in the given crash
+// mode, checks the durable floor survived, then resumes pulling from the
+// same primary and requires byte-exact frontier convergence — replication
+// after a follower crash is just crash recovery plus more catch-up.
+func (h *replicaHarness) verifyFollower(mode faultfs.CrashMode, frozen *faultfs.Disk, durable *replicaDurable) {
+	img := frozen.Image(mode)
+	l2, err := h.openFollower(img)
+	if err != nil {
+		h.fatalf("reopen follower after crash (mode %d): %v", mode, err)
+	}
+	defer l2.Close()
+
+	if d := durable; d != nil {
+		if l2.Size() < d.size {
+			h.fatalf("mode %d: recovered follower size %d < durable size %d", mode, l2.Size(), d.size)
+		}
+		if l2.Base() < d.base {
+			h.fatalf("mode %d: recovered follower base %d < durable base %d", mode, l2.Base(), d.base)
+		}
+		if l2.Height() < d.height {
+			h.fatalf("mode %d: recovered follower height %d < durable height %d", mode, l2.Height(), d.height)
+		}
+	}
+
+	// Resume pulling on the recovered image: the puller must pick up from
+	// whatever offset survived (resyncing past any purge barrier it
+	// crashed inside) and reach the primary's exact frontier.
+	pl := h.newPuller(l2)
+	h.drive(pl, l2, img)
+	if img.Crashed() {
+		h.fatalf("mode %d: recovered image crashed again", mode)
+	}
+	if !h.converged(pl, l2) {
+		h.fatalf("mode %d: resumed follower never converged: %+v", mode, pl.Status())
+	}
+
+	// Frontier bytes, not just counts: the follower's cached checkpoint
+	// must carry the primary's roots, which commit to every byte of the
+	// journal, clue, and state streams.
+	pst, err := h.primary.State()
+	if err != nil {
+		h.fatalf("mode %d: primary state: %v", mode, err)
+	}
+	fst, err := l2.State()
+	if err != nil {
+		h.fatalf("mode %d: follower state: %v", mode, err)
+	}
+	if fst.JSN != pst.JSN || fst.JournalRoot != pst.JournalRoot ||
+		fst.ClueRoot != pst.ClueRoot || fst.StateRoot != pst.StateRoot {
+		h.fatalf("mode %d: frontier diverged:\n  primary  jsn=%d fam=%x clue=%x state=%x\n  follower jsn=%d fam=%x clue=%x state=%x",
+			mode,
+			pst.JSN, pst.JournalRoot, pst.ClueRoot, pst.StateRoot,
+			fst.JSN, fst.JournalRoot, fst.ClueRoot, fst.StateRoot)
+	}
+	if l2.Size() != h.primary.Size() || l2.Base() != h.primary.Base() || l2.Height() != h.primary.Height() {
+		h.fatalf("mode %d: frontier counts diverged: follower %d/%d/%d, primary %d/%d/%d",
+			mode, l2.Size(), l2.Base(), l2.Height(),
+			h.primary.Size(), h.primary.Base(), h.primary.Height())
+	}
+
+	// Every surviving journal is readable (occulted/purged ones answer
+	// with their honest sentinel, never a torn frame).
+	for jsn := l2.Base(); jsn < l2.Size(); jsn++ {
+		if _, err := l2.GetJournal(jsn); err != nil && !benign(err) {
+			h.fatalf("mode %d: journal %d unreadable on recovered follower: %v", mode, jsn, err)
+		}
+	}
+
+	// Recovery may not leave the pair poisoned: new primary work must
+	// still replicate through the recovered follower.
+	h.appendPrimary()
+	h.drive(pl, l2, img)
+	if !h.converged(pl, l2) {
+		h.fatalf("mode %d: recovered follower rejected fresh work: %+v", mode, pl.Status())
+	}
+}
+
+func runReplicaIteration(t *testing.T, seed int64, iter int) {
+	rng := rand.New(rand.NewSource(seed + int64(iter)*1_000_003))
+	repro := fmt.Sprintf("repro: CRASHTEST_SEED=%d REPLICA_CRASHTEST_ITER=%d go test -run TestReplicaCrashTorture ./internal/integration/crashtest", seed, iter)
+	h := newReplicaHarness(t, rng, repro)
+
+	// A primary worth replicating: guaranteed journals first, then the
+	// weighted mix (occults, purges, blocks, anchors).
+	for i := 0; i < 8; i++ {
+		h.appendPrimary()
+	}
+	h.workload(10 + rng.Intn(25))
+
+	// Probe: one clean catch-up on its own disk measures the total byte
+	// cost of replicating this primary. Same knobs, same primary, same
+	// empty start — the crashed follower below writes the identical
+	// sequence, so any offset in (0, total] lands mid-catch-up.
+	probe := faultfs.NewDisk()
+	lp, err := h.openFollower(probe)
+	if err != nil {
+		h.fatalf("open probe follower: %v", err)
+	}
+	h.drive(h.newPuller(lp), lp, probe)
+	total := probe.BytesWritten()
+	lp.Close()
+	if total <= 0 {
+		h.fatalf("probe catch-up wrote no bytes")
+	}
+
+	// The real follower: crash armed at a measured offset inside the
+	// catch-up window (it can cut mid-frame, mid-segment-header, or
+	// between a write and its fsync — even during the initial open).
+	cut := 1 + rng.Int63n(total)
+	d := faultfs.NewDisk()
+	d.CrashAtByte(cut)
+	var durable *replicaDurable
+	lf, err := h.openFollower(d)
+	switch {
+	case err == nil:
+		durable = h.drive(h.newPuller(lf), lf, d)
+		lf.Close()
+	case d.Crashed():
+		// The cut landed inside the follower's own genesis writes; the
+		// frozen image is still a valid crash state to recover from.
+	default:
+		h.fatalf("open crash follower on healthy disk: %v", err)
+	}
+	if !d.Crashed() {
+		d.CrashNow() // armed offset fell in the probe's final unreached write
+	}
+
+	// Both crash models recover from the same frozen image. TornWrite
+	// first: its image is a superset of what DropUnsynced preserves.
+	h.verifyFollower(faultfs.TornWrite, d, durable)
+	h.verifyFollower(faultfs.DropUnsynced, d, durable)
+}
+
+// TestReplicaCrashTorture kills a catching-up follower at measured byte
+// offsets (120 iterations by default, REPLICA_CRASHTEST_ITERS overrides;
+// each iteration verifies both crash models) and requires the reopened
+// follower to converge to the primary's exact frontier bytes.
+// CRASHTEST_SEED pins the PRNG, REPLICA_CRASHTEST_ITER replays one
+// failing iteration from a repro line.
+func TestReplicaCrashTorture(t *testing.T) {
+	seed := int64(envInt("CRASHTEST_SEED", 0xC0FFEE))
+	if s := os.Getenv("REPLICA_CRASHTEST_ITER"); s != "" {
+		iter, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad REPLICA_CRASHTEST_ITER %q", s)
+		}
+		runReplicaIteration(t, seed, iter)
+		return
+	}
+	iters := envInt("REPLICA_CRASHTEST_ITERS", 120)
+	if testing.Short() {
+		iters = 20
+	}
+	const shards = 4
+	perShard := (iters + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		first, last := s*perShard, (s+1)*perShard
+		if last > iters {
+			last = iters
+		}
+		if first >= last {
+			break
+		}
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			for i := first; i < last; i++ {
+				runReplicaIteration(t, seed, i)
+			}
+		})
+	}
+}

@@ -86,6 +86,9 @@ func (br *BatchReceipt) Verify(lsp sig.PublicKey, txHashes []hashutil.Digest) er
 // All-or-nothing: any invalid request rejects the entire batch before
 // anything is committed.
 func (l *Ledger) AppendBatch(reqs []*journal.Request) (*BatchReceipt, []hashutil.Digest, error) {
+	if err := l.writable(); err != nil {
+		return nil, nil, err
+	}
 	if len(reqs) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty batch", journal.ErrBadRequest)
 	}

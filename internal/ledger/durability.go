@@ -126,7 +126,16 @@ func (l *Ledger) reconcileStreams() error {
 	if d := l.digests.Len(); d < prefix {
 		prefix = d
 	}
-	if err := l.journals.TruncateTail(prefix); err != nil {
+	// A follower that crashed mid-resync holds a re-based (empty) journal
+	// stream whose base runs ahead of the digest fill. Journal records
+	// only ever apply after the fill has reached the base and synced, so
+	// a prefix below the base implies an empty journal stream — nothing
+	// to trim there.
+	jcut := prefix
+	if b := l.journals.Base(); jcut < b {
+		jcut = b
+	}
+	if err := l.journals.TruncateTail(jcut); err != nil {
 		return fmt.Errorf("ledger: reconcile journal stream: %w", err)
 	}
 	if err := l.digests.TruncateTail(prefix); err != nil {

@@ -155,11 +155,13 @@ func TestRegenFuzzCorpus(t *testing.T) {
 		t.Skip("set LEDGERDB_REGEN_FUZZ_CORPUS=1 to rewrite the testdata/fuzz seed corpus")
 	}
 	existence, clueBundle, receipt, absence := buildFuzzSeeds(t)
+	bundle := buildBundleSeed(t)
 	for name, data := range map[string][]byte{
 		"FuzzDecodeExistenceProof": existence,
 		"FuzzDecodeClueBundle":     clueBundle,
 		"FuzzDecodeReceipt":        receipt,
 		"FuzzDecodeAbsenceProof":   absence,
+		"FuzzDecodeProofBundle":    bundle,
 	} {
 		dir := filepath.Join("testdata", "fuzz", name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {

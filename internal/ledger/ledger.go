@@ -39,6 +39,15 @@ const (
 	streamSurvival = "survival"
 )
 
+// Exported stream names: the replication pull API addresses streams by
+// name (ReadStreamRange), and followers request exactly these.
+const (
+	StreamJournals = streamJournals
+	StreamDigests  = streamDigests
+	StreamBlocks   = streamBlocks
+	StreamSurvival = streamSurvival
+)
+
 // Errors returned by the engine.
 var (
 	ErrNotFound     = errors.New("ledger: journal not found")
@@ -107,14 +116,33 @@ type Config struct {
 	// appends a crash can lose between block cuts. Zero flushes at commit
 	// points only.
 	SyncEvery int
+	// ApplyOnly opens the ledger as a replication follower (replicate.go):
+	// it holds no LSP private key, never writes its own genesis, and
+	// refuses every originating mutation — records arrive verbatim from
+	// the primary's streams and roll forward through the recovery code
+	// paths. LSP may be nil; PrimaryLSP is required instead.
+	ApplyOnly bool
+	// PrimaryLSP is the pinned public key of the primary's LSP, required
+	// in ApplyOnly mode: replicated SignedState checkpoints are verified
+	// against it before they are cached or served.
+	PrimaryLSP sig.PublicKey
 }
 
 func (c Config) withDefaults() (Config, error) {
 	if c.URI == "" {
 		return c, fmt.Errorf("%w: empty URI", ErrBadConfig)
 	}
-	if c.LSP == nil {
+	if c.LSP == nil && !c.ApplyOnly {
 		return c, fmt.Errorf("%w: nil LSP key", ErrBadConfig)
+	}
+	if c.ApplyOnly {
+		if c.PrimaryLSP == (sig.PublicKey{}) {
+			return c, fmt.Errorf("%w: apply-only mode requires a pinned PrimaryLSP key", ErrBadConfig)
+		}
+		// A follower takes no client writes, so the staged pipeline has
+		// nothing to do; force the synchronous (recovery-shaped) path.
+		c.PipelineDepth = 0
+		c.VerifyBatch = 0
 	}
 	if c.Store == nil || c.Blobs == nil {
 		return c, fmt.Errorf("%w: nil store or blob store", ErrBadConfig)
@@ -199,6 +227,11 @@ type Ledger struct {
 	// (clue name-set version, purge base) rather than stateGen: plain
 	// appends to existing clues never invalidate it (statecache.go).
 	clueSet clueSetCache
+
+	// replica is the follower-mode state (replicate.go): the cached
+	// primary checkpoints proofs anchor to, and the resync seeding flag.
+	// Guarded by mu.
+	replica replicaState
 }
 
 // Open creates or recovers a ledger over the given stores.
@@ -239,8 +272,18 @@ func Open(cfg Config) (*Ledger, error) {
 		if err := l.recover(); err != nil {
 			return nil, fmt.Errorf("ledger: recover %s: %w", cfg.URI, err)
 		}
-	} else if err := l.writeGenesis(); err != nil {
-		return nil, err
+	} else if !cfg.ApplyOnly {
+		// A follower never authors its own genesis — jsn 0 replicates
+		// from the primary like every other record.
+		if err := l.writeGenesis(); err != nil {
+			return nil, err
+		}
+	} else if b := l.journals.Base(); b > 0 {
+		// A follower that crashed right after a resync re-base, before
+		// any digest of the fill survived: re-enter seeding at the
+		// recorded base (recover() does the same when digests exist).
+		l.base = b
+		l.replica.seeding = true
 	}
 	l.seqNext = l.nextJSN
 	if cfg.PipelineDepth > 0 {
@@ -290,8 +333,15 @@ func (l *Ledger) URI() string { return l.cfg.URI }
 // tree with the same shape).
 func (l *Ledger) FractalHeight() uint8 { return l.cfg.FractalHeight }
 
-// LSPPublic returns the LSP's public key (what clients pin).
-func (l *Ledger) LSPPublic() sig.PublicKey { return l.cfg.LSP.Public() }
+// LSPPublic returns the LSP's public key (what clients pin). In
+// apply-only mode there is no local signing key; the pinned primary key
+// is the one every served state and proof verifies against.
+func (l *Ledger) LSPPublic() sig.PublicKey {
+	if l.cfg.LSP == nil {
+		return l.cfg.PrimaryLSP
+	}
+	return l.cfg.LSP.Public()
+}
 
 // Size returns the number of journals committed (including genesis and
 // mutation journals).
@@ -315,6 +365,9 @@ func (l *Ledger) Base() uint64 {
 // caller's goroutine (stage 1), and the commit rides the staged
 // pipeline.
 func (l *Ledger) Append(req *journal.Request) (*journal.Receipt, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	if l.comm != nil {
 		adm, err := l.admitOne(req, false)
 		if err != nil {
@@ -477,6 +530,9 @@ func decodeStateValue(b []byte) (uint64, hashutil.Digest, error) {
 // CutBlock seals any pending journals into a block immediately (normally
 // blocks cut automatically every BlockSize journals).
 func (l *Ledger) CutBlock() (*BlockHeader, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	l.lockExclusive()
 	defer l.unlockExclusive()
 	if l.pendingCount == 0 {
@@ -552,6 +608,14 @@ func (l *Ledger) State() (*SignedState, error) {
 // every concurrent reader; a hit costs two mutex operations and no
 // crypto, no clock read.
 func (l *Ledger) stateLocked() (*SignedState, error) {
+	if l.cfg.ApplyOnly {
+		// A follower cannot sign: it serves the primary's checkpoint, and
+		// only when the applied prefix matches it exactly — otherwise the
+		// local accumulator roots would not be the ones the primary
+		// signed, and every proof built against them would fail at the
+		// client (replicate.go).
+		return l.replicaExactStateLocked()
+	}
 	gen := l.stateGen
 	if !l.cfg.DisableStateCache {
 		if st := l.stateSigs.get(gen); st != nil {
@@ -725,6 +789,9 @@ func (l *Ledger) GetState(key []byte) (uint64, hashutil.Digest, error) {
 // (Protocol 3, step 2: the signed time journal is anchored back to the
 // ledger). When a registry is configured the TSA key must be certified.
 func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	if err := ta.Verify(); err != nil {
 		return nil, err
 	}
@@ -763,6 +830,9 @@ func (l *Ledger) AnchorTime(ta *journal.TimeAttestation) (*journal.Receipt, erro
 // precede the time journal — which is what lets an auditor re-derive and
 // check it (§V step 2).
 func (l *Ledger) AnchorTimeWith(stamp func(hashutil.Digest) (*journal.TimeAttestation, error)) (*journal.Receipt, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	l.lockExclusive()
 	defer l.unlockExclusive()
 	root, err := l.fam.Root()

@@ -216,7 +216,7 @@ func (l *Ledger) requiredPurgeSignersLocked(point uint64) []sig.PublicKey {
 	req := []sig.PublicKey{l.cfg.DBA}
 	var members []sig.PublicKey
 	for pk, first := range l.firstSeen {
-		if first < point && pk != l.cfg.DBA && pk != l.cfg.LSP.Public() {
+		if first < point && pk != l.cfg.DBA && pk != l.LSPPublic() {
 			members = append(members, pk)
 		}
 	}
@@ -238,6 +238,9 @@ func (l *Ledger) requiredPurgeSignersLocked(point uint64) []sig.PublicKey {
 // digest stream is retained so fam proofs keep working (Protocol 1 +
 // "we only need digest but not raw payload").
 func (l *Ledger) Purge(desc *PurgeDescriptor, ms *sig.MultiSig) (*journal.Receipt, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	if desc.URI != l.cfg.URI {
 		return nil, fmt.Errorf("%w: descriptor for %q", ErrNotPermitted, desc.URI)
 	}
@@ -306,6 +309,9 @@ func (l *Ledger) Purge(desc *PurgeDescriptor, ms *sig.MultiSig) (*journal.Receip
 // original journal (Protocol 2). Async occults defer physical erasure to
 // Reorganize.
 func (l *Ledger) Occult(desc *OccultDescriptor, ms *sig.MultiSig) (*journal.Receipt, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	if desc.URI != l.cfg.URI {
 		return nil, fmt.Errorf("%w: descriptor for %q", ErrNotPermitted, desc.URI)
 	}
@@ -392,6 +398,9 @@ func (l *Ledger) erasePayloadLocked(jsn uint64) error {
 // other operators may still hold references) and performed by
 // Reorganize. It returns the jsns occulted.
 func (l *Ledger) OccultClue(clue string, ms *sig.MultiSig) ([]uint64, error) {
+	if err := l.writable(); err != nil {
+		return nil, err
+	}
 	l.lockExclusive()
 	defer l.unlockExclusive()
 	jsns, err := l.clues.JSNs(clue)
@@ -518,6 +527,9 @@ func DecodeOccultClueExtra(b []byte) (*OccultClueExtra, error) {
 // batch": it physically erases the payloads of asynchronously occulted
 // journals. It returns the number of payloads erased.
 func (l *Ledger) Reorganize() (int, error) {
+	if err := l.writable(); err != nil {
+		return 0, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0

@@ -50,18 +50,34 @@ func (l *Ledger) ProveExistenceBatch(jsns []uint64, withPayload bool) (*Existenc
 		return nil, fmt.Errorf("%w: proof batch of %d exceeds %d", journal.ErrBadRequest, len(jsns), MaxProofBatch)
 	}
 	l.mu.RLock()
+	// Followers prove against the newest primary-signed checkpoint (the
+	// same historical-proof path as proveExistence); primaries prove
+	// against the live frontier and sign it.
+	var st *SignedState
+	var stErr error
+	size := l.nextJSN
+	if l.cfg.ApplyOnly {
+		if st, stErr = l.replicaAnyStateLocked(); stErr != nil {
+			l.mu.RUnlock()
+			return nil, stErr
+		}
+		size = st.JSN
+	}
 	fps := make([]*fam.Proof, len(jsns))
 	occ := make([]bool, len(jsns))
 	for i, jsn := range jsns {
-		if jsn >= l.nextJSN {
+		if jsn >= size {
 			l.mu.RUnlock()
-			return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, l.nextJSN)
+			if jsn < l.nextJSN {
+				return nil, fmt.Errorf("%w: jsn %d not covered by checkpoint at %d", ErrStaleCheckpoint, jsn, size)
+			}
+			return nil, fmt.Errorf("%w: jsn %d of %d", ErrNotFound, jsn, size)
 		}
 		if jsn < l.base {
 			l.mu.RUnlock()
 			return nil, fmt.Errorf("%w: jsn %d", ErrPurged, jsn)
 		}
-		fp, err := l.fam.Prove(jsn)
+		fp, err := l.fam.ProveAt(jsn, size)
 		if err != nil {
 			l.mu.RUnlock()
 			return nil, err
@@ -69,7 +85,9 @@ func (l *Ledger) ProveExistenceBatch(jsns []uint64, withPayload bool) (*Existenc
 		fps[i] = fp
 		occ[i] = l.occulted[jsn]
 	}
-	st, stErr := l.stateLocked()
+	if st == nil {
+		st, stErr = l.stateLocked()
+	}
 	l.mu.RUnlock()
 	if stErr != nil {
 		return nil, stErr

@@ -207,10 +207,29 @@ func (l *Ledger) recover() error {
 		if err != nil {
 			return err
 		}
-		if err := l.seedFromSnapshot(info, jsn); err != nil {
-			return err
+		switch {
+		case info != nil:
+			if err := l.seedFromSnapshot(info, jsn); err != nil {
+				return err
+			}
+			replayFrom = jsn + 1
+		case l.cfg.ApplyOnly:
+			// A follower that crashed mid-resync: the journal stream was
+			// re-based at the primary's purge point but the pseudo
+			// genesis had not replicated yet. Re-enter seeding — the
+			// snapshot, when it arrives, covers this verbatim prefix —
+			// and skip replay (projections for these records come from
+			// the seed, exactly as on the primary).
+			l.replica.seeding = true
+			// Crashed during the digest fill: the journal stream is still
+			// empty at its re-base point and there is nothing to replay.
+			replayFrom = l.nextJSN
+			if replayFrom < l.base {
+				replayFrom = l.base
+			}
+		default:
+			return fmt.Errorf("ledger: purged stream without pseudo genesis")
 		}
-		replayFrom = jsn + 1
 	}
 
 	if err := l.journals.Iterate(replayFrom, func(jsn uint64, raw []byte) error {
@@ -245,7 +264,9 @@ func (l *Ledger) recover() error {
 func (l *Ledger) clueNamesLocked() []string { return l.clues.Names() }
 
 // findPseudoGenesis scans the live journals for the latest pseudo
-// genesis.
+// genesis. A nil info with nil error means none exists — fatal for a
+// primary recovering a purged stream, expected for a follower reopening
+// mid-resync (the caller decides).
 func (l *Ledger) findPseudoGenesis() (*PseudoGenesisInfo, uint64, error) {
 	var found *PseudoGenesisInfo
 	var at uint64
@@ -266,9 +287,6 @@ func (l *Ledger) findPseudoGenesis() (*PseudoGenesisInfo, uint64, error) {
 	})
 	if err != nil {
 		return nil, 0, err
-	}
-	if found == nil {
-		return nil, 0, fmt.Errorf("ledger: purged stream without pseudo genesis")
 	}
 	return found, at, nil
 }
@@ -327,9 +345,19 @@ var errStopIterate = fmt.Errorf("ledger: stop iteration")
 // before the pseudo genesis are covered by the snapshot seed, so this is
 // called only for strictly later records.
 func (l *Ledger) replayRecord(rec *journal.Record) {
-	for _, c := range rec.Clues {
+	if len(rec.Clues) > 0 {
 		d := rec.TxHash()
-		l.clues.Insert(c, rec.JSN, d)
+		for _, c := range rec.Clues {
+			if prevLast, existed := l.clues.Insert(c, rec.JSN, d); existed && prevLast < l.base {
+				// Same resurrection rule as the live path
+				// (applyRecordLocked): a fully-purged clue coming back to
+				// life changes the committed live set without a name-set
+				// version bump. Harmless during a fresh-start recovery
+				// (nothing is cached yet); load-bearing for a replication
+				// follower, where replay runs against a warm cache.
+				l.clueSet.invalidate()
+			}
+		}
 	}
 	if len(rec.StateKey) > 0 {
 		l.state = l.state.Put(rec.StateKey, encodeStateValue(rec.JSN, rec.PayloadDigest))

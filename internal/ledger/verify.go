@@ -61,21 +61,37 @@ func (l *Ledger) proveExistence(jsn uint64, a *fam.Anchor, withPayload bool) (*E
 		return nil, fmt.Errorf("%w: jsn %d", ErrPurged, jsn)
 	}
 	var fp *fam.Proof
+	var st *SignedState
 	var err error
-	if a != nil {
-		fp, err = l.fam.ProveAnchored(jsn, a)
+	if l.cfg.ApplyOnly && a == nil {
+		// Follower path: prove against the newest primary-signed
+		// checkpoint, not the live frontier — the follower cannot sign a
+		// frontier state, but fam's historical proofs (ProveAt) fold any
+		// covered record to exactly the root the primary signed. This is
+		// what keeps a partitioned follower serving verifiable proofs
+		// for the entire checkpointed prefix while honestly refusing the
+		// uncovered tail (ErrStaleCheckpoint → 503 at the server).
+		st, err = l.replicaAnyStateLocked()
+		if err == nil && jsn >= st.JSN {
+			err = fmt.Errorf("%w: jsn %d not covered by checkpoint at %d", ErrStaleCheckpoint, jsn, st.JSN)
+		}
+		if err == nil {
+			fp, err = l.fam.ProveAt(jsn, st.JSN)
+		}
 	} else {
-		fp, err = l.fam.Prove(jsn)
-	}
-	if err != nil {
-		l.mu.RUnlock()
-		return nil, err
+		if a != nil {
+			fp, err = l.fam.ProveAnchored(jsn, a)
+		} else {
+			fp, err = l.fam.Prove(jsn)
+		}
+		if err == nil {
+			st, err = l.stateLocked()
+		}
 	}
 	occ := l.occulted[jsn]
-	st, stErr := l.stateLocked()
 	l.mu.RUnlock()
-	if stErr != nil {
-		return nil, stErr
+	if err != nil {
+		return nil, err
 	}
 	raw, err := l.readJournalBytes(jsn)
 	if err != nil {

@@ -41,6 +41,7 @@ var l3ClockScope = []string{
 	"internal/ledger", "internal/audit", "internal/journal",
 	"internal/cmtree", "internal/mpt", "internal/merkle",
 	"internal/tledger", "internal/timepeg", "internal/index",
+	"internal/replica",
 }
 
 func (ruleL3) Check(ctx *Context, pkg *Package) {

@@ -28,7 +28,7 @@ func (ruleL9) Doc() string {
 }
 
 // l9Scope are the module-relative package prefixes under the rule.
-var l9Scope = []string{"internal/client", "internal/server", "internal/shard"}
+var l9Scope = []string{"internal/client", "internal/server", "internal/shard", "internal/replica"}
 
 // l9Allowlist names the functions allowed to mint a root context; keys
 // are module-relative "pkg.func", values say why.

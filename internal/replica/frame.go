@@ -1,0 +1,144 @@
+// Package replica implements read-replica replication for the ledger:
+// a follower pulls the primary's append-only streams (journals,
+// survival, blocks) as resumable, checksummed segment frames and rolls
+// them forward through the same code paths crash recovery uses, so a
+// replica is crash recovery running continuously. The follower serves
+// the read surface — existence proofs, journal reads, query/absence via
+// a local sidecar index — against a cached SignedState, which means
+// every answer it gives still verifies against the primary's signing
+// key: replication scales read QPS without adding any trust (§II-C's
+// ubiquitous-verification model is what makes an untrusted replica
+// safe).
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"ledgerdb/internal/hashutil"
+	"ledgerdb/internal/wire"
+)
+
+// Errors returned by frame decoding and verification.
+var (
+	ErrBadFrame = errors.New("replica: malformed segment frame")
+	ErrDigest   = errors.New("replica: segment frame digest mismatch")
+)
+
+// frameMagic domain-separates the frame digest and encoding.
+const frameMagic = "ledgerdb/replframe/v1"
+
+// Frame caps: decoder hardening against hostile length prefixes. A
+// frame above either cap is rejected before any allocation its sizes
+// imply.
+const (
+	maxFrameRecords = 1 << 16
+	maxFrameBytes   = 1 << 26 // 64 MiB of record payload per frame
+)
+
+// SegmentFrame is one replication pull response: a consecutive run of
+// raw stream records plus the primary's stream frontier at capture
+// time. Offset addresses Records[0]; Base/Len let the follower detect
+// purge gaps (Base beyond its own frontier) and lag (Len beyond the
+// last record shipped) without a second round trip. A pull with max=0
+// records doubles as a frontier query.
+//
+// The Digest seals every field against the transport: frames cross the
+// netchaos-hardened client, and a flipped bit anywhere — including in
+// the counters — must fail loudly at the follower rather than corrupt
+// its replay.
+type SegmentFrame struct {
+	Stream  string
+	Base    uint64
+	Len     uint64
+	Offset  uint64
+	Records [][]byte
+	Digest  hashutil.Digest
+}
+
+// digest computes the seal over every field except the seal itself.
+func (f *SegmentFrame) digest() hashutil.Digest {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	f.encodeBody(w)
+	return hashutil.Sum(w.Bytes())
+}
+
+// Seal computes and stores the frame digest. The producer calls it
+// after filling every other field.
+func (f *SegmentFrame) Seal() { f.Digest = f.digest() }
+
+// Verify checks the seal. Decoding alone does not verify — a decoded
+// frame must pass Verify before any record is applied.
+func (f *SegmentFrame) Verify() error {
+	if got := f.digest(); got != f.Digest {
+		return fmt.Errorf("%w: got %s, want %s", ErrDigest, got.Short(), f.Digest.Short())
+	}
+	return nil
+}
+
+func (f *SegmentFrame) encodeBody(w *wire.Writer) {
+	w.String(frameMagic)
+	w.String(f.Stream)
+	w.Uint64(f.Base)
+	w.Uint64(f.Len)
+	w.Uint64(f.Offset)
+	w.Uvarint(uint64(len(f.Records)))
+	for _, rec := range f.Records {
+		w.WriteBytes(rec)
+	}
+}
+
+// Encode writes the frame (body followed by its seal).
+func (f *SegmentFrame) Encode(w *wire.Writer) {
+	f.encodeBody(w)
+	w.Digest(f.Digest)
+}
+
+// EncodeBytes returns the frame as a fresh byte slice.
+func (f *SegmentFrame) EncodeBytes() []byte {
+	w := wire.NewWriter(256)
+	f.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeSegmentFrame parses an encoded frame, enforcing the decoder
+// caps and consuming the input exactly. The decoded records are copies
+// (they outlive the wire buffer). Callers must still Verify.
+func DecodeSegmentFrame(raw []byte) (*SegmentFrame, error) {
+	r := wire.NewReader(raw)
+	if magic := r.String(); magic != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFrame, magic)
+	}
+	f := &SegmentFrame{
+		Stream: r.String(),
+		Base:   r.Uint64(),
+		Len:    r.Uint64(),
+		Offset: r.Uint64(),
+	}
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, r.Err())
+	}
+	if n > maxFrameRecords {
+		return nil, fmt.Errorf("%w: %d records (max %d)", ErrBadFrame, n, maxFrameRecords)
+	}
+	total := 0
+	f.Records = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rec := r.BytesCopy()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFrame, i, r.Err())
+		}
+		total += len(rec)
+		if total > maxFrameBytes {
+			return nil, fmt.Errorf("%w: frame exceeds %d payload bytes", ErrBadFrame, maxFrameBytes)
+		}
+		f.Records = append(f.Records, rec)
+	}
+	f.Digest = r.Digest()
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return f, nil
+}

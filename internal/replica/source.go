@@ -1,0 +1,61 @@
+package replica
+
+import (
+	"context"
+
+	"ledgerdb/internal/ledger"
+)
+
+// FrameClient is the slice of the HTTP client the puller needs: pull a
+// sealed frame, fetch the signed state. Declared here rather than
+// importing the client package so the transport depends on the
+// replication protocol, not the other way around.
+type FrameClient interface {
+	PullFrame(ctx context.Context, stream string, from uint64, max int) ([]byte, error)
+	StateCtx(ctx context.Context) (*ledger.SignedState, error)
+}
+
+// ClientSource adapts the hardened HTTP client into a Source: frames
+// arrive through the client's retry/backoff/breaker machinery, and the
+// checkpoint fetch reuses the client's signature verification against
+// the pinned primary LSP key — a tampered state never reaches
+// SetReplicaState.
+func ClientSource(c FrameClient) Source {
+	return clientSource{c}
+}
+
+type clientSource struct{ c FrameClient }
+
+func (s clientSource) PullFrame(ctx context.Context, stream string, from uint64, max int) ([]byte, error) {
+	return s.c.PullFrame(ctx, stream, from, max)
+}
+
+func (s clientSource) State(ctx context.Context) (*ledger.SignedState, error) {
+	return s.c.StateCtx(ctx)
+}
+
+// LedgerSource adapts an in-process primary ledger into a Source, for
+// followers co-located with the primary (Stack read replicas). Frames
+// are still sealed and the puller still verifies them — the trust
+// boundary code path is identical to the HTTP one, only the transport
+// differs — so an in-process follower exercises exactly the protocol a
+// remote one would.
+func LedgerSource(p *ledger.Ledger) Source {
+	return ledgerSource{p}
+}
+
+type ledgerSource struct{ p *ledger.Ledger }
+
+func (s ledgerSource) PullFrame(_ context.Context, stream string, from uint64, max int) ([]byte, error) {
+	recs, base, size, err := s.p.ReadStreamRange(stream, from, max, 0)
+	if err != nil {
+		return nil, err
+	}
+	f := &SegmentFrame{Stream: stream, Base: base, Len: size, Offset: from, Records: recs}
+	f.Seal()
+	return f.EncodeBytes(), nil
+}
+
+func (s ledgerSource) State(context.Context) (*ledger.SignedState, error) {
+	return s.p.State()
+}

@@ -239,19 +239,23 @@ func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
 	w.Write(b.body)
 }
 
-// handleHealthz is liveness: the process is up and serving.
+// handleHealthz is liveness: the process is up and serving. The reply
+// carries the replication watermark fields (see Envelope) so operators
+// see staleness without a separate endpoint.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, &Envelope{})
+	writeJSON(w, http.StatusOK, s.health(&Envelope{}))
 }
 
 // handleReadyz is readiness: false once the server starts draining (or
 // the ledger is closed), so load balancers stop routing new work here
-// while in-flight requests finish.
+// while in-flight requests finish. A partitioned follower stays ready —
+// serving checkpoint-anchored reads while degraded is the point — and
+// reports its honest staleness via Jsn/Watermark.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.gate.isDraining() {
 		w.Header().Set("Retry-After", s.opts.retryAfterSecs())
-		writeJSON(w, http.StatusServiceUnavailable, &Envelope{Error: "server: draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.health(&Envelope{Error: "server: draining"}))
 		return
 	}
-	writeJSON(w, http.StatusOK, &Envelope{})
+	writeJSON(w, http.StatusOK, s.health(&Envelope{}))
 }

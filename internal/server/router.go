@@ -42,6 +42,9 @@ type Router struct {
 	Coord    *shard.Coordinator
 	Part     *shard.Partitioner
 	Backends []ShardBackend
+	// replicas[i] are read-replica backends for Backends[i] (see
+	// WithReplicas); nil means no fallback.
+	replicas [][]ShardBackend
 	mux      *http.ServeMux
 }
 
@@ -63,6 +66,52 @@ func NewRouter(coord *shard.Coordinator, part *shard.Partitioner, backends []Sha
 	rt.mux.HandleFunc("GET /v1/info", rt.handleInfo)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return rt, nil
+}
+
+// WithReplicas registers per-shard read replicas: replicas[i] front
+// followers of the engine behind Backends[i]. Proof-carrying reads
+// (rich queries, authenticated absence) fall back to a replica when the
+// primary backend fails — the replies anchor to the replica's newest
+// verified checkpoint, so the fallback trades freshness, never trust.
+// Appends never fall back: replicas are apply-only, and a router that
+// silently redirected writes would turn a partition into data loss.
+func (rt *Router) WithReplicas(replicas [][]ShardBackend) error {
+	if len(replicas) != len(rt.Backends) {
+		return fmt.Errorf("%w: replica sets for %d of %d shards", shard.ErrBadShards, len(replicas), len(rt.Backends))
+	}
+	rt.replicas = replicas
+	return nil
+}
+
+// queryShard runs a rich read against shard i, falling back to its
+// replicas when the primary is unreachable. The primary's error is the
+// one reported when every backend fails — it names the authoritative
+// failure, not the last replica tried.
+func (rt *Router) queryShard(i int, q ledger.Query) (*ledger.QueryResult, error) {
+	res, err := rt.Backends[i].Query(q)
+	if err == nil || rt.replicas == nil {
+		return res, err
+	}
+	for _, rep := range rt.replicas[i] {
+		if res, rerr := rep.Query(q); rerr == nil {
+			return res, nil
+		}
+	}
+	return nil, err
+}
+
+// absenceShard is queryShard for authenticated absence.
+func (rt *Router) absenceShard(i int, name string, prefix bool) (*ledger.AbsenceProof, error) {
+	ap, err := rt.Backends[i].ProveAbsence(name, prefix)
+	if err == nil || rt.replicas == nil {
+		return ap, err
+	}
+	for _, rep := range rt.replicas[i] {
+		if ap, rerr := rep.ProveAbsence(name, prefix); rerr == nil {
+			return ap, nil
+		}
+	}
+	return nil, err
 }
 
 // ServeHTTP implements http.Handler. The router does no admission
@@ -254,7 +303,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := rt.Backends[i].Query(q)
+			res, err := rt.queryShard(i, q)
 			if err != nil {
 				results <- result{shard: i, err: err}
 				return
@@ -288,7 +337,7 @@ func (rt *Router) handleAbsence(w http.ResponseWriter, r *http.Request) {
 	}
 	if !prefix {
 		i := rt.Part.ShardOfClue(name)
-		ap, err := rt.Backends[i].ProveAbsence(name, false)
+		ap, err := rt.absenceShard(i, name, false)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -299,7 +348,7 @@ func (rt *Router) handleAbsence(w http.ResponseWriter, r *http.Request) {
 	n := len(rt.Backends)
 	out := make(map[string]string, n)
 	for i := range rt.Backends {
-		ap, err := rt.Backends[i].ProveAbsence(name, true)
+		ap, err := rt.absenceShard(i, name, true)
 		if err != nil {
 			writeErr(w, fmt.Errorf("shard %d: %w", i, err))
 			return

@@ -74,6 +74,8 @@ func NewWithOptions(l *ledger.Ledger, tl *tledger.TLedger, opts Options) *Server
 	s.mux.HandleFunc("GET /v1/absence", s.handleAbsence)
 	s.mux.HandleFunc("POST /v1/admin/purge", s.handlePurge)
 	s.mux.HandleFunc("POST /v1/admin/occult", s.handleOccult)
+	s.mux.HandleFunc("GET /v1/replica/pull", s.handleReplicaPull)
+	s.mux.HandleFunc("GET /v1/bundle/{jsn}", s.handleBundle)
 	return s
 }
 
@@ -94,6 +96,18 @@ type Envelope struct {
 	Base   uint64 `json:"base,omitempty"`
 	Height uint64 `json:"height,omitempty"`
 	LSPKey string `json:"lsp_key,omitempty"` // hex; clients pin it (TOFU)
+
+	// Replication fields. Frame is a b64 sealed SegmentFrame (pull
+	// responses). Generation/Jsn/Watermark ride on /healthz and /readyz:
+	// Jsn is the applied journal frontier, Watermark the newest verified
+	// primary-signed checkpoint (== Jsn on a primary, which signs its
+	// own states), so Jsn-Watermark is the honest staleness a follower
+	// admits to. Always present on health replies — a zero Watermark on
+	// a seeding follower is itself the signal.
+	Frame      string  `json:"frame,omitempty"`
+	Generation *uint64 `json:"generation,omitempty"`
+	Jsn        *uint64 `json:"jsn,omitempty"`
+	Watermark  *uint64 `json:"watermark,omitempty"`
 
 	// Sharded-topology fields (router responses only).
 	Global   string            `json:"global,omitempty"`   // b64 GlobalState
@@ -156,6 +170,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ledger.ErrClosed):
 		// The commit pipeline is draining (shutdown); clients may retry
 		// against a replacement instance.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ledger.ErrStaleCheckpoint):
+		// A follower asked to prove past its verified checkpoint: the
+		// journal may exist but cannot be served yet. Retryable here
+		// (replication is catching up) or against the primary.
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
 	}

@@ -261,6 +261,11 @@ func openDiskStream(dir, name string, opts DiskOptions) (*diskStream, error) {
 	} else if b > st.base {
 		st.base = b
 	}
+	if st.next < st.base {
+		// A SetBase survived (segments removed, base meta written) with
+		// no appends since: the stream is empty and restarts at base.
+		st.next = st.base
+	}
 	return st, nil
 }
 
@@ -637,6 +642,34 @@ func (st *diskStream) TruncateTail(from uint64) error {
 	st.next = from
 	st.failed = nil
 	return nil
+}
+
+// SetBase implements Rebaser: remove every segment and restart the
+// stream at base. Segments are removed before the base meta is
+// persisted, so a crash between the two leaves a consistent (if
+// stale) stream — worst case the caller redoes its rebase.
+func (st *diskStream) SetBase(base uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if base < st.next {
+		return fmt.Errorf("streamfs: set base %s to %d below end %d", st.name, base, st.next)
+	}
+	if st.active != nil {
+		st.active.Close()
+		st.active = nil
+	}
+	for _, seg := range st.segs {
+		seg.closeReader()
+		if err := st.opts.FS.Remove(seg.path); err != nil && !notExist(err) {
+			return err
+		}
+	}
+	st.segs = nil
+	st.base = base
+	st.next = base
+	st.unsynced = 0
+	st.failed = nil
+	return writeBaseMeta(st.opts.FS, st.dir, st.name, base)
 }
 
 func (st *diskStream) Sync() error {

@@ -1,6 +1,7 @@
 package streamfs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -172,3 +173,15 @@ func (st *memStream) TruncateTail(from uint64) error {
 }
 
 func (st *memStream) Sync() error { return nil }
+
+// SetBase implements Rebaser: drop everything and restart at base.
+func (st *memStream) SetBase(base uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if end := st.base + uint64(len(st.items)); base < end {
+		return fmt.Errorf("streamfs: set base to %d below end %d", base, end)
+	}
+	st.items = nil
+	st.base = base
+	return nil
+}

@@ -1,0 +1,161 @@
+package streamfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSetBase covers the replication rebase primitive on both backends:
+// discard everything, restart the sequence space at the primary's base.
+func TestSetBase(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			store := open(t)
+			defer store.Close()
+			st, err := store.Stream("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if _, err := st.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rb, ok := st.(Rebaser)
+			if !ok {
+				t.Fatal("stream does not implement Rebaser")
+			}
+			if err := rb.SetBase(3); err == nil {
+				t.Fatal("SetBase(3) below end succeeded")
+			}
+			if err := rb.SetBase(100); err != nil {
+				t.Fatalf("SetBase(100): %v", err)
+			}
+			if st.Base() != 100 || st.Len() != 100 {
+				t.Fatalf("Base/Len = %d/%d, want 100/100", st.Base(), st.Len())
+			}
+			if _, err := st.Read(4); err == nil {
+				t.Fatal("Read(4) succeeded after rebase")
+			}
+			seq, err := st.Append([]byte("first-after-rebase"))
+			if err != nil || seq != 100 {
+				t.Fatalf("Append = %d, %v; want 100", seq, err)
+			}
+			if b, err := st.Read(100); err != nil || string(b) != "first-after-rebase" {
+				t.Fatalf("Read(100) = %q, %v", b, err)
+			}
+		})
+	}
+}
+
+// TestSetBaseSurvivesReopen checks the disk store persists a rebase:
+// both the empty-at-base state and records appended after it.
+func TestSetBaseSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenDisk(dir, DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.(Rebaser).SetBase(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen while empty: base and next both restart at 42.
+	store, err = OpenDisk(dir, DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = store.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Base() != 42 || st.Len() != 42 {
+		t.Fatalf("reopened Base/Len = %d/%d, want 42/42", st.Base(), st.Len())
+	}
+	if seq, err := st.Append([]byte("post")); err != nil || seq != 42 {
+		t.Fatalf("Append = %d, %v; want 42", seq, err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a post-rebase record: the segment header carries the
+	// rebased first sequence.
+	store, err = OpenDisk(dir, DiskOptions{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	st, err = store.Stream("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := st.Read(42); err != nil || string(b) != "post" {
+		t.Fatalf("Read(42) = %q, %v", b, err)
+	}
+	if st.Base() != 42 || st.Len() != 43 {
+		t.Fatalf("Base/Len = %d/%d, want 42/43", st.Base(), st.Len())
+	}
+}
+
+// TestReadRange covers the replication pull seam: offset addressing,
+// record/byte caps, end-of-stream, and the purge-gap signal.
+func TestReadRange(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			store := open(t)
+			defer store.Close()
+			st, err := store.Stream("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := st.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			recs, err := ReadRange(st, 3, 4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 4 || string(recs[0]) != "record-3" || string(recs[3]) != "record-6" {
+				t.Fatalf("ReadRange(3,4) = %d recs, first %q", len(recs), recs[0])
+			}
+			// Byte cap stops mid-range (each record is 8 bytes).
+			recs, err = ReadRange(st, 0, 10, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 3 {
+				t.Fatalf("byte-capped ReadRange = %d recs, want 3", len(recs))
+			}
+			// Pull at the end: empty, no error.
+			recs, err = ReadRange(st, 10, 4, 0)
+			if err != nil || len(recs) != 0 {
+				t.Fatalf("ReadRange at end = %d recs, %v", len(recs), err)
+			}
+			// Below base after a purge: gap, reported as ErrNotFound.
+			if err := st.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadRange(st, 2, 4, 0); err == nil {
+				t.Fatal("ReadRange below base succeeded")
+			}
+		})
+	}
+}

@@ -79,6 +79,20 @@ type Stream interface {
 	Sync() error
 }
 
+// Rebaser is an optional Stream capability: resetting an empty (or
+// fully discardable) stream so its next sequence starts at base. It
+// exists for replication catch-up — a follower that lagged past the
+// primary's purge point cannot replay the erased prefix and instead
+// re-bases its journal stream at the primary's base before reseeding
+// from the purge snapshot. Both provided backends implement it.
+type Rebaser interface {
+	// SetBase discards every record and positions the stream so the
+	// next Append is assigned sequence base. base must be >= Len()
+	// (rebasing below live records would orphan them); streams that
+	// still hold records the caller wants must TruncateTail first.
+	SetBase(base uint64) error
+}
+
 func validName(name string) error {
 	if name == "" || name[0] == '.' {
 		return fmt.Errorf("%w: %q", ErrBadName, name)

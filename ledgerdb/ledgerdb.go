@@ -16,6 +16,7 @@
 package ledgerdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -28,6 +29,7 @@ import (
 	"ledgerdb/internal/index"
 	"ledgerdb/internal/journal"
 	"ledgerdb/internal/ledger"
+	"ledgerdb/internal/replica"
 	"ledgerdb/internal/shard"
 	"ledgerdb/internal/sig"
 	"ledgerdb/internal/streamfs"
@@ -92,6 +94,13 @@ type (
 	AbsenceProof = ledger.AbsenceProof
 	// Index is the rebuildable sidecar behind the rich-query layer.
 	Index = index.Index
+	// ProofBundle is a self-contained offline proof (record + fam path +
+	// anchored checkpoint + time-attestation chain).
+	ProofBundle = ledger.ProofBundle
+	// ReplicaStatus is a follower's replication progress snapshot.
+	ReplicaStatus = replica.Status
+	// Puller drives a follower ledger against a replication source.
+	Puller = replica.Puller
 )
 
 // Journal types.
@@ -125,6 +134,12 @@ var (
 	VerifyAbsenceProof = ledger.VerifyAbsence
 	// OpenIndex opens (or rebuilds) a sidecar query index over a ledger.
 	OpenIndex = index.Open
+	// VerifyBundle is the fully-offline proof-bundle verification: no
+	// network, no ledger — just the bundle bytes, the pinned LSP key, and
+	// (optionally) pinned TSA keys.
+	VerifyBundle = ledger.VerifyBundle
+	// DecodeProofBundle decodes an exported bundle's wire form.
+	DecodeProofBundle = ledger.DecodeProofBundle
 	// Audit runs the Dasein-complete audit (§V).
 	Audit = audit.Audit
 	// GenerateKey creates a fresh identity.
@@ -137,6 +152,15 @@ var (
 	// OpenDiskStore / OpenDiskBlobs build persistent storage.
 	OpenDiskStore = streamfs.OpenDisk
 	OpenDiskBlobs = streamfs.OpenDiskBlobs
+)
+
+// Re-exported sentinel errors.
+var (
+	// ErrPurged marks a journal erased by a verifiable purge.
+	ErrPurged = ledger.ErrPurged
+	// ErrStaleCheckpoint marks a follower read past the newest
+	// primary-signed checkpoint it has verified.
+	ErrStaleCheckpoint = ledger.ErrStaleCheckpoint
 )
 
 // StackOptions configures a single-process deployment.
@@ -176,6 +200,16 @@ type StackOptions struct {
 	// that period (0 = fold on demand only — proofs and audits fold
 	// synchronously when needed).
 	FoldInterval time.Duration
+	// Followers is the number of read replicas per shard (0 = none).
+	// Each follower is an apply-only engine continuously pulling its
+	// shard's streams through the sealed-frame replication protocol —
+	// crash recovery running as a service — with its own rich-query
+	// sidecar. Followers live in memory (a replica is rebuildable from
+	// its primary by construction) and drain before the stack closes.
+	Followers int
+	// FollowerInterval is each follower's idle poll period once caught
+	// up (0 = 50ms).
+	FollowerInterval time.Duration
 }
 
 // DiskOptions re-exports the stream-store tuning knobs.
@@ -190,6 +224,7 @@ type Stack struct {
 	Ledger      *ledger.Ledger   // shard 0 — the whole ledger in single-node mode
 	Shards      []*ledger.Ledger // all shards, in partition order
 	Indexes     []*index.Index   // per-shard rich-query sidecars, same order
+	Followers   []*Follower      // read replicas, grouped by shard then replica slot
 	Partitioner *shard.Partitioner
 	Coordinator *shard.Coordinator
 	TLedger     *tledger.TLedger
@@ -205,6 +240,68 @@ type Stack struct {
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// Follower is one running read replica: an apply-only engine fed by a
+// background Puller, plus its own rich-query sidecar. It serves every
+// read the primary serves — existence and clue proofs, rich queries,
+// absence — anchored to the newest primary-signed checkpoint it has
+// verified, and keeps serving them (honestly stale) when the primary is
+// gone.
+type Follower struct {
+	Ledger *ledger.Ledger
+	Index  *index.Index
+	Puller *replica.Puller
+	Shard  int // index of the shard this follower replicates
+
+	primary  *ledger.Ledger
+	cancel   context.CancelFunc
+	done     chan struct{}
+	idxStore streamfs.Store
+}
+
+// Status returns the follower's replication snapshot (watermarks, lag,
+// degraded flag).
+func (f *Follower) Status() ReplicaStatus { return f.Puller.Status() }
+
+// WaitCaughtUp blocks until the follower is level with the primary's
+// current frontier — applied, checkpointed, and purge-rebased — or ctx
+// expires. Only meaningful once writes quiesce; under a live write load
+// "caught up" is a moving target and the lag in Status is the honest
+// answer.
+func (f *Follower) WaitCaughtUp(ctx context.Context) error {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		st := f.Puller.Status()
+		if st.CaughtUp &&
+			f.Ledger.Size() >= f.primary.Size() &&
+			st.CheckpointJSN >= f.primary.Size() &&
+			f.Ledger.Base() >= f.primary.Base() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// stop cancels the puller, waits for its loop to exit, then closes the
+// follower's engine and sidecar store — in that order, so nothing
+// applies into a closed ledger.
+func (f *Follower) stop() error {
+	f.cancel()
+	<-f.done
+	var errs []error
+	if err := f.Ledger.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := f.idxStore.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // shardWiring is the deployment-wide context every shard builder shares:
@@ -281,6 +378,60 @@ func (w shardWiring) buildShardLedger(i, total int) (*ledger.Ledger, error) {
 		PipelineDepth: w.opts.PipelineDepth,
 		SyncEvery:     w.opts.SyncEvery,
 	})
+}
+
+// startFollower builds and starts one read replica of primary. The
+// follower pulls through replica.LedgerSource — in-process transport,
+// but the frames are still sealed and the puller still verifies every
+// digest and checkpoint signature, so the trust-boundary code path is
+// exactly the one a remote follower would run.
+func (w shardWiring) startFollower(shardIdx int, primary *ledger.Ledger) (*Follower, error) {
+	led, err := ledger.Open(ledger.Config{
+		URI:           w.opts.URI,
+		FractalHeight: w.opts.FractalHeight,
+		BlockSize:     w.opts.BlockSize,
+		Clock:         w.clock,
+		ApplyOnly:     true,
+		PrimaryLSP:    w.lsp.Public(),
+		DBA:           w.dba,
+		Registry:      w.registry,
+		Store:         streamfs.NewMemory(),
+		Blobs:         streamfs.NewMemoryBlobs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	idxStore := streamfs.NewMemory()
+	ix, err := index.Open(led, idxStore)
+	if err != nil {
+		led.Close()
+		return nil, err
+	}
+	pl, err := replica.New(replica.Config{
+		Source:   replica.LedgerSource(primary),
+		Ledger:   led,
+		Interval: w.opts.FollowerInterval,
+	})
+	if err != nil {
+		led.Close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		Ledger:   led,
+		Index:    ix,
+		Puller:   pl,
+		Shard:    shardIdx,
+		primary:  primary,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		idxStore: idxStore,
+	}
+	go func() {
+		defer close(f.done)
+		pl.Run(ctx) // returns ctx.Err() on stop; nothing else to report
+	}()
+	return f, nil
 }
 
 // NewStack builds and starts a deployment.
@@ -398,6 +549,23 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		}
 		indexes[i], idxStores[i] = ix, st
 	}
+	var followers []*Follower
+	for i, l := range shards {
+		for r := 0; r < opts.Followers; r++ {
+			f, err := wiring.startFollower(i, l)
+			if err != nil {
+				for _, started := range followers {
+					started.stop()
+				}
+				for _, st := range idxStores {
+					st.Close()
+				}
+				closeAll()
+				return nil, fmt.Errorf("ledgerdb: shard %d follower %d: %w", i, r, err)
+			}
+			followers = append(followers, f)
+		}
+	}
 	coord := shard.NewCoordinator(opts.URI, shards, coordKey, clock)
 	if opts.FoldInterval > 0 {
 		coord.Start(opts.FoldInterval)
@@ -406,6 +574,7 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		Ledger:      shards[0],
 		Shards:      shards,
 		Indexes:     indexes,
+		Followers:   followers,
 		idxStores:   idxStores,
 		Partitioner: part,
 		Coordinator: coord,
@@ -734,6 +903,56 @@ func (m *Member) VerifyClueByTime(clue string, t1, t2 int64) ([]*Record, error) 
 	return ledger.VerifyClue(b, m.stack.LSP.Public())
 }
 
+// ShardFollowers returns the followers replicating shard i, in replica
+// slot order.
+func (s *Stack) ShardFollowers(i int) []*Follower {
+	var out []*Follower
+	for _, f := range s.Followers {
+		if f.Shard == i {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// VerifyExistenceReplica is the degraded-read path: it fetches an
+// existence proof from a follower of shardIdx and client-verifies it
+// against the primary LSP key. It works even when the primary shard is
+// unreachable — the proof anchors to the follower's newest verified
+// checkpoint, so the answer is honest about how stale it may be (the
+// follower's Status carries the watermark). Payload bytes are returned
+// only when the follower holds them: payload blobs are purgeable and
+// therefore not replicated, so replica reads return the verified record
+// (clues, digests, signatures, tx hash) with a nil payload.
+func (s *Stack) VerifyExistenceReplica(shardIdx int, jsn uint64) (*Record, []byte, error) {
+	fs := s.ShardFollowers(shardIdx)
+	if len(fs) == 0 {
+		return nil, nil, fmt.Errorf("ledgerdb: shard %d has no followers", shardIdx)
+	}
+	var err error
+	for _, f := range fs {
+		var p *ExistenceProof
+		if p, err = f.Ledger.ProveExistence(jsn, true); err != nil {
+			continue
+		}
+		var rec *Record
+		if rec, err = ledger.VerifyExistence(p, s.LSP.Public()); err != nil {
+			continue
+		}
+		return rec, p.Payload, nil
+	}
+	return nil, nil, err
+}
+
+// ExportBundle builds a self-contained offline proof for a shard-0 jsn
+// (single-node mode: any jsn). Anyone holding the bundle bytes and the
+// pinned LSP key can verify the record's existence — and, when a time
+// chain is present, its when-bounds — with VerifyBundle, no network and
+// no ledger required.
+func (s *Stack) ExportBundle(jsn uint64, withPayload bool) (*ProofBundle, error) {
+	return s.Ledger.ExportBundle(jsn, withPayload)
+}
+
 // clueShard returns the engine owning a clue's lineage.
 func (s *Stack) clueShard(clue string) *ledger.Ledger {
 	return s.Shards[s.Partitioner.ShardOfClue(clue)]
@@ -924,14 +1143,23 @@ func (s *Stack) OccultOn(shardIdx int, desc *OccultDescriptor, regulator *Member
 func (s *Stack) URI() string { return s.uri }
 
 // Close shuts the whole deployment down, idempotently: it stops the
-// coordinator's fold loop, then drains and closes every shard engine
-// (commit pipelines flush, streams sync). Every shard is closed even if
-// an earlier one errors; the joined error is sticky across repeat calls.
-// Reads keep working after Close; further appends fail.
+// coordinator's fold loop, drains every follower's pull loop (cancel,
+// wait, close — a puller must never apply into a closed primary's
+// frames mid-flight, and a follower caught mid-catch-up simply stops at
+// whatever verified prefix it reached), then drains and closes every
+// shard engine (commit pipelines flush, streams sync). Every component
+// is closed even if an earlier one errors; the joined error is sticky
+// across repeat calls. Reads keep working after Close; further appends
+// fail.
 func (s *Stack) Close() error {
 	s.closeOnce.Do(func() {
 		s.Coordinator.Stop()
 		var errs []error
+		for i, f := range s.Followers {
+			if err := f.stop(); err != nil {
+				errs = append(errs, fmt.Errorf("ledgerdb: follower %d (shard %d) close: %w", i, f.Shard, err))
+			}
+		}
 		for i, l := range s.Shards {
 			if err := l.Close(); err != nil {
 				errs = append(errs, fmt.Errorf("ledgerdb: shard %d close: %w", i, err))

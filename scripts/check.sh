@@ -13,6 +13,7 @@
 #   scripts/check.sh chaos    # network-chaos torture (500 fault schedules, -race)
 #   scripts/check.sh shard    # multi-shard topology e2e incl. kill-one-shard chaos (-race)
 #   scripts/check.sh query    # rich-query layer: index + absence tests (-race), crash + fuzz smoke
+#   scripts/check.sh replica  # replication: puller/bundle tests (-race), partition chaos, follower crash torture
 #   scripts/check.sh perf     # hot-path bench smoke + allocs/op regression guards
 #   scripts/check.sh all      # everything
 set -euo pipefail
@@ -108,6 +109,23 @@ stage_query() {
     go test -run xxx -fuzz FuzzDecodeAbsenceProof -fuzztime 10s ./internal/ledger > /dev/null
 }
 
+stage_replica() {
+    echo "== replication: verified catch-up, frames, offline bundles (-race) =="
+    go test -race -timeout 600s -count 1 ./internal/replica
+    go test -race -timeout 600s -run 'TestBundle|TestStackFollower|TestStackClose' -count 1 ./internal/ledger ./ledgerdb
+    go test -race -timeout 600s -run 'TestReplicationOverHTTP|TestFollowerStaleProofRejected|TestBundleEndpoint|TestPullEndpointValidation|TestHealthzJSONShape|TestRouterReadFallbackToReplica|TestRouterAppendsNeverFallBack|TestRouterWithReplicas|TestRouterNoReplicas' -count 1 ./internal/server
+
+    echo "== partition tolerance (netchaos cut/heal cycles, -race) =="
+    go test -race -timeout 600s -run TestPartitionTolerantReads -count 1 ./internal/integration/chaostest
+
+    echo "== follower crash torture (measured byte offsets, both crash models) =="
+    REPLICA_CRASHTEST_ITERS=200 go test -run TestReplicaCrashTorture -count 1 ./internal/integration/crashtest
+
+    echo "== replication wire fuzz smoke =="
+    go test -run xxx -fuzz FuzzDecodeSegmentFrame -fuzztime 10s ./internal/replica > /dev/null
+    go test -run xxx -fuzz FuzzDecodeProofBundle -fuzztime 10s ./internal/ledger > /dev/null
+}
+
 stage_bench() {
     echo "== pipeline bench smoke =="
     go test -run xxx -bench BenchmarkAppendSerialVsPipelined -benchtime 1x . > /dev/null
@@ -169,6 +187,7 @@ stage_all() {
     stage_chaos
     stage_shard
     stage_query
+    stage_replica
     stage_bench
     stage_perf
     stage_examples
@@ -185,10 +204,11 @@ case "${1:-all}" in
     chaos) stage_chaos ;;
     shard) stage_shard ;;
     query) stage_query ;;
+    replica) stage_replica ;;
     perf) stage_perf ;;
     all) stage_all ;;
     *)
-        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|query|perf|all]" >&2
+        echo "usage: $0 [lint|fuzz|race|crash|chaos|shard|query|replica|perf|all]" >&2
         exit 2
         ;;
 esac
